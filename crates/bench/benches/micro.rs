@@ -1,0 +1,186 @@
+//! Criterion microbenchmarks for the hot building blocks.
+//!
+//! These are component-level benches (the table/figure reproductions live
+//! in the `table*`/`fig*` binaries): ring transfer, FTL write/GC,
+//! compression, WAL/RDB codecs, histogram recording, Zipfian sampling.
+//! Sample counts are kept small so the suite completes quickly on small
+//! CI machines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use slimio_des::{SimTime, Xoshiro256};
+use slimio_ftl::{Ftl, FtlConfig, PlacementMode};
+use slimio_imdb::compress;
+use slimio_imdb::rdb::RdbWriter;
+use slimio_imdb::wal::{decode, encode, WalRecord};
+use slimio_metrics::Histogram;
+use slimio_nvme::{DeviceConfig, NvmeDevice};
+use slimio_uring::spsc;
+use slimio_workload::Zipfian;
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let (p, cons) = spsc::ring::<u64>(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            p.push(i).unwrap();
+            std::hint::black_box(cons.pop().unwrap());
+        });
+    });
+    g.finish();
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftl");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("conventional", PlacementMode::Conventional),
+        ("fdp", PlacementMode::Fdp { max_pids: 4 }),
+    ] {
+        g.bench_function(format!("write_churn_{name}"), |b| {
+            b.iter_batched(
+                || Ftl::new(FtlConfig::tiny(mode)),
+                |mut ftl| {
+                    let cap = ftl.logical_pages();
+                    // Two full overwrite passes: allocation + GC paths.
+                    for round in 0..2u64 {
+                        for lpn in 0..cap {
+                            ftl.write(lpn, (round % 4) as u8).unwrap();
+                        }
+                    }
+                    std::hint::black_box(ftl.stats().waf_value())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvme");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("timing_write_4k", |b| {
+        let mut dev = NvmeDevice::new(DeviceConfig {
+            store_data: false,
+            ..DeviceConfig::tiny(PlacementMode::Conventional)
+        });
+        let cap = dev.capacity_blocks();
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 1) % cap;
+            std::hint::black_box(dev.write(lba, 1, 0, None, SimTime::ZERO).unwrap());
+        });
+    });
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lzf");
+    g.sample_size(20);
+    let text = br#"{"ts":123456,"field":"pressure","value":0.482,"unit":"Pa"}"#.repeat(90);
+    let mut state = 1u64;
+    let random: Vec<u8> = (0..4096)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 56) as u8
+        })
+        .collect();
+    for (name, data) in [("text_4k", &text[..4096]), ("random_4k", &random[..])] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_function(format!("compress_{name}"), |b| {
+            b.iter(|| std::hint::black_box(compress::compress(data)));
+        });
+        let compressed = compress::compress(data);
+        g.bench_function(format!("decompress_{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(compress::decompress(&compressed, data.len()).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(20);
+    let rec = WalRecord::Set {
+        seq: 42,
+        key: b"key:00001234".to_vec(),
+        value: vec![7u8; 4096],
+    };
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("wal_encode_4k", |b| {
+        let mut buf = Vec::with_capacity(8192);
+        b.iter(|| {
+            buf.clear();
+            std::hint::black_box(encode(&rec, &mut buf));
+        });
+    });
+    let mut encoded = Vec::new();
+    encode(&rec, &mut encoded);
+    g.bench_function("wal_decode_4k", |b| {
+        b.iter(|| std::hint::black_box(decode(&encoded).unwrap()));
+    });
+    g.bench_function("rdb_entry_4k", |b| {
+        let value = vec![3u8; 4096];
+        b.iter_batched(
+            || RdbWriter::new(64, 1 << 20),
+            |mut w| {
+                for i in 0..64u32 {
+                    w.entry(&i.to_be_bytes(), &value);
+                }
+                w.finish();
+                std::hint::black_box(w.drain_chunk(true))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    g.sample_size(20);
+    g.bench_function("histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(std::hint::black_box(x >> 40));
+        });
+    });
+    g.bench_function("histogram_p999", |b| {
+        let mut h = Histogram::new();
+        for v in 0..100_000u64 {
+            h.record(v * 17 % 1_000_000);
+        }
+        b.iter(|| std::hint::black_box(h.p999()));
+    });
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(20);
+    let z = Zipfian::new(9_000_000);
+    let mut rng = Xoshiro256::new(7);
+    g.bench_function("zipf_sample_9m", |b| {
+        b.iter(|| std::hint::black_box(z.sample_scrambled(&mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_spsc, bench_ftl, bench_device, bench_compress, bench_codecs,
+        bench_metrics, bench_zipf
+}
+criterion_main!(benches);

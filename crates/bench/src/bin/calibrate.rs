@@ -1,0 +1,61 @@
+//! Calibration probe: runs the four Table 3 cells and the four Table 4
+//! cells at the requested scale and prints measured vs paper values with
+//! relative errors. Used while tuning `CostModel`; kept as a shipping
+//! diagnostic.
+
+use slimio_bench::{fmt_ms, fmt_rps, mean_time, paper, summarize, Cli};
+use slimio_metrics::Table;
+use slimio_system::experiment::{always, periodical};
+use slimio_system::{Experiment, StackKind, WorkloadKind};
+
+fn main() {
+    let cli = Cli::parse();
+    let cells = [
+        (WorkloadKind::RedisBench, periodical(), StackKind::KernelF2fs, &paper::TABLE3[0]),
+        (WorkloadKind::RedisBench, periodical(), StackKind::PassthruFdp, &paper::TABLE3[1]),
+        (WorkloadKind::RedisBench, always(), StackKind::KernelF2fs, &paper::TABLE3[2]),
+        (WorkloadKind::RedisBench, always(), StackKind::PassthruFdp, &paper::TABLE3[3]),
+        (WorkloadKind::YcsbA, periodical(), StackKind::KernelF2fs, &paper::TABLE4[0]),
+        (WorkloadKind::YcsbA, periodical(), StackKind::PassthruFdp, &paper::TABLE4[1]),
+        (WorkloadKind::YcsbA, always(), StackKind::KernelF2fs, &paper::TABLE4[2]),
+        (WorkloadKind::YcsbA, always(), StackKind::PassthruFdp, &paper::TABLE4[3]),
+    ];
+    let mut table = Table::new([
+        "cell",
+        "walOnly(meas)",
+        "walOnly(paper)",
+        "avg(meas)",
+        "avg(paper)",
+        "snapT(meas)",
+        "snapT(paper)",
+        "p999(meas)",
+        "p999(paper)",
+        "waf(meas)",
+        "waf(paper)",
+    ]);
+    for (wl, policy, stack, p) in cells {
+        let e = cli.configure(Experiment::new(wl, stack, policy));
+        let r = e.run();
+        let label = format!(
+            "{:?}/{}",
+            wl,
+            stack.label()
+        );
+        summarize(&label, &r);
+        let snap_meas = mean_time(&r.snapshot_times).as_secs_f64() / cli.scale;
+        table.row([
+            format!("{label}/{policy:?}"),
+            fmt_rps(r.wal_only_rps),
+            fmt_rps(p.wal_only_rps),
+            fmt_rps(r.avg_rps),
+            fmt_rps(p.avg_rps),
+            format!("{snap_meas:.0}"),
+            format!("{:.0}", p.snap_secs),
+            fmt_ms(r.set_lat.p999()),
+            fmt_ms((p.set_p999_ms * 1e6) as u64),
+            format!("{:.3}", r.waf.waf()),
+            format!("{:.2}", p.waf),
+        ]);
+    }
+    println!("{}", table.render());
+}

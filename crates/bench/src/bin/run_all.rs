@@ -1,0 +1,27 @@
+//! Runs every table/figure binary's logic in sequence and reminds where
+//! each lives. Useful for regenerating EXPERIMENTS.md data in one shot:
+//!
+//! ```sh
+//! cargo run --release -p slimio-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1", "table2", "table3", "table4", "table5", "fig2", "fig4", "fig5",
+        "ablations",
+    ];
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .args(&args)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e} (build with --release first)"),
+        }
+    }
+}

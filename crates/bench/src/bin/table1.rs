@@ -1,0 +1,65 @@
+//! Table 1 — Performance degradation and increased memory usage during
+//! snapshot generation (baseline on EXT4 and F2FS).
+//!
+//! The paper runs the redis-benchmark workload once per file system under
+//! Periodical-Log, comparing RPS and peak memory in the WAL-only and
+//! Snapshot&WAL phases. Expected shape: RPS drops ~28–31 % during
+//! snapshots, memory roughly doubles, and F2FS edges out EXT4.
+
+use slimio_bench::{fmt_gb, fmt_rps, paper, summarize, Cli};
+use slimio_metrics::Table;
+use slimio_system::experiment::periodical;
+use slimio_system::{Experiment, StackKind, WorkloadKind};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table 1: Performance degradation and memory during snapshots\n");
+    let mut table = Table::new([
+        "FS",
+        "phase",
+        "RPS (meas)",
+        "RPS (paper)",
+        "PeakMem GB (meas)",
+        "PeakMem GB (paper)",
+    ]);
+    for (stack, p) in [
+        (StackKind::KernelExt4, &paper::TABLE1[0]),
+        (StackKind::KernelF2fs, &paper::TABLE1[1]),
+    ] {
+        // Table 1's experiment runs once and relies on WAL-snapshots only
+        // (§5.1: "the experiment runs once without generating an
+        // On-Demand-Snapshot").
+        let mut e = cli.configure(Experiment::new(
+            WorkloadKind::RedisBench,
+            stack,
+            periodical(),
+        ));
+        e.on_demand_at_end = false;
+        let r = e.run();
+        summarize(p.fs, &r);
+        // Memory scales with the dataset: report at paper scale.
+        let scale_up = 1.0 / cli.scale;
+        let mem_walonly = (r.mem_base as f64 * scale_up) as u64;
+        let mem_snap = (r.mem_peak as f64 * scale_up) as u64;
+        table.row([
+            p.fs.to_string(),
+            "WAL Only".into(),
+            fmt_rps(r.wal_only_rps),
+            fmt_rps(p.wal_only_rps),
+            fmt_gb(mem_walonly),
+            format!("{:.0}", p.wal_only_mem_gb),
+        ]);
+        table.row([
+            p.fs.to_string(),
+            "Snapshot&WAL".into(),
+            fmt_rps(r.wal_snap_rps),
+            fmt_rps(p.snap_wal_rps),
+            fmt_gb(mem_snap),
+            format!("{:.0}", p.snap_wal_mem_gb),
+        ]);
+    }
+    println!("{}", table.render());
+    if cli.csv {
+        println!("{}", table.render_csv());
+    }
+}

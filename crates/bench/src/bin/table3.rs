@@ -1,0 +1,71 @@
+//! Table 3 — Overall evaluation with the Redis benchmark workload.
+//!
+//! Four configurations ({Periodical, Always} × {Baseline, SlimIO}), each
+//! reporting WAL-only RPS + memory, WAL&Snapshot RPS + memory, average
+//! RPS, snapshot time, SET p999, and SSD WAF. Expected shape: SlimIO wins
+//! WAL-only RPS by ~30 % (Periodical) to ~55 % (Always), snapshots ~25 %
+//! faster, p999 roughly halved, WAF 1.00 vs 1.14–1.24 — while WAL&Snapshot
+//! RPS barely differs (fork/CoW dominates there, §5.2).
+
+use slimio_bench::{fmt_gb, fmt_ms, fmt_rps, mean_time, paper, summarize, Cli};
+use slimio_metrics::Table;
+use slimio_system::experiment::{always, periodical};
+use slimio_system::{Experiment, StackKind, WorkloadKind};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table 3: Overall evaluation, Redis benchmark workload\n");
+    let cells = [
+        (periodical(), StackKind::KernelF2fs, &paper::TABLE3[0]),
+        (periodical(), StackKind::PassthruFdp, &paper::TABLE3[1]),
+        (always(), StackKind::KernelF2fs, &paper::TABLE3[2]),
+        (always(), StackKind::PassthruFdp, &paper::TABLE3[3]),
+    ];
+    let mut table = Table::new([
+        "config",
+        "WALonly RPS",
+        "(paper)",
+        "WALonly Mem",
+        "W&S RPS",
+        "(paper)",
+        "W&S Mem",
+        "Avg RPS",
+        "(paper)",
+        "SnapT s",
+        "(paper)",
+        "SET p999 ms",
+        "(paper)",
+        "WAF",
+        "(paper)",
+    ]);
+    for (policy, stack, p) in cells {
+        let e = cli.configure(Experiment::new(WorkloadKind::RedisBench, stack, policy));
+        let r = e.run();
+        summarize(p.label, &r);
+        let scale_up = 1.0 / cli.scale;
+        table.row([
+            p.label.to_string(),
+            fmt_rps(r.wal_only_rps),
+            fmt_rps(p.wal_only_rps),
+            fmt_gb((r.mem_base as f64 * scale_up) as u64),
+            fmt_rps(r.wal_snap_rps),
+            fmt_rps(p.wal_snap_rps),
+            fmt_gb((r.mem_peak as f64 * scale_up) as u64),
+            fmt_rps(r.avg_rps),
+            fmt_rps(p.avg_rps),
+            format!(
+                "{:.0}",
+                mean_time(&r.snapshot_times).as_secs_f64() * scale_up
+            ),
+            format!("{:.0}", p.snap_secs),
+            fmt_ms(r.set_lat.p999()),
+            format!("{:.3}", p.set_p999_ms),
+            format!("{:.2}", r.waf.waf()),
+            format!("{:.2}", p.waf),
+        ]);
+    }
+    println!("{}", table.render());
+    if cli.csv {
+        println!("{}", table.render_csv());
+    }
+}

@@ -1,0 +1,70 @@
+//! Table 4 — Overall evaluation with the YCSB-A workload.
+//!
+//! Same structure as Table 3 but with YCSB-A (8 threads, 2 KiB values,
+//! 50:50 GET:SET, Zipfian, no GC pressure) and an extra GET p999 column.
+//! Expected shape: smaller but consistent SlimIO wins under Periodical
+//! (+15 % WAL-only RPS), dramatic wins under Always (~2×), snapshot ~10 %
+//! faster, both tails lower.
+
+use slimio_bench::{fmt_gb, fmt_ms, fmt_rps, mean_time, paper, summarize, Cli};
+use slimio_metrics::Table;
+use slimio_system::experiment::{always, periodical};
+use slimio_system::{Experiment, StackKind, WorkloadKind};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table 4: Overall evaluation, YCSB-A workload\n");
+    let cells = [
+        (periodical(), StackKind::KernelF2fs, &paper::TABLE4[0]),
+        (periodical(), StackKind::PassthruFdp, &paper::TABLE4[1]),
+        (always(), StackKind::KernelF2fs, &paper::TABLE4[2]),
+        (always(), StackKind::PassthruFdp, &paper::TABLE4[3]),
+    ];
+    let mut table = Table::new([
+        "config",
+        "WALonly RPS",
+        "(paper)",
+        "W&S RPS",
+        "(paper)",
+        "Avg RPS",
+        "(paper)",
+        "Mem GB",
+        "PeakMem GB",
+        "SnapT s",
+        "(paper)",
+        "SET p999 ms",
+        "(paper)",
+        "GET p999 ms",
+        "(paper)",
+    ]);
+    for (policy, stack, p) in cells {
+        let e = cli.configure(Experiment::new(WorkloadKind::YcsbA, stack, policy));
+        let r = e.run();
+        summarize(p.label, &r);
+        let scale_up = 1.0 / cli.scale;
+        table.row([
+            p.label.to_string(),
+            fmt_rps(r.wal_only_rps),
+            fmt_rps(p.wal_only_rps),
+            fmt_rps(r.wal_snap_rps),
+            fmt_rps(p.wal_snap_rps),
+            fmt_rps(r.avg_rps),
+            fmt_rps(p.avg_rps),
+            fmt_gb((r.mem_base as f64 * scale_up) as u64),
+            fmt_gb((r.mem_peak as f64 * scale_up) as u64),
+            format!(
+                "{:.0}",
+                mean_time(&r.snapshot_times).as_secs_f64() * scale_up
+            ),
+            format!("{:.0}", p.snap_secs),
+            fmt_ms(r.set_lat.p999()),
+            format!("{:.3}", p.set_p999_ms),
+            fmt_ms(r.get_lat.p999()),
+            format!("{:.3}", p.get_p999_ms),
+        ]);
+    }
+    println!("{}", table.render());
+    if cli.csv {
+        println!("{}", table.render_csv());
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared plumbing for the table/figure reproduction binaries.
+//!
+//! Each binary (`table1` … `table5`, `fig2`, `fig4`, `fig5`, `run_all`)
+//! builds its experiments through `slimio-system`, renders its output with
+//! `slimio-metrics::Table`, and prints the paper's reference numbers next
+//! to the measured ones. [`paper`] holds every reference value, cited to
+//! its table/figure.
+//!
+//! Command-line convention (hand-rolled; no CLI dependency):
+//!
+//! * `--scale <f>` — proportional scale (default 1/16; `1.0` = the
+//!   paper's full configuration);
+//! * `--seed <n>` — RNG seed (default 42);
+//! * `--csv` — also emit CSV.
+
+#![warn(missing_docs)]
+
+use slimio_des::SimTime;
+use slimio_system::{Experiment, RunResult};
+
+pub mod paper;
+
+/// Parsed command-line options shared by all binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Cli {
+    /// Proportional scale of workload + device.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Emit CSV after the table.
+    pub csv: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: 1.0 / 16.0,
+            seed: 42,
+            csv: false,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args`. Unknown flags abort with usage help.
+    pub fn parse() -> Cli {
+        let mut cli = Cli::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    cli.scale = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a float"));
+                }
+                "--full" => cli.scale = 1.0,
+                "--seed" => {
+                    i += 1;
+                    cli.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--csv" => cli.csv = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// Applies the CLI to an experiment.
+    pub fn configure(&self, mut e: Experiment) -> Experiment {
+        e.scale = self.scale;
+        e.seed = self.seed;
+        e
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--scale f | --full] [--seed n] [--csv]");
+    std::process::exit(2);
+}
+
+/// Formats an RPS value the way the paper prints them.
+pub fn fmt_rps(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a byte count as GB with two decimals (paper's memory columns).
+pub fn fmt_gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e9)
+}
+
+/// Formats a simulated duration as seconds.
+pub fn fmt_secs(t: SimTime) -> String {
+    format!("{:.0}", t.as_secs_f64())
+}
+
+/// Formats a latency in ms with three decimals (paper's p999 columns).
+pub fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Mean of a slice of simulated durations.
+pub fn mean_time(ts: &[SimTime]) -> SimTime {
+    if ts.is_empty() {
+        return SimTime::ZERO;
+    }
+    let sum: u128 = ts.iter().map(|t| t.as_nanos() as u128).sum();
+    SimTime::from_nanos((sum / ts.len() as u128) as u64)
+}
+
+/// One-line summary of a run for progress logging.
+pub fn summarize(label: &str, r: &RunResult) {
+    eprintln!(
+        "  [{label}] ops={} dur={:.1}s walOnly={:.0} walSnap={:.0} avg={:.0} p999={:.3}ms \
+         snaps={} waf={:.3} gc={}",
+        r.ops,
+        r.duration.as_secs_f64(),
+        r.wal_only_rps,
+        r.wal_snap_rps,
+        r.avg_rps,
+        r.set_lat.p999() as f64 / 1e6,
+        r.snapshot_times.len(),
+        r.waf.waf(),
+        r.gc_passes,
+    );
+    eprintln!(
+        "      lat: p50={:.3} p99={:.3} p999={:.3} max={:.3} (ms)",
+        r.set_lat.p50() as f64 / 1e6,
+        r.set_lat.p99() as f64 / 1e6,
+        r.set_lat.p999() as f64 / 1e6,
+        r.set_lat.max() as f64 / 1e6
+    );
+    if let Some(&(m, i, d)) = r.snapshot_breakdown.first() {
+        eprintln!(
+            "      snap[0]: mem={:.0}% io={:.0}% dev={:.0}% t={:.2}s",
+            m * 100.0,
+            i * 100.0,
+            d * 100.0,
+            r.snapshot_times[0].as_secs_f64()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_gb(25_990_000_000), "25.99");
+        assert_eq!(fmt_ms(5_103_000), "5.103");
+        assert_eq!(fmt_secs(SimTime::from_secs(148)), "148");
+        assert_eq!(fmt_rps(57481.86), "57481.86");
+    }
+
+    #[test]
+    fn mean_time_of_durations() {
+        let ts = [SimTime::from_secs(100), SimTime::from_secs(200)];
+        assert_eq!(mean_time(&ts), SimTime::from_secs(150));
+        assert_eq!(mean_time(&[]), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's published numbers, cited to their tables/figures, printed
+//! alongside measured values so every binary is self-checking.
+
+/// One row of Table 3/4 (overall evaluation).
+#[derive(Clone, Copy, Debug)]
+pub struct OverallRow {
+    /// Row label, e.g. "Periodical / Baseline".
+    pub label: &'static str,
+    /// WAL-only phase RPS.
+    pub wal_only_rps: f64,
+    /// WAL-only memory, GB.
+    pub wal_only_mem_gb: f64,
+    /// WAL&Snapshot phase RPS.
+    pub wal_snap_rps: f64,
+    /// WAL&Snapshot memory, GB.
+    pub wal_snap_mem_gb: f64,
+    /// Average RPS.
+    pub avg_rps: f64,
+    /// Snapshot time, seconds.
+    pub snap_secs: f64,
+    /// SET p999, ms.
+    pub set_p999_ms: f64,
+    /// GET p999, ms (Table 4 only; 0 when not reported).
+    pub get_p999_ms: f64,
+    /// SSD WAF (Table 3 only; 0 when not reported).
+    pub waf: f64,
+}
+
+/// Table 3 — Redis benchmark workload.
+pub const TABLE3: [OverallRow; 4] = [
+    OverallRow {
+        label: "Periodical/Baseline",
+        wal_only_rps: 57481.86,
+        wal_only_mem_gb: 25.99,
+        wal_snap_rps: 42300.51,
+        wal_snap_mem_gb: 52.27,
+        avg_rps: 47993.20,
+        snap_secs: 148.0,
+        set_p999_ms: 5.103,
+        get_p999_ms: 0.0,
+        waf: 1.14,
+    },
+    OverallRow {
+        label: "Periodical/SlimIO",
+        wal_only_rps: 75675.66,
+        wal_only_mem_gb: 25.99,
+        wal_snap_rps: 42516.72,
+        wal_snap_mem_gb: 51.99,
+        avg_rps: 55042.87,
+        snap_secs: 110.0,
+        set_p999_ms: 2.351,
+        get_p999_ms: 0.0,
+        waf: 1.00,
+    },
+    OverallRow {
+        label: "Always/Baseline",
+        wal_only_rps: 21415.85,
+        wal_only_mem_gb: 25.99,
+        wal_snap_rps: 16418.87,
+        wal_snap_mem_gb: 51.98,
+        avg_rps: 19043.80,
+        snap_secs: 139.0,
+        set_p999_ms: 7.822,
+        get_p999_ms: 0.0,
+        waf: 1.24,
+    },
+    OverallRow {
+        label: "Always/SlimIO",
+        wal_only_rps: 33127.81,
+        wal_only_mem_gb: 25.99,
+        wal_snap_rps: 25541.80,
+        wal_snap_mem_gb: 51.99,
+        avg_rps: 31407.03,
+        snap_secs: 109.0,
+        set_p999_ms: 3.343,
+        get_p999_ms: 0.0,
+        waf: 1.00,
+    },
+];
+
+/// Table 4 — YCSB-A workload.
+pub const TABLE4: [OverallRow; 4] = [
+    OverallRow {
+        label: "Periodical/Baseline",
+        wal_only_rps: 65120.76,
+        wal_only_mem_gb: 27.13,
+        wal_snap_rps: 53774.30,
+        wal_snap_mem_gb: 54.26,
+        avg_rps: 61695.78,
+        snap_secs: 253.0,
+        set_p999_ms: 0.711,
+        get_p999_ms: 0.673,
+        waf: 0.0,
+    },
+    OverallRow {
+        label: "Periodical/SlimIO",
+        wal_only_rps: 74911.06,
+        wal_only_mem_gb: 27.13,
+        wal_snap_rps: 56239.39,
+        wal_snap_mem_gb: 54.26,
+        avg_rps: 68244.45,
+        snap_secs: 225.0,
+        set_p999_ms: 0.635,
+        get_p999_ms: 0.577,
+        waf: 0.0,
+    },
+    OverallRow {
+        label: "Always/Baseline",
+        wal_only_rps: 6234.89,
+        wal_only_mem_gb: 27.13,
+        wal_snap_rps: 4987.45,
+        wal_snap_mem_gb: 54.26,
+        avg_rps: 6191.70,
+        snap_secs: 239.0,
+        set_p999_ms: 2.105,
+        get_p999_ms: 2.091,
+        waf: 0.0,
+    },
+    OverallRow {
+        label: "Always/SlimIO",
+        wal_only_rps: 12536.86,
+        wal_only_mem_gb: 27.13,
+        wal_snap_rps: 10285.05,
+        wal_snap_mem_gb: 54.26,
+        avg_rps: 12028.85,
+        snap_secs: 224.0,
+        set_p999_ms: 0.950,
+        get_p999_ms: 0.933,
+        waf: 0.0,
+    },
+];
+
+/// Table 1 — RPS & peak memory with/without snapshots (baseline only).
+pub struct Table1Row {
+    /// File system.
+    pub fs: &'static str,
+    /// WAL-only RPS.
+    pub wal_only_rps: f64,
+    /// WAL-only peak memory, GB.
+    pub wal_only_mem_gb: f64,
+    /// Snapshot&WAL RPS.
+    pub snap_wal_rps: f64,
+    /// Snapshot&WAL peak memory, GB.
+    pub snap_wal_mem_gb: f64,
+}
+
+/// Table 1 reference values.
+pub const TABLE1: [Table1Row; 2] = [
+    Table1Row {
+        fs: "EXT4",
+        wal_only_rps: 59512.38,
+        wal_only_mem_gb: 26.0,
+        snap_wal_rps: 42885.10,
+        snap_wal_mem_gb: 51.0,
+    },
+    Table1Row {
+        fs: "F2FS",
+        wal_only_rps: 61327.40,
+        wal_only_mem_gb: 26.0,
+        snap_wal_rps: 43111.97,
+        snap_wal_mem_gb: 52.0,
+    },
+];
+
+/// Table 2 — CPU usage of the F2FS write path in the snapshot process.
+pub const TABLE2_SNAPSHOT_ONLY_PCT: f64 = 11.53;
+/// Table 2, Snapshot&WAL scenario.
+pub const TABLE2_SNAPSHOT_WAL_PCT: f64 = 13.61;
+
+/// Table 5 — recovery of a ~20 GB snapshot.
+pub const TABLE5_BASELINE_SECS: f64 = 55.38;
+/// Table 5 baseline throughput (MB/s).
+pub const TABLE5_BASELINE_MBPS: f64 = 374.77;
+/// Table 5 SlimIO recovery time (s).
+pub const TABLE5_SLIMIO_SECS: f64 = 44.12;
+/// Table 5 SlimIO throughput (MB/s).
+pub const TABLE5_SLIMIO_MBPS: f64 = 471.13;
+
+/// Figure 2a — share of snapshot time spent in the kernel I/O path,
+/// Snapshot-Only scenario ("approximately 15%", §3.1.1).
+pub const FIG2_KERNEL_SHARE_SNAPSHOT_ONLY: f64 = 0.15;
+
+/// Figure 5 — SlimIO+FDP steady-state RPS band.
+pub const FIG5_RPS_BAND: (f64, f64) = (70_000.0, 80_000.0);

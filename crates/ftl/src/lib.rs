@@ -1,0 +1,47 @@
+//! A page-mapped Flash Translation Layer with conventional and FDP
+//! placement modes.
+//!
+//! This crate is the heart of the emulated SSD and the substrate that makes
+//! the paper's garbage-collection story observable:
+//!
+//! * The physical space is organised into **Reclaim Units** (RUs) —
+//!   superblocks striped across dies, exactly like FEMU's "lines". In
+//!   conventional mode an RU is just an internal superblock; in FDP mode it
+//!   is the NVMe 2.0 Reclaim Unit that the host addresses through
+//!   Placement IDs.
+//! * **Conventional mode** ([`PlacementMode::Conventional`]) has a single
+//!   host append point: data from every stream (WAL, WAL-snapshots,
+//!   on-demand snapshots) interleaves into the same RU. When short-lived
+//!   WAL pages die, the long-lived snapshot pages sharing their RU must be
+//!   copied by GC → write amplification > 1 (the paper's baseline WAF of
+//!   1.14–1.24).
+//! * **FDP mode** ([`PlacementMode::Fdp`]) keeps one append point per PID.
+//!   Same-lifetime data fills whole RUs, so when a WAL generation is
+//!   trimmed its RUs become fully invalid and GC erases them without
+//!   copying → WAF = 1.00 (Table 3, SlimIO rows).
+//!
+//! The FTL is a pure state machine: it decides *where* pages go and *what*
+//! GC must copy, and reports those decisions ([`WriteResult`], [`GcPass`])
+//! to the caller, which charges NAND timing (`slimio-nand`) and moves bytes
+//! (`slimio-nvme`). This separation lets the same FTL drive both the
+//! functional emulator and the discrete-event simulation.
+
+#![warn(missing_docs)]
+
+pub mod config;
+mod core;
+pub mod ru;
+pub mod stats;
+
+pub use self::core::{CopyOp, Ftl, FtlError, GcPass, WriteResult};
+pub use config::{FtlConfig, PlacementMode};
+pub use ru::{RuId, RuPhase};
+pub use stats::FtlStats;
+
+/// Logical page number (the device's logical block size equals the NAND
+/// page size, 4 KiB, so LBA == LPN).
+pub type Lpn = u64;
+
+/// Placement identifier. PID 0 is the default stream; conventional devices
+/// ignore the value entirely.
+pub type Pid = u8;

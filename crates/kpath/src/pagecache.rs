@@ -1,0 +1,314 @@
+//! A write-back page cache with sequential readahead.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Key of a cached page: (file id, page index within file).
+pub type PageKey = (u64, u64);
+
+/// One cached page. Payload is optional so timing-only simulations can run
+/// without materializing buffers.
+#[derive(Clone, Debug)]
+struct CachedPage {
+    data: Option<Box<[u8]>>,
+    dirty: bool,
+}
+
+/// A write-back page cache.
+///
+/// Models the two behaviours that matter to the paper: (1) buffered writes
+/// are absorbed in DRAM and flushed later (so `write()` returns after a
+/// memcpy, and the device cost is paid at fsync/writeback), and (2) reads
+/// of recently written or readahead pages skip the device.
+#[derive(Debug)]
+pub struct PageCache {
+    pages: HashMap<PageKey, CachedPage>,
+    /// Dirty pages in insertion order, for FIFO writeback. May contain
+    /// stale entries for pages already cleaned via
+    /// [`PageCache::take_dirty_of_file`]; consumers skip non-dirty pages.
+    dirty_fifo: VecDeque<PageKey>,
+    /// Dirty pages per file, for O(dirty-of-file) fsync.
+    dirty_by_file: HashMap<u64, BTreeSet<u64>>,
+    /// Exact number of dirty pages.
+    dirty_count: usize,
+    /// Per-file last sequential read position, for readahead detection.
+    last_read: BTreeMap<u64, u64>,
+    /// Maximum dirty pages before writers must throttle.
+    dirty_limit: usize,
+    /// Readahead window in pages once a sequential pattern is detected.
+    pub readahead_pages: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PageCache {
+    /// Creates a cache with the given dirty-page limit.
+    pub fn new(dirty_limit: usize) -> Self {
+        PageCache {
+            pages: HashMap::new(),
+            dirty_fifo: VecDeque::new(),
+            dirty_by_file: HashMap::new(),
+            dirty_count: 0,
+            last_read: BTreeMap::new(),
+            dirty_limit,
+            readahead_pages: 32,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of dirty pages awaiting writeback.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// True when writers must block for writeback before dirtying more.
+    pub fn over_limit(&self) -> bool {
+        self.dirty_count >= self.dirty_limit
+    }
+
+    /// The dirty-page limit.
+    pub fn dirty_limit(&self) -> usize {
+        self.dirty_limit
+    }
+
+    /// Cache hit count (reads served from DRAM).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache miss count (reads that had to touch the device).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Buffers a write of one page. Returns `true` if the page was already
+    /// dirty (overwrite coalesced, no new writeback obligation).
+    pub fn write_page(&mut self, key: PageKey, data: Option<&[u8]>) -> bool {
+        let entry = self.pages.entry(key).or_insert(CachedPage {
+            data: None,
+            dirty: false,
+        });
+        if let Some(d) = data {
+            entry.data = Some(d.into());
+        }
+        if entry.dirty {
+            true
+        } else {
+            entry.dirty = true;
+            self.dirty_fifo.push_back(key);
+            self.dirty_by_file.entry(key.0).or_default().insert(key.1);
+            self.dirty_count += 1;
+            false
+        }
+    }
+
+    /// Looks up a page for reading; updates hit/miss statistics.
+    pub fn read_page(&mut self, key: PageKey) -> Option<Option<&[u8]>> {
+        match self.pages.get(&key) {
+            Some(p) => {
+                self.hits += 1;
+                Some(p.data.as_deref())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a page without touching hit/miss statistics (internal
+    /// read-modify-write in the write path).
+    pub fn peek_page(&self, key: PageKey) -> Option<Option<&[u8]>> {
+        self.pages.get(&key).map(|p| p.data.as_deref())
+    }
+
+    /// Inserts a clean page (device fill or readahead).
+    pub fn fill_page(&mut self, key: PageKey, data: Option<&[u8]>) {
+        let dirty = self.pages.get(&key).is_some_and(|p| p.dirty);
+        if dirty {
+            return; // never clobber dirty data with stale device content
+        }
+        self.pages.insert(
+            key,
+            CachedPage {
+                data: data.map(Into::into),
+                dirty: false,
+            },
+        );
+    }
+
+    /// True when the page is resident.
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.pages.contains_key(&key)
+    }
+
+    /// Pops up to `max` dirty pages (FIFO) for writeback, marking them
+    /// clean and returning their keys and payloads. Stale FIFO entries
+    /// (pages cleaned by a per-file fsync) are skipped.
+    pub fn take_dirty(&mut self, max: usize) -> Vec<(PageKey, Option<Box<[u8]>>)> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(key) = self.dirty_fifo.pop_front() else {
+                break;
+            };
+            if let Some(p) = self.pages.get_mut(&key) {
+                if p.dirty {
+                    p.dirty = false;
+                    self.dirty_count -= 1;
+                    if let Some(set) = self.dirty_by_file.get_mut(&key.0) {
+                        set.remove(&key.1);
+                    }
+                    out.push((key, p.data.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Takes all dirty pages belonging to `file` (for fsync), in page
+    /// order. O(dirty pages of that file).
+    pub fn take_dirty_of_file(&mut self, file: u64) -> Vec<(PageKey, Option<Box<[u8]>>)> {
+        let Some(set) = self.dirty_by_file.remove(&file) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(set.len());
+        for page in set {
+            let key = (file, page);
+            if let Some(p) = self.pages.get_mut(&key) {
+                if p.dirty {
+                    p.dirty = false;
+                    self.dirty_count -= 1;
+                    out.push((key, p.data.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Records a read at `page` of `file` and returns the readahead range
+    /// `(start, len)` to prefetch if the access continues a sequential run.
+    pub fn plan_readahead(&mut self, file: u64, page: u64) -> Option<(u64, u64)> {
+        let prev = self.last_read.insert(file, page);
+        match prev {
+            Some(p) if page == p + 1 => Some((page + 1, self.readahead_pages)),
+            _ if page == 0 => Some((1, self.readahead_pages)),
+            _ => None,
+        }
+    }
+
+    /// Drops every page of `file` (delete/truncate).
+    pub fn evict_file(&mut self, file: u64) {
+        self.pages.retain(|k, _| k.0 != file);
+        if let Some(set) = self.dirty_by_file.remove(&file) {
+            self.dirty_count -= set.len();
+        }
+        self.dirty_fifo.retain(|k| k.0 != file);
+        self.last_read.remove(&file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_hit() {
+        let mut pc = PageCache::new(100);
+        pc.write_page((1, 0), Some(&[7u8; 8]));
+        match pc.read_page((1, 0)) {
+            Some(Some(d)) => assert_eq!(d, &[7u8; 8]),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(pc.hits(), 1);
+        assert_eq!(pc.misses(), 0);
+    }
+
+    #[test]
+    fn miss_recorded() {
+        let mut pc = PageCache::new(10);
+        assert!(pc.read_page((1, 5)).is_none());
+        assert_eq!(pc.misses(), 1);
+    }
+
+    #[test]
+    fn overwrite_coalesces_dirty() {
+        let mut pc = PageCache::new(10);
+        assert!(!pc.write_page((1, 0), None));
+        assert!(pc.write_page((1, 0), None));
+        assert_eq!(pc.dirty_count(), 1);
+    }
+
+    #[test]
+    fn dirty_limit_throttles() {
+        let mut pc = PageCache::new(3);
+        for i in 0..3 {
+            pc.write_page((1, i), None);
+        }
+        assert!(pc.over_limit());
+        let taken = pc.take_dirty(2);
+        assert_eq!(taken.len(), 2);
+        assert!(!pc.over_limit());
+    }
+
+    #[test]
+    fn take_dirty_is_fifo_and_cleans() {
+        let mut pc = PageCache::new(10);
+        for i in 0..5 {
+            pc.write_page((1, i), None);
+        }
+        let t = pc.take_dirty(10);
+        let order: Vec<u64> = t.iter().map(|((_, p), _)| *p).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(pc.dirty_count(), 0);
+        // Pages remain resident (clean) for reads.
+        assert!(pc.contains((1, 0)));
+    }
+
+    #[test]
+    fn fsync_takes_only_that_file() {
+        let mut pc = PageCache::new(10);
+        pc.write_page((1, 0), None);
+        pc.write_page((2, 0), None);
+        pc.write_page((1, 1), None);
+        let t = pc.take_dirty_of_file(1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(pc.dirty_count(), 1);
+        assert_eq!(pc.take_dirty_of_file(2).len(), 1);
+    }
+
+    #[test]
+    fn fill_never_clobbers_dirty() {
+        let mut pc = PageCache::new(10);
+        pc.write_page((1, 0), Some(&[1]));
+        pc.fill_page((1, 0), Some(&[9]));
+        match pc.read_page((1, 0)) {
+            Some(Some(d)) => assert_eq!(d, &[1]),
+            other => panic!("{other:?}"),
+        }
+        // Dirty page still pending writeback.
+        assert_eq!(pc.dirty_count(), 1);
+    }
+
+    #[test]
+    fn readahead_detects_sequential() {
+        let mut pc = PageCache::new(10);
+        // First access at page 0 primes the window.
+        assert_eq!(pc.plan_readahead(1, 0), Some((1, 32)));
+        assert_eq!(pc.plan_readahead(1, 1), Some((2, 32)));
+        // A jump breaks the pattern.
+        assert_eq!(pc.plan_readahead(1, 10), None);
+        assert_eq!(pc.plan_readahead(1, 11), Some((12, 32)));
+    }
+
+    #[test]
+    fn evict_file_drops_everything() {
+        let mut pc = PageCache::new(10);
+        pc.write_page((1, 0), None);
+        pc.write_page((1, 1), None);
+        pc.write_page((2, 0), None);
+        pc.evict_file(1);
+        assert!(!pc.contains((1, 0)));
+        assert!(pc.contains((2, 0)));
+        assert_eq!(pc.dirty_count(), 1);
+    }
+}

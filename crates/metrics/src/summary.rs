@@ -1,0 +1,162 @@
+//! Small statistics helpers used across the evaluation harness.
+
+/// Running mean/variance accumulator (Welford's online algorithm).
+///
+/// Numerically stable for long runs, unlike the naive sum-of-squares
+/// formulation.
+#[derive(Clone, Debug, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0.0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Throughput in MB/s (decimal megabytes, as the paper reports recovery
+/// throughput) given bytes moved and elapsed nanoseconds.
+pub fn mb_per_sec(bytes: u64, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    (bytes as f64 / 1e6) / (elapsed_ns as f64 / 1e9)
+}
+
+/// Events per second given a count and elapsed nanoseconds.
+pub fn per_sec(count: u64, elapsed_ns: u64) -> f64 {
+    if elapsed_ns == 0 {
+        return 0.0;
+    }
+    count as f64 / (elapsed_ns as f64 / 1e9)
+}
+
+/// Relative change `(new - old) / old`, as a signed percentage.
+pub fn pct_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        return 0.0;
+    }
+    (new - old) / old * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_and_stddev() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        // Known dataset: population stddev 2, sample stddev = sqrt(32/7).
+        assert!((r.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_running_is_zeroed() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.stddev(), 0.0);
+        assert_eq!(r.min(), 0.0);
+        assert_eq!(r.max(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_variance_zero() {
+        let mut r = Running::new();
+        r.push(42.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.mean(), 42.0);
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        // 20 GB in 55.38 s ≈ 361 MB/s (paper Table 5 ballpark).
+        let bytes = 20_000_000_000u64;
+        let ns = 55_380_000_000u64;
+        let t = mb_per_sec(bytes, ns);
+        assert!((t - 361.14).abs() < 0.5, "{t}");
+        assert_eq!(mb_per_sec(1, 0), 0.0);
+        assert!((per_sec(57_481, 1_000_000_000) - 57_481.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pct_change_signs() {
+        assert!((pct_change(100.0, 130.0) - 30.0).abs() < 1e-12);
+        assert!((pct_change(100.0, 75.0) + 25.0).abs() < 1e-12);
+        assert_eq!(pct_change(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Plain-text and markdown table rendering.
+//!
+//! The benchmark binaries print each of the paper's tables with this
+//! renderer, so that `cargo run -p slimio-bench --bin table3` produces
+//! output directly comparable to the paper's Table 3 and paste-able into
+//! `EXPERIMENTS.md`.
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Shorter rows are padded with empty cells; longer rows
+    /// extend the table width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders as an ASCII table with a header separator.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let line = |cells: &[String], w: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(&format!("| {cell:<width$} "));
+            }
+            s.push('|');
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.header, &w));
+        out.push('|');
+        for width in &w {
+            out.push_str(&"-".repeat(width + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &w));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn render_markdown(&self) -> String {
+        // Markdown ignores padding, but aligned output stays readable raw.
+        self.render()
+    }
+
+    /// Renders as CSV (no quoting — cells must not contain commas).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond quantity as a human-readable duration.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Formats a byte quantity with binary units.
+pub fn fmt_bytes(b: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * KIB;
+    const GIB: u64 = 1024 * MIB;
+    if b >= GIB {
+        format!("{:.2}GiB", b as f64 / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.2}MiB", b as f64 / MIB as f64)
+    } else if b >= KIB {
+        format!("{:.2}KiB", b as f64 / KIB as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "23456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        assert!(s.contains("long-name"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3", "4"]);
+        let s = t.render();
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.render_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["only", "header"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(12), "12B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.00GiB");
+    }
+}

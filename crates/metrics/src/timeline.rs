@@ -1,0 +1,196 @@
+//! Fixed-interval time series for runtime metrics.
+//!
+//! The paper's Figures 4 and 5 plot requests-per-second over wall-clock
+//! time. [`Timeline`] accumulates event counts (or gauge samples) into
+//! fixed-width intervals of simulated time and can render the series as
+//! per-interval rates.
+
+/// Accumulates values into fixed-width time buckets.
+///
+/// Two usage styles:
+///
+/// * **rate mode** — call [`Timeline::add`] with event counts (e.g. one per
+///   completed request); [`Timeline::rates`] then yields events/second.
+/// * **gauge mode** — call [`Timeline::observe`] with instantaneous values
+///   (e.g. resident memory); [`Timeline::averages`] yields per-interval
+///   means.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    interval_ns: u64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given bucket width in nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `interval_ns` is zero.
+    pub fn new(interval_ns: u64) -> Self {
+        assert!(interval_ns > 0, "timeline interval must be positive");
+        Timeline {
+            interval_ns,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Bucket width in nanoseconds.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    fn bucket(&mut self, t_ns: u64) -> usize {
+        let idx = (t_ns / self.interval_ns) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        idx
+    }
+
+    /// Adds `n` events at time `t_ns` (rate mode).
+    pub fn add(&mut self, t_ns: u64, n: u64) {
+        let b = self.bucket(t_ns);
+        self.sums[b] += n as f64;
+        self.counts[b] += n;
+    }
+
+    /// Records a gauge observation `v` at time `t_ns` (gauge mode).
+    pub fn observe(&mut self, t_ns: u64, v: f64) {
+        let b = self.bucket(t_ns);
+        self.sums[b] += v;
+        self.counts[b] += 1;
+    }
+
+    /// Number of (possibly empty) buckets covering the recorded span.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Per-bucket event rate in events/second (rate mode).
+    pub fn rates(&self) -> Vec<f64> {
+        let secs = self.interval_ns as f64 / 1e9;
+        self.sums.iter().map(|s| s / secs).collect()
+    }
+
+    /// Per-bucket mean of observations; empty buckets yield 0.0 (gauge mode).
+    pub fn averages(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Start time (seconds) of bucket `idx`.
+    pub fn bucket_start_secs(&self, idx: usize) -> f64 {
+        idx as f64 * self.interval_ns as f64 / 1e9
+    }
+
+    /// Renders the series as an ASCII sparkline-style chart, `width`
+    /// characters wide, for quick terminal inspection of Figure 4/5 shapes.
+    pub fn ascii_chart(&self, height: usize) -> String {
+        let rates = self.rates();
+        let max = rates.iter().cloned().fold(0.0f64, f64::max);
+        if max == 0.0 || rates.is_empty() {
+            return String::from("(empty)\n");
+        }
+        let mut out = String::new();
+        for row in (0..height).rev() {
+            let threshold = max * (row as f64 + 0.5) / height as f64;
+            let label = if row == height - 1 {
+                format!("{max:>10.0} |")
+            } else if row == 0 {
+                format!("{:>10.0} |", 0.0)
+            } else {
+                String::from("           |")
+            };
+            out.push_str(&label);
+            for &r in &rates {
+                out.push(if r >= threshold { '#' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        out.push_str("           +");
+        out.push_str(&"-".repeat(rates.len()));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn events_land_in_correct_buckets() {
+        let mut t = Timeline::new(SEC);
+        t.add(0, 1);
+        t.add(SEC - 1, 1);
+        t.add(SEC, 5);
+        t.add(3 * SEC + 17, 2);
+        let rates = t.rates();
+        assert_eq!(rates.len(), 4);
+        assert_eq!(rates[0], 2.0);
+        assert_eq!(rates[1], 5.0);
+        assert_eq!(rates[2], 0.0);
+        assert_eq!(rates[3], 2.0);
+    }
+
+    #[test]
+    fn rates_scale_with_interval() {
+        let mut t = Timeline::new(SEC / 10); // 100 ms buckets
+        t.add(0, 50);
+        assert_eq!(t.rates()[0], 500.0); // 50 events per 100 ms = 500/s
+    }
+
+    #[test]
+    fn gauge_averages() {
+        let mut t = Timeline::new(SEC);
+        t.observe(10, 10.0);
+        t.observe(20, 30.0);
+        t.observe(SEC + 1, 7.0);
+        let avg = t.averages();
+        assert_eq!(avg[0], 20.0);
+        assert_eq!(avg[1], 7.0);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new(SEC);
+        assert!(t.is_empty());
+        assert!(t.rates().is_empty());
+        assert_eq!(t.ascii_chart(5), "(empty)\n");
+    }
+
+    #[test]
+    fn bucket_start_times() {
+        let t = Timeline::new(SEC / 2);
+        assert_eq!(t.bucket_start_secs(0), 0.0);
+        assert_eq!(t.bucket_start_secs(4), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = Timeline::new(0);
+    }
+
+    #[test]
+    fn ascii_chart_renders_bars() {
+        let mut t = Timeline::new(SEC);
+        t.add(0, 100);
+        t.add(SEC, 50);
+        let chart = t.ascii_chart(4);
+        assert!(chart.contains('#'));
+        assert!(chart.lines().count() >= 5);
+    }
+}

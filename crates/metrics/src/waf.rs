@@ -1,0 +1,125 @@
+//! Write amplification accounting.
+//!
+//! WAF (Write Amplification Factor) is the paper's SSD-lifetime metric
+//! (Table 3): the ratio of physical NAND page writes (host writes plus
+//! garbage-collection relocations) to host-issued page writes. A perfectly
+//! placed workload — which SlimIO achieves with FDP — has WAF = 1.00.
+
+/// Tracks host and device-internal write traffic, in pages.
+#[derive(Clone, Debug, Default)]
+pub struct WafTracker {
+    host_pages: u64,
+    gc_copied_pages: u64,
+    erases: u64,
+}
+
+impl WafTracker {
+    /// Creates a tracker with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` host-issued page writes.
+    pub fn host_write(&mut self, n: u64) {
+        self.host_pages += n;
+    }
+
+    /// Records `n` pages relocated by garbage collection.
+    pub fn gc_copy(&mut self, n: u64) {
+        self.gc_copied_pages += n;
+    }
+
+    /// Records a block/RU erase.
+    pub fn erase(&mut self) {
+        self.erases += 1;
+    }
+
+    /// Host-issued page writes so far.
+    pub fn host_pages(&self) -> u64 {
+        self.host_pages
+    }
+
+    /// GC-relocated page writes so far.
+    pub fn gc_copied_pages(&self) -> u64 {
+        self.gc_copied_pages
+    }
+
+    /// Number of erases performed.
+    pub fn erases(&self) -> u64 {
+        self.erases
+    }
+
+    /// Total NAND page programs (host + GC).
+    pub fn nand_pages(&self) -> u64 {
+        self.host_pages + self.gc_copied_pages
+    }
+
+    /// Current write amplification factor.
+    ///
+    /// Returns 1.0 for an idle device (no host writes yet), matching the
+    /// convention that an unused SSD has ideal amplification.
+    pub fn waf(&self) -> f64 {
+        if self.host_pages == 0 {
+            1.0
+        } else {
+            self.nand_pages() as f64 / self.host_pages as f64
+        }
+    }
+
+    /// Merges another tracker's counters into this one.
+    pub fn merge(&mut self, other: &WafTracker) {
+        self.host_pages += other.host_pages;
+        self.gc_copied_pages += other.gc_copied_pages;
+        self.erases += other.erases;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_device_has_ideal_waf() {
+        assert_eq!(WafTracker::new().waf(), 1.0);
+    }
+
+    #[test]
+    fn no_gc_means_waf_one() {
+        let mut w = WafTracker::new();
+        w.host_write(1_000_000);
+        assert_eq!(w.waf(), 1.0);
+    }
+
+    #[test]
+    fn gc_copies_raise_waf() {
+        let mut w = WafTracker::new();
+        w.host_write(100);
+        w.gc_copy(14);
+        assert!((w.waf() - 1.14).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waf_never_below_one() {
+        let mut w = WafTracker::new();
+        w.host_write(7);
+        assert!(w.waf() >= 1.0);
+        w.gc_copy(3);
+        assert!(w.waf() >= 1.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = WafTracker::new();
+        a.host_write(10);
+        a.gc_copy(2);
+        a.erase();
+        let mut b = WafTracker::new();
+        b.host_write(30);
+        b.gc_copy(6);
+        a.merge(&b);
+        assert_eq!(a.host_pages(), 40);
+        assert_eq!(a.gc_copied_pages(), 8);
+        assert_eq!(a.erases(), 1);
+        assert!((a.waf() - 1.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Physical layout and address arithmetic.
+
+/// Physical layout of the emulated NAND array.
+///
+/// The default mirrors the paper's FEMU configuration: 8 channels with
+/// 8 dies per channel, 4 KiB pages, and enough blocks for a 180 GB device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of channels.
+    pub channels: u32,
+    /// Dies per channel.
+    pub dies_per_channel: u32,
+    /// Erase blocks per die.
+    pub blocks_per_die: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Page size in bytes.
+    pub page_size: u32,
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        // 8 ch × 8 dies × 720 blocks × 1024 pages × 4 KiB = 180 GiB.
+        Geometry {
+            channels: 8,
+            dies_per_channel: 8,
+            blocks_per_die: 720,
+            pages_per_block: 1024,
+            page_size: 4096,
+        }
+    }
+}
+
+impl Geometry {
+    /// The paper's FEMU device scaled by `ratio` in capacity: same
+    /// channel/die parallelism and page size, proportionally fewer blocks
+    /// per die (rounded down to a multiple of 8 so superblock/RU sizes
+    /// divide evenly).
+    pub fn scaled(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+        let full = Geometry::default();
+        // Floor of 16 blocks/die: keeps ≥16 die-wide superblocks so FDP
+        // devices retain room for 8 placement streams plus GC headroom.
+        let blocks = ((full.blocks_per_die as f64 * ratio) as u32).max(16);
+        Geometry {
+            blocks_per_die: blocks - blocks % 8,
+            ..full
+        }
+    }
+
+    /// A small geometry for unit tests and quick experiments
+    /// (2 ch × 2 dies × 16 blocks × 64 pages × 4 KiB = 16 MiB).
+    pub fn tiny() -> Self {
+        Geometry {
+            channels: 2,
+            dies_per_channel: 2,
+            blocks_per_die: 16,
+            pages_per_block: 64,
+            page_size: 4096,
+        }
+    }
+
+    /// Total number of dies.
+    pub fn dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Total number of erase blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.dies() as u64 * self.blocks_per_die as u64
+    }
+
+    /// Total number of pages.
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_size as u64
+    }
+
+    /// Bytes per erase block.
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_size as u64
+    }
+
+    /// Flat die index for `(channel, die_in_channel)`.
+    pub fn die_index(&self, channel: u32, die: u32) -> u32 {
+        debug_assert!(channel < self.channels && die < self.dies_per_channel);
+        channel * self.dies_per_channel + die
+    }
+
+    /// Channel that a flat die index belongs to.
+    pub fn channel_of_die(&self, die_idx: u32) -> u32 {
+        die_idx / self.dies_per_channel
+    }
+
+    /// Decodes a flat block index into a [`BlockPtr`].
+    pub fn block_ptr(&self, flat: u64) -> BlockPtr {
+        debug_assert!(flat < self.total_blocks());
+        BlockPtr {
+            die: (flat / self.blocks_per_die as u64) as u32,
+            block: (flat % self.blocks_per_die as u64) as u32,
+        }
+    }
+
+    /// Encodes a [`BlockPtr`] to a flat block index.
+    pub fn block_flat(&self, b: BlockPtr) -> u64 {
+        b.die as u64 * self.blocks_per_die as u64 + b.block as u64
+    }
+
+    /// Decodes a flat page index into a [`PagePtr`].
+    pub fn page_ptr(&self, flat: u64) -> PagePtr {
+        debug_assert!(flat < self.total_pages());
+        let block_flat = flat / self.pages_per_block as u64;
+        let b = self.block_ptr(block_flat);
+        PagePtr {
+            die: b.die,
+            block: b.block,
+            page: (flat % self.pages_per_block as u64) as u32,
+        }
+    }
+
+    /// Encodes a [`PagePtr`] to a flat page index.
+    pub fn page_flat(&self, p: PagePtr) -> u64 {
+        (p.die as u64 * self.blocks_per_die as u64 + p.block as u64)
+            * self.pages_per_block as u64
+            + p.page as u64
+    }
+}
+
+/// Address of an erase block: `(die, block-within-die)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BlockPtr {
+    /// Flat die index (`channel * dies_per_channel + die`).
+    pub die: u32,
+    /// Block index within the die.
+    pub block: u32,
+}
+
+/// Address of a NAND page: `(die, block, page-within-block)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PagePtr {
+    /// Flat die index.
+    pub die: u32,
+    /// Block index within the die.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl PagePtr {
+    /// The block containing this page.
+    pub fn block_ptr(&self) -> BlockPtr {
+        BlockPtr {
+            die: self.die,
+            block: self.block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_paper_config() {
+        let g = Geometry::default();
+        assert_eq!(g.channels, 8);
+        assert_eq!(g.dies_per_channel, 8);
+        assert_eq!(g.dies(), 64);
+        assert_eq!(g.page_size, 4096);
+        // 180 GiB raw capacity.
+        assert_eq!(g.capacity_bytes(), 180 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = Geometry::tiny();
+        assert_eq!(g.dies(), 4);
+        assert_eq!(g.total_blocks(), 64);
+        assert_eq!(g.total_pages(), 64 * 64);
+        assert_eq!(g.capacity_bytes(), 16 * 1024 * 1024);
+        assert_eq!(g.block_bytes(), 256 * 1024);
+    }
+
+    #[test]
+    fn die_channel_mapping() {
+        let g = Geometry::default();
+        assert_eq!(g.die_index(0, 0), 0);
+        assert_eq!(g.die_index(1, 0), 8);
+        assert_eq!(g.die_index(7, 7), 63);
+        assert_eq!(g.channel_of_die(0), 0);
+        assert_eq!(g.channel_of_die(8), 1);
+        assert_eq!(g.channel_of_die(63), 7);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let g = Geometry::tiny();
+        for flat in 0..g.total_blocks() {
+            let p = g.block_ptr(flat);
+            assert_eq!(g.block_flat(p), flat);
+            assert!(p.die < g.dies());
+            assert!(p.block < g.blocks_per_die);
+        }
+    }
+
+    #[test]
+    fn page_roundtrip() {
+        let g = Geometry::tiny();
+        for flat in (0..g.total_pages()).step_by(7) {
+            let p = g.page_ptr(flat);
+            assert_eq!(g.page_flat(p), flat);
+            assert!(p.page < g.pages_per_block);
+        }
+    }
+
+    #[test]
+    fn page_block_relationship() {
+        let g = Geometry::tiny();
+        let p = g.page_ptr(g.pages_per_block as u64 + 3);
+        assert_eq!(p.block_ptr(), BlockPtr { die: 0, block: 1 });
+        assert_eq!(p.page, 3);
+    }
+}

@@ -1,0 +1,24 @@
+//! NAND flash geometry and timing model.
+//!
+//! This crate is the lowest layer of the emulated FDP SSD, standing in for
+//! the NAND back-end of the FEMU v9.0 emulator the paper uses. It provides:
+//!
+//! * [`Geometry`] — channels × dies × blocks × pages layout and address
+//!   arithmetic ([`PagePtr`], [`BlockPtr`]).
+//! * [`Latencies`] — NAND operation latencies; the defaults are exactly the
+//!   paper's FEMU configuration (40 µs page read, 200 µs page program,
+//!   2 ms block erase) plus a channel-transfer term.
+//! * [`NandTimer`] — a timing oracle that answers "when does this page
+//!   read/program/erase complete?" by FCFS-queueing each die and each
+//!   channel (see `slimio_des::resource`).
+//!
+//! The data plane (actual bytes) lives one layer up in `slimio-nvme`; this
+//! crate is purely about *where* pages are and *when* operations finish.
+
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod timing;
+
+pub use geometry::{BlockPtr, Geometry, PagePtr};
+pub use timing::{Latencies, NandTimer};

@@ -1,0 +1,30 @@
+//! An emulated NVMe SSD with Flexible Data Placement support.
+//!
+//! This crate plays the role of the FEMU-emulated FDP device in the paper's
+//! testbed. It binds together:
+//!
+//! * the FTL state machine (`slimio-ftl`) — placement, GC, WAF;
+//! * the NAND timing oracle (`slimio-nand`) — per-die/channel latency;
+//! * a RAM-backed **data plane** so the functional stack (WAL, snapshots,
+//!   recovery) moves real bytes and can be crash-tested.
+//!
+//! The device is synchronous-with-timestamps: callers pass the current
+//! virtual time and receive the completion time of each command. Both the
+//! io_uring emulation (`slimio-uring`) and the kernel-path model
+//! (`slimio-kpath`) sit on top of this interface, so baseline and SlimIO
+//! stacks exercise *the same device* — exactly the paper's setup, where the
+//! only difference is the path and the placement hints.
+//!
+//! The logical block size equals the NAND page size (4 KiB), so
+//! LBA == LPN throughout.
+
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod device;
+
+pub use command::{Command, Completion, DeviceError};
+pub use device::{DeviceConfig, NvmeDevice};
+
+/// Logical block size in bytes (equal to the NAND page size).
+pub const LBA_BYTES: usize = 4096;

@@ -1,0 +1,64 @@
+//! **SlimIO** — a lightweight I/O path with write isolation for FDP-backed
+//! in-memory databases.
+//!
+//! This crate is the paper's contribution (§4): instead of sending WAL and
+//! snapshot traffic through the kernel file-system path, the database
+//! writes raw LBA ranges through per-path io_uring passthru rings, tagging
+//! each stream with an FDP Placement ID so the SSD never mixes lifetimes.
+//!
+//! Components, mapping 1:1 onto the design sections:
+//!
+//! * **Snapshot–WAL separation via I/O passthru** (§4.1):
+//!   [`PassthruBackend`] owns a *WAL-Path* ring (used by the main process;
+//!   completions handled on demand) and a *Snapshot-Path* ring (SQPOLL
+//!   mode — a kernel-thread emulation polls the SQ, so the snapshot
+//!   process submits without any syscall). Redis's logging policy and
+//!   snapshot format are preserved unchanged — this crate plugs into the
+//!   `slimio-imdb` engine through the same [`PersistBackend`] seam the
+//!   baseline file backend uses.
+//! * **LBA space management** (§4.2): [`layout::Layout`] partitions the
+//!   device into a Metadata Region, a WAL Region (a circular byte log,
+//!   [`wal_log::WalLog`]), and a Snapshot Region of three slots managed by
+//!   [`slots::SlotTable`] — WAL-Snapshot, On-Demand-Snapshot, and a
+//!   Reserve slot. New snapshots always land in the Reserve slot; commit
+//!   promotes it and demotes the superseded slot to Reserve.
+//! * **Crash consistency** (§4.2): [`metadata::MetaRecord`] is written
+//!   alternately to two metadata pages with an epoch and CRC; recovery
+//!   loads the newest valid record ([`metadata::pick_newest`]), so
+//!   a crash at *any* point leaves either the old or the new state fully
+//!   intact — never a mix.
+//! * **Recovery** (§4.2, Table 5): [`readahead::RecoveryReader`] streams a
+//!   committed snapshot with large batched passthru reads (the read-ahead
+//!   buffer that beats the baseline's page-cache path).
+//! * **FDP placement** (§4.3): every write carries its stream's PID
+//!   ([`pids`]), so WAL generations, WAL-snapshots, and on-demand
+//!   snapshots occupy disjoint Reclaim Units and deallocations free whole
+//!   RUs — WAF 1.00.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod layout;
+pub mod metadata;
+pub mod readahead;
+pub mod slots;
+pub mod wal_log;
+
+pub use backend::{PassthruBackend, PassthruConfig};
+pub use layout::Layout;
+pub use slimio_imdb::backend::PersistBackend;
+
+/// FDP Placement ID assignment (§4.3): data with different lifetimes gets
+/// different PIDs so the device groups it into distinct Reclaim Units.
+pub mod pids {
+    use slimio_ftl::Pid;
+
+    /// Metadata region writes (tiny, overwritten in place).
+    pub const META: Pid = 0;
+    /// WAL appends — the shortest-lived stream.
+    pub const WAL: Pid = 1;
+    /// WAL-snapshots — invalidated by the next WAL-snapshot.
+    pub const WAL_SNAPSHOT: Pid = 2;
+    /// On-demand snapshots — long-lived backups.
+    pub const ON_DEMAND: Pid = 3;
+}

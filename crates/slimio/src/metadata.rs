@@ -1,0 +1,213 @@
+//! Crash-safe metadata records (§4.2).
+//!
+//! All LBA-space state — WAL positions, slot roles, snapshot lengths — is
+//! recorded in the Metadata Region. Updates alternate between two pages
+//! (A/B) with a monotonically increasing epoch and a CRC; recovery loads
+//! both pages and adopts the valid record with the highest epoch. A crash
+//! during a metadata write therefore leaves the previous record intact —
+//! the commit is atomic at the record level.
+
+use slimio_imdb::crc::crc32;
+use slimio_nvme::LBA_BYTES;
+
+use crate::slots::SlotRole;
+
+/// Magic prefix of a metadata page.
+pub const META_MAGIC: &[u8; 8] = b"SLIMMETA";
+
+/// The persistent state of the LBA space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetaRecord {
+    /// Commit sequence number; highest valid record wins.
+    pub epoch: u64,
+    /// Byte offset of the oldest live WAL byte (monotonic, un-wrapped).
+    pub wal_tail: u64,
+    /// Role of each snapshot slot.
+    pub roles: [SlotRole; 3],
+    /// Committed stream length (bytes) of each slot; 0 when empty.
+    pub slot_len: [u64; 3],
+}
+
+impl Default for MetaRecord {
+    fn default() -> Self {
+        MetaRecord {
+            epoch: 0,
+            wal_tail: 0,
+            roles: [SlotRole::WalSnapshot, SlotRole::OnDemand, SlotRole::Reserve],
+            slot_len: [0; 3],
+        }
+    }
+}
+
+impl MetaRecord {
+    /// Serializes to one metadata page (4 KiB, zero-padded).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(LBA_BYTES);
+        out.extend_from_slice(META_MAGIC);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.wal_tail.to_le_bytes());
+        for r in self.roles {
+            out.push(r as u8);
+        }
+        for l in self.slot_len {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.resize(LBA_BYTES, 0);
+        out
+    }
+
+    /// Parses a metadata page; `None` for anything invalid (bad magic,
+    /// bad CRC, bad role byte) — invalid pages are simply ignored by
+    /// recovery.
+    pub fn decode(page: &[u8]) -> Option<MetaRecord> {
+        if page.len() < 8 + 8 + 8 + 3 + 24 + 4 {
+            return None;
+        }
+        if &page[..8] != META_MAGIC {
+            return None;
+        }
+        let body_len = 8 + 8 + 8 + 3 + 24;
+        let stored_crc = u32::from_le_bytes(page[body_len..body_len + 4].try_into().unwrap());
+        if crc32(&page[..body_len]) != stored_crc {
+            return None;
+        }
+        let epoch = u64::from_le_bytes(page[8..16].try_into().unwrap());
+        let wal_tail = u64::from_le_bytes(page[16..24].try_into().unwrap());
+        let mut roles = [SlotRole::Reserve; 3];
+        for (i, role) in roles.iter_mut().enumerate() {
+            *role = SlotRole::from_u8(page[24 + i])?;
+        }
+        let mut slot_len = [0u64; 3];
+        for (i, len) in slot_len.iter_mut().enumerate() {
+            let at = 27 + i * 8;
+            *len = u64::from_le_bytes(page[at..at + 8].try_into().unwrap());
+        }
+        // A well-formed record has exactly one slot per role.
+        let mut seen = [false; 3];
+        for r in roles {
+            let idx = r as usize;
+            if seen[idx] {
+                return None;
+            }
+            seen[idx] = true;
+        }
+        Some(MetaRecord {
+            epoch,
+            wal_tail,
+            roles,
+            slot_len,
+        })
+    }
+
+    /// Which metadata LBA (0 or 1) this record's commit should target:
+    /// epochs alternate pages so the previous record survives the write.
+    pub fn target_lba(&self) -> u64 {
+        self.epoch % 2
+    }
+
+    /// Index of the slot currently holding `role`.
+    pub fn slot_with_role(&self, role: SlotRole) -> usize {
+        self.roles
+            .iter()
+            .position(|&r| r == role)
+            .expect("decode() guarantees one slot per role")
+    }
+}
+
+/// Loads the newest valid record from the two metadata pages.
+pub fn pick_newest(page_a: &[u8], page_b: &[u8]) -> Option<MetaRecord> {
+    match (MetaRecord::decode(page_a), MetaRecord::decode(page_b)) {
+        (Some(a), Some(b)) => Some(if a.epoch >= b.epoch { a } else { b }),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetaRecord {
+        MetaRecord {
+            epoch: 7,
+            wal_tail: 123_456_789,
+            roles: [SlotRole::Reserve, SlotRole::WalSnapshot, SlotRole::OnDemand],
+            slot_len: [0, 999, 12_345],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rec = sample();
+        let page = rec.encode();
+        assert_eq!(page.len(), LBA_BYTES);
+        assert_eq!(MetaRecord::decode(&page), Some(rec));
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let rec = sample();
+        let page = rec.encode();
+        for i in [0usize, 8, 20, 30, 50] {
+            let mut bad = page.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(MetaRecord::decode(&bad), None, "flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn zero_page_is_rejected() {
+        assert_eq!(MetaRecord::decode(&vec![0u8; LBA_BYTES]), None);
+        assert_eq!(MetaRecord::decode(&[]), None);
+    }
+
+    #[test]
+    fn duplicate_roles_rejected() {
+        let mut rec = sample();
+        rec.roles = [SlotRole::Reserve, SlotRole::Reserve, SlotRole::OnDemand];
+        let page = rec.encode();
+        assert_eq!(MetaRecord::decode(&page), None);
+    }
+
+    #[test]
+    fn newest_epoch_wins() {
+        let mut old = sample();
+        old.epoch = 5;
+        let mut new = sample();
+        new.epoch = 6;
+        assert_eq!(pick_newest(&old.encode(), &new.encode()).unwrap().epoch, 6);
+        assert_eq!(pick_newest(&new.encode(), &old.encode()).unwrap().epoch, 6);
+    }
+
+    #[test]
+    fn torn_newer_page_falls_back_to_older() {
+        let mut old = sample();
+        old.epoch = 5;
+        let mut new = sample();
+        new.epoch = 6;
+        let mut torn = new.encode();
+        torn[20] ^= 0xFF; // corrupt the newer record inside the CRC'd body
+        let picked = pick_newest(&old.encode(), &torn).unwrap();
+        assert_eq!(picked.epoch, 5);
+    }
+
+    #[test]
+    fn epochs_alternate_target_pages() {
+        let mut rec = sample();
+        rec.epoch = 4;
+        assert_eq!(rec.target_lba(), 0);
+        rec.epoch = 5;
+        assert_eq!(rec.target_lba(), 1);
+    }
+
+    #[test]
+    fn slot_with_role_lookup() {
+        let rec = sample();
+        assert_eq!(rec.slot_with_role(SlotRole::Reserve), 0);
+        assert_eq!(rec.slot_with_role(SlotRole::WalSnapshot), 1);
+        assert_eq!(rec.slot_with_role(SlotRole::OnDemand), 2);
+    }
+}

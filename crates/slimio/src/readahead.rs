@@ -1,0 +1,130 @@
+//! Batched sequential reads for recovery (§5.3).
+//!
+//! Redis recovery is a sequential scan of the snapshot followed by the WAL
+//! tail. The baseline pays a syscall per `read()` and rides the page
+//! cache; SlimIO issues large batched passthru reads into a read-ahead
+//! buffer, eliminating per-read syscalls entirely. Table 5 reports the
+//! resulting ~20 % recovery-time win; the system model charges exactly the
+//! costs this module exposes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use slimio_des::SimTime;
+use slimio_nvme::{DeviceError, NvmeDevice, LBA_BYTES};
+
+/// Streams a contiguous LBA range with large batched reads.
+pub struct RecoveryReader {
+    device: Arc<Mutex<NvmeDevice>>,
+    /// Pages fetched per device round trip.
+    pub batch_pages: u64,
+}
+
+impl RecoveryReader {
+    /// Creates a reader with the default 128-page (512 KiB) batch.
+    pub fn new(device: Arc<Mutex<NvmeDevice>>) -> Self {
+        RecoveryReader {
+            device,
+            batch_pages: 128,
+        }
+    }
+
+    /// Reads `len_bytes` starting at `lba`, returning the data (when the
+    /// device stores payloads) and the completion time.
+    pub fn read_stream(
+        &self,
+        lba: u64,
+        len_bytes: u64,
+        now: SimTime,
+    ) -> Result<(Option<Vec<u8>>, SimTime), DeviceError> {
+        let pages = len_bytes.div_ceil(LBA_BYTES as u64);
+        let mut out: Option<Vec<u8>> = None;
+        let mut t = now;
+        let mut p = 0u64;
+        while p < pages {
+            let n = self.batch_pages.min(pages - p);
+            let (c, data) = self.device.lock().read(lba + p, n, t)?;
+            t = t.max(c.done_at);
+            if let Some(d) = data {
+                out.get_or_insert_with(Vec::new).extend_from_slice(&d);
+            }
+            p += n;
+        }
+        if let Some(o) = out.as_mut() {
+            o.truncate(len_bytes as usize);
+        }
+        Ok((out, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimio_ftl::PlacementMode;
+    use slimio_nvme::DeviceConfig;
+
+    fn device_with_data(pages: u64) -> Arc<Mutex<NvmeDevice>> {
+        let dev = Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
+            PlacementMode::Conventional,
+        ))));
+        {
+            let mut d = dev.lock();
+            for p in 0..pages {
+                let fill = vec![(p % 251) as u8; LBA_BYTES];
+                d.write(p, 1, 0, Some(&fill), SimTime::ZERO).unwrap();
+            }
+        }
+        dev
+    }
+
+    #[test]
+    fn reads_back_exact_bytes() {
+        let dev = device_with_data(10);
+        let r = RecoveryReader::new(Arc::clone(&dev));
+        let (data, _) = r.read_stream(0, 10 * LBA_BYTES as u64, SimTime::ZERO).unwrap();
+        let data = data.unwrap();
+        assert_eq!(data.len(), 10 * LBA_BYTES);
+        for p in 0..10u64 {
+            assert!(data[p as usize * LBA_BYTES..(p as usize + 1) * LBA_BYTES]
+                .iter()
+                .all(|&b| b == (p % 251) as u8));
+        }
+    }
+
+    #[test]
+    fn truncates_to_requested_length() {
+        let dev = device_with_data(3);
+        let r = RecoveryReader::new(dev);
+        let (data, _) = r.read_stream(0, 5000, SimTime::ZERO).unwrap();
+        assert_eq!(data.unwrap().len(), 5000);
+    }
+
+    #[test]
+    fn batching_reduces_round_trips() {
+        // Same data, two batch sizes: the larger batch must not be slower
+        // (it exploits die parallelism within one submission wave).
+        let dev = device_with_data(64);
+        let mut small = RecoveryReader::new(Arc::clone(&dev));
+        small.batch_pages = 1;
+        let (_, t_small) = small
+            .read_stream(0, 64 * LBA_BYTES as u64, SimTime::ZERO)
+            .unwrap();
+
+        let dev2 = device_with_data(64);
+        let mut big = RecoveryReader::new(dev2);
+        big.batch_pages = 64;
+        let (_, t_big) = big
+            .read_stream(0, 64 * LBA_BYTES as u64, SimTime::ZERO)
+            .unwrap();
+        assert!(t_big < t_small, "batched {t_big} vs serial {t_small}");
+    }
+
+    #[test]
+    fn zero_length_read_is_instant() {
+        let dev = device_with_data(1);
+        let r = RecoveryReader::new(dev);
+        let (data, t) = r.read_stream(0, 0, SimTime::ZERO).unwrap();
+        assert!(data.is_none());
+        assert_eq!(t, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,177 @@
+//! The three-slot snapshot region state machine (§4.2).
+//!
+//! Since WAL-snapshots and on-demand snapshots cannot run concurrently and
+//! at most one of each exists, three physical slots suffice: one holds the
+//! current WAL-Snapshot, one the current On-Demand-Snapshot, and one is
+//! the Reserve. Every new snapshot — of either kind — is written into the
+//! Reserve slot; on success the Reserve slot is *promoted* to the
+//! snapshot's role and the slot previously holding that role is demoted to
+//! Reserve (and its LBAs deallocated). A failure at any point leaves the
+//! previous snapshot untouched.
+
+/// Role a slot currently plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SlotRole {
+    /// Holds the current WAL-snapshot.
+    WalSnapshot = 0,
+    /// Holds the current on-demand snapshot.
+    OnDemand = 1,
+    /// Empty; target of the next snapshot write.
+    Reserve = 2,
+}
+
+impl SlotRole {
+    /// Parses the on-media role byte.
+    pub fn from_u8(v: u8) -> Option<SlotRole> {
+        match v {
+            0 => Some(SlotRole::WalSnapshot),
+            1 => Some(SlotRole::OnDemand),
+            2 => Some(SlotRole::Reserve),
+            _ => None,
+        }
+    }
+}
+
+/// In-memory slot table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotTable {
+    roles: [SlotRole; 3],
+    len: [u64; 3],
+}
+
+impl Default for SlotTable {
+    fn default() -> Self {
+        SlotTable {
+            roles: [SlotRole::WalSnapshot, SlotRole::OnDemand, SlotRole::Reserve],
+            len: [0; 3],
+        }
+    }
+}
+
+impl SlotTable {
+    /// Builds a table from persisted metadata.
+    pub fn from_meta(roles: [SlotRole; 3], len: [u64; 3]) -> SlotTable {
+        SlotTable { roles, len }
+    }
+
+    /// Current roles (for metadata serialization).
+    pub fn roles(&self) -> [SlotRole; 3] {
+        self.roles
+    }
+
+    /// Current lengths (for metadata serialization).
+    pub fn lens(&self) -> [u64; 3] {
+        self.len
+    }
+
+    /// Index of the slot holding `role`.
+    pub fn slot_of(&self, role: SlotRole) -> usize {
+        self.roles
+            .iter()
+            .position(|&r| r == role)
+            .expect("table always has one slot per role")
+    }
+
+    /// The Reserve slot index — where the next snapshot writes.
+    pub fn reserve(&self) -> usize {
+        self.slot_of(SlotRole::Reserve)
+    }
+
+    /// Committed byte length of the snapshot holding `role`
+    /// (0 = no snapshot of that kind yet).
+    pub fn len_of(&self, role: SlotRole) -> u64 {
+        self.len[self.slot_of(role)]
+    }
+
+    /// Commits a snapshot of `role` that was written into the Reserve
+    /// slot: promotes Reserve → `role`, demotes the old `role` slot →
+    /// Reserve. Returns `(promoted_slot, demoted_slot)`; the demoted
+    /// slot's LBAs should be deallocated by the caller *after* the
+    /// metadata commit lands.
+    ///
+    /// # Panics
+    /// Panics if `role` is [`SlotRole::Reserve`].
+    pub fn promote(&mut self, role: SlotRole, stream_len: u64) -> (usize, usize) {
+        assert_ne!(role, SlotRole::Reserve, "cannot promote to Reserve");
+        let reserve = self.reserve();
+        let old = self.slot_of(role);
+        self.roles[reserve] = role;
+        self.len[reserve] = stream_len;
+        self.roles[old] = SlotRole::Reserve;
+        self.len[old] = 0;
+        (reserve, old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_has_one_slot_per_role() {
+        let t = SlotTable::default();
+        assert_eq!(t.slot_of(SlotRole::WalSnapshot), 0);
+        assert_eq!(t.slot_of(SlotRole::OnDemand), 1);
+        assert_eq!(t.reserve(), 2);
+    }
+
+    #[test]
+    fn promote_rotates_reserve() {
+        let mut t = SlotTable::default();
+        // First WAL-snapshot goes into slot 2 (reserve), slot 0 demotes.
+        let (promoted, demoted) = t.promote(SlotRole::WalSnapshot, 1000);
+        assert_eq!((promoted, demoted), (2, 0));
+        assert_eq!(t.slot_of(SlotRole::WalSnapshot), 2);
+        assert_eq!(t.reserve(), 0);
+        assert_eq!(t.len_of(SlotRole::WalSnapshot), 1000);
+        // Second WAL-snapshot: reserve is 0, old is 2.
+        let (p2, d2) = t.promote(SlotRole::WalSnapshot, 2000);
+        assert_eq!((p2, d2), (0, 2));
+        assert_eq!(t.len_of(SlotRole::WalSnapshot), 2000);
+        // The on-demand slot was never disturbed.
+        assert_eq!(t.slot_of(SlotRole::OnDemand), 1);
+    }
+
+    #[test]
+    fn alternating_kinds_never_collide() {
+        let mut t = SlotTable::default();
+        for i in 1..=10u64 {
+            let role = if i % 2 == 0 {
+                SlotRole::WalSnapshot
+            } else {
+                SlotRole::OnDemand
+            };
+            t.promote(role, i * 100);
+            // Invariant: exactly one slot per role.
+            let mut seen = [0; 3];
+            for r in t.roles() {
+                seen[r as usize] += 1;
+            }
+            assert_eq!(seen, [1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn from_meta_restores_state() {
+        let roles = [SlotRole::Reserve, SlotRole::WalSnapshot, SlotRole::OnDemand];
+        let t = SlotTable::from_meta(roles, [0, 42, 77]);
+        assert_eq!(t.reserve(), 0);
+        assert_eq!(t.len_of(SlotRole::WalSnapshot), 42);
+        assert_eq!(t.len_of(SlotRole::OnDemand), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot promote")]
+    fn promoting_reserve_panics() {
+        SlotTable::default().promote(SlotRole::Reserve, 1);
+    }
+
+    #[test]
+    fn role_byte_roundtrip() {
+        for r in [SlotRole::WalSnapshot, SlotRole::OnDemand, SlotRole::Reserve] {
+            assert_eq!(SlotRole::from_u8(r as u8), Some(r));
+        }
+        assert_eq!(SlotRole::from_u8(9), None);
+    }
+}

@@ -1,0 +1,316 @@
+//! The circular WAL byte log over the WAL Region (§4.2).
+//!
+//! WAL offsets are *monotonic byte positions*; the log maps them onto the
+//! region's LBAs modulo its capacity. The region between `tail` (oldest
+//! live byte) and `head` (next byte to write) is live; a WAL-snapshot
+//! commit advances `tail` to the fork point and the superseded pages are
+//! deallocated — whole Reclaim Units at a time under FDP.
+//!
+//! This type is pure bookkeeping: it emits [`PageWrite`]s (LBA + payload)
+//! and deallocation ranges; the backend submits them through the WAL-Path
+//! ring.
+
+use slimio_nvme::LBA_BYTES;
+
+/// One page-aligned write the backend must submit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageWrite {
+    /// Target LBA.
+    pub lba: u64,
+    /// Exactly 4 KiB of payload.
+    pub data: Box<[u8]>,
+}
+
+/// Errors from the WAL log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalLogError {
+    /// The live range would exceed the region (rotate the WAL first).
+    Full {
+        /// Live bytes currently held.
+        live: u64,
+        /// Region capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for WalLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalLogError::Full { live, capacity } => {
+                write!(f, "WAL region full: {live} live bytes of {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalLogError {}
+
+const PAGE: u64 = LBA_BYTES as u64;
+
+/// Circular byte log over `[region_lba, region_lba + region_lbas)`.
+#[derive(Clone, Debug)]
+pub struct WalLog {
+    region_lba: u64,
+    region_lbas: u64,
+    /// Oldest live byte (monotonic).
+    tail: u64,
+    /// Next byte to write (monotonic).
+    head: u64,
+    /// Bytes of the current partial page (`head % PAGE` bytes).
+    staged: Vec<u8>,
+}
+
+impl WalLog {
+    /// Creates an empty log over the region.
+    pub fn new(region_lba: u64, region_lbas: u64) -> Self {
+        assert!(region_lbas >= 2, "WAL region needs at least 2 LBAs");
+        WalLog {
+            region_lba,
+            region_lbas,
+            tail: 0,
+            head: 0,
+            staged: Vec::with_capacity(LBA_BYTES),
+        }
+    }
+
+    /// Restores a log after recovery: `head` bytes are live starting at
+    /// `tail`; `partial` is the content of the final partial page
+    /// (`head % 4096` bytes).
+    pub fn restore(region_lba: u64, region_lbas: u64, tail: u64, head: u64, partial: Vec<u8>) -> Self {
+        assert!(head >= tail);
+        assert_eq!(partial.len() as u64, head % PAGE);
+        WalLog {
+            region_lba,
+            region_lbas,
+            tail,
+            head,
+            staged: partial,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.region_lbas * PAGE
+    }
+
+    /// Oldest live byte offset.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Next byte offset to be written.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Live bytes (`head - tail`).
+    pub fn live_bytes(&self) -> u64 {
+        self.head - self.tail
+    }
+
+    /// LBA holding byte offset `off`.
+    pub fn lba_of(&self, off: u64) -> u64 {
+        self.region_lba + (off / PAGE) % self.region_lbas
+    }
+
+    /// Appends bytes, returning the full-page writes that became ready.
+    /// The final partial page stays staged until [`WalLog::sync_page`].
+    pub fn append(&mut self, data: &[u8]) -> Result<Vec<PageWrite>, WalLogError> {
+        // Reject before mutating: the whole append must fit with one page
+        // of slack (the page about to be overwritten must not be live).
+        let live_after = self.head - self.tail + data.len() as u64;
+        if live_after > self.capacity() - PAGE {
+            return Err(WalLogError::Full {
+                live: live_after,
+                capacity: self.capacity(),
+            });
+        }
+        let mut out = Vec::new();
+        let mut rest = data;
+        while !rest.is_empty() {
+            let room = LBA_BYTES - self.staged.len();
+            let take = room.min(rest.len());
+            self.staged.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            self.head += take as u64;
+            if self.staged.len() == LBA_BYTES {
+                let page_off = self.head - PAGE;
+                out.push(PageWrite {
+                    lba: self.lba_of(page_off),
+                    data: std::mem::take(&mut self.staged).into_boxed_slice(),
+                });
+                self.staged.reserve(LBA_BYTES);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The current partial tail page as a zero-padded write (for syncs).
+    /// Returns `None` when the head is page-aligned. The staged bytes stay
+    /// staged — the page will simply be rewritten when it fills.
+    pub fn sync_page(&self) -> Option<PageWrite> {
+        if self.staged.is_empty() {
+            return None;
+        }
+        let mut data = self.staged.clone();
+        data.resize(LBA_BYTES, 0);
+        let page_off = self.head - self.head % PAGE;
+        Some(PageWrite {
+            lba: self.lba_of(page_off),
+            data: data.into_boxed_slice(),
+        })
+    }
+
+    /// Advances the tail to `new_tail` (the WAL-snapshot fork point) and
+    /// returns the whole LBA ranges `(lba, count)` that became dead and
+    /// should be deallocated.
+    ///
+    /// # Panics
+    /// Panics if `new_tail` is outside `[tail, head]`.
+    pub fn truncate_to(&mut self, new_tail: u64) -> Vec<(u64, u64)> {
+        assert!(
+            (self.tail..=self.head).contains(&new_tail),
+            "truncate target {new_tail} outside live range [{}, {}]",
+            self.tail,
+            self.head
+        );
+        let first_dead_page = self.tail / PAGE;
+        // Only pages strictly below the new tail's page are fully dead.
+        let end_dead_page = new_tail / PAGE;
+        self.tail = new_tail;
+        ranges_of_pages(self.region_lba, self.region_lbas, first_dead_page, end_dead_page)
+    }
+}
+
+/// Converts a monotonic page range into contiguous LBA ranges, splitting
+/// at the circular wrap point.
+fn ranges_of_pages(region_lba: u64, region_lbas: u64, start_page: u64, end_page: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut p = start_page;
+    while p < end_page {
+        let slot = p % region_lbas;
+        let run = (region_lbas - slot).min(end_page - p);
+        out.push((region_lba + slot, run));
+        p += run;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> WalLog {
+        WalLog::new(100, 16) // 64 KiB region at LBA 100
+    }
+
+    #[test]
+    fn small_appends_stage_until_page_fills() {
+        let mut w = log();
+        let pages = w.append(&[1u8; 1000]).unwrap();
+        assert!(pages.is_empty());
+        assert_eq!(w.head(), 1000);
+        let pages = w.append(&[2u8; 4000]).unwrap();
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].lba, 100);
+        assert_eq!(&pages[0].data[..1000], &[1u8; 1000][..]);
+        assert_eq!(&pages[0].data[1000..], &[2u8; 3096][..]);
+        assert_eq!(w.head(), 5000);
+    }
+
+    #[test]
+    fn large_append_emits_multiple_pages() {
+        let mut w = log();
+        let pages = w.append(&[9u8; 4096 * 3 + 10]).unwrap();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0].lba, 100);
+        assert_eq!(pages[1].lba, 101);
+        assert_eq!(pages[2].lba, 102);
+    }
+
+    #[test]
+    fn sync_page_pads_and_repeats_lba() {
+        let mut w = log();
+        w.append(&[7u8; 100]).unwrap();
+        let p1 = w.sync_page().unwrap();
+        assert_eq!(p1.lba, 100);
+        assert_eq!(&p1.data[..100], &[7u8; 100][..]);
+        assert!(p1.data[100..].iter().all(|&b| b == 0));
+        // More bytes, same page: sync rewrites the same LBA.
+        w.append(&[8u8; 50]).unwrap();
+        let p2 = w.sync_page().unwrap();
+        assert_eq!(p2.lba, 100);
+        assert_eq!(&p2.data[100..150], &[8u8; 50][..]);
+        // Page-aligned head → nothing to sync.
+        w.append(&vec![1u8; 4096 - 150]).unwrap();
+        assert!(w.sync_page().is_none());
+    }
+
+    #[test]
+    fn wraps_around_the_region() {
+        let mut w = log();
+        // Fill 15 pages, truncate to free them, keep going.
+        w.append(&vec![1u8; 4096 * 15]).unwrap();
+        let dead = w.truncate_to(4096 * 15);
+        assert_eq!(dead, vec![(100, 15)]);
+        let pages = w.append(&vec![2u8; 4096 * 3]).unwrap();
+        // Offsets 15,16,17 → LBAs 115, 100, 101 (wrap).
+        assert_eq!(pages[0].lba, 115);
+        assert_eq!(pages[1].lba, 100);
+        assert_eq!(pages[2].lba, 101);
+    }
+
+    #[test]
+    fn full_region_is_rejected_atomically() {
+        let mut w = log();
+        // Capacity 64 KiB minus one page of slack = 15 pages.
+        w.append(&vec![1u8; 4096 * 15]).unwrap();
+        let head_before = w.head();
+        let err = w.append(&[1u8; 1]).unwrap_err();
+        assert!(matches!(err, WalLogError::Full { .. }));
+        assert_eq!(w.head(), head_before, "failed append must not mutate");
+        // Truncating makes room again.
+        w.truncate_to(4096 * 10);
+        w.append(&[1u8; 1]).unwrap();
+    }
+
+    #[test]
+    fn truncate_splits_wrapped_ranges() {
+        let mut w = log();
+        w.append(&vec![1u8; 4096 * 15]).unwrap();
+        w.truncate_to(4096 * 15);
+        w.append(&vec![2u8; 4096 * 10]).unwrap(); // pages 15..25 → wraps
+        let dead = w.truncate_to(4096 * 25);
+        assert_eq!(dead, vec![(115, 1), (100, 9)]);
+    }
+
+    #[test]
+    fn partial_page_at_truncate_point_survives() {
+        let mut w = log();
+        w.append(&vec![1u8; 4096 * 2 + 100]).unwrap();
+        // Fork point mid-page 2: only pages 0 and 1 are dead.
+        let dead = w.truncate_to(4096 * 2 + 50);
+        assert_eq!(dead, vec![(100, 2)]);
+        assert_eq!(w.live_bytes(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside live range")]
+    fn truncate_past_head_panics() {
+        let mut w = log();
+        w.append(&[1u8; 100]).unwrap();
+        w.truncate_to(5000);
+    }
+
+    #[test]
+    fn restore_resumes_mid_page() {
+        let staged = vec![3u8; 100];
+        let mut w = WalLog::restore(100, 16, 4096, 4096 + 100, staged);
+        assert_eq!(w.live_bytes(), 100);
+        // Appending continues in the same page.
+        let pages = w.append(&vec![4u8; 4096 - 100]).unwrap();
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].lba, 101);
+        assert_eq!(&pages[0].data[..100], &[3u8; 100][..]);
+    }
+}

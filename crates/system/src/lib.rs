@@ -1,0 +1,39 @@
+//! Whole-system model: the Redis-like engine, both I/O stacks, and the
+//! emulated SSD composed into one deterministic simulation.
+//!
+//! This crate regenerates the paper's evaluation. It models the three
+//! concurrent activities of the measured system —
+//!
+//! * the **main process**: a single-threaded query loop
+//!   serving a closed-loop client population, appending to the WAL under
+//!   either logging policy, paying fork and copy-on-write penalties while
+//!   a snapshot runs;
+//! * the **snapshot process**: iterate → compress → write,
+//!   with its own I/O path;
+//! * the **device**: the same `slimio-nvme`/`slimio-ftl` emulator used by
+//!   the functional stack, here in timing-only mode (no payloads);
+//!
+//! — as two co-simulated timelines meeting at shared FCFS resources (the
+//! file-system journal, the NAND dies), exactly the contention structure
+//! §3.1 identifies. The I/O stacks ([`stack`]) are the baseline kernel
+//! path (through `slimio-kpath`'s functional file system) and the SlimIO
+//! passthru path (ring-cost model plus the LBA-region math of the `slimio`
+//! crate).
+//!
+//! [`experiment`] defines one runner per paper table/figure;
+//! [`cost::CostModel`] holds every calibration constant with its
+//! provenance. Absolute times are calibration, but the *mechanisms* —
+//! who contends on what, when GC stalls whom — are structural.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cow;
+pub mod experiment;
+pub mod model;
+pub mod recovery;
+pub mod stack;
+
+pub use cost::CostModel;
+pub use experiment::{Experiment, StackKind, WorkloadKind};
+pub use model::{RunResult, SystemConfig, SystemModel};

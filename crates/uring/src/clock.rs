@@ -1,0 +1,95 @@
+//! A virtual clock shareable across threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use slimio_des::SimTime;
+
+/// An atomic, monotonically non-decreasing virtual clock.
+///
+/// The functional stack (real threads pushing real bytes) still timestamps
+/// device commands in virtual time, so experiments stay deterministic. The
+/// submitting side advances the clock; poller threads read it.
+#[derive(Clone, Debug, Default)]
+pub struct SharedClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SharedClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock at the given start time.
+    pub fn starting_at(t: SimTime) -> Self {
+        let c = Self::new();
+        c.ns.store(t.as_nanos(), Ordering::Relaxed);
+        c
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.ns.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock by `delta`, returning the new time.
+    pub fn advance(&self, delta: SimTime) -> SimTime {
+        let new = self
+            .ns
+            .fetch_add(delta.as_nanos(), Ordering::AcqRel)
+            .wrapping_add(delta.as_nanos());
+        SimTime::from_nanos(new)
+    }
+
+    /// Moves the clock forward to `t` if `t` is later (never backwards).
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let target = t.as_nanos();
+        let mut cur = self.ns.load(Ordering::Relaxed);
+        while cur < target {
+            match self
+                .ns
+                .compare_exchange_weak(cur, target, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimTime::from_nanos(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SharedClock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SharedClock::new();
+        c.advance(SimTime::from_micros(5));
+        c.advance(SimTime::from_micros(7));
+        assert_eq!(c.now(), SimTime::from_micros(12));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = SharedClock::starting_at(SimTime::from_secs(10));
+        c.advance_to(SimTime::from_secs(5));
+        assert_eq!(c.now(), SimTime::from_secs(10));
+        c.advance_to(SimTime::from_secs(20));
+        assert_eq!(c.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedClock::new();
+        let b = a.clone();
+        a.advance(SimTime::from_millis(3));
+        assert_eq!(b.now(), SimTime::from_millis(3));
+    }
+}

@@ -1,0 +1,73 @@
+//! Calibrated CPU costs of the passthru path.
+//!
+//! These constants parameterize the discrete-event system model
+//! (`slimio-system`). They follow the measurements in Didona et al.,
+//! *Understanding modern storage APIs* (SYSTOR '22) and the I/O passthru
+//! paper (Joshi et al., FAST '24): preparing and publishing an SQE is a
+//! few hundred nanoseconds; an `io_uring_enter` syscall costs on the order
+//! of a microsecond; with SQPOLL the submission-side syscall disappears
+//! entirely.
+
+use slimio_des::SimTime;
+
+/// CPU costs charged by the DES model for ring operations.
+#[derive(Clone, Copy, Debug)]
+pub struct PassthruCosts {
+    /// Preparing + publishing one SQE (ring push, no syscall).
+    pub sqe_prep: SimTime,
+    /// One `io_uring_enter(2)` syscall (non-SQPOLL submission or an
+    /// explicit completion wait).
+    pub enter_syscall: SimTime,
+    /// Harvesting one CQE from the completion ring.
+    pub cqe_reap: SimTime,
+    /// Poll interval of the SQPOLL kernel thread when the SQ has been idle
+    /// (adds at most this much submission latency after an idle period).
+    pub sqpoll_wakeup: SimTime,
+}
+
+impl Default for PassthruCosts {
+    fn default() -> Self {
+        PassthruCosts {
+            sqe_prep: SimTime::from_nanos(150),
+            enter_syscall: SimTime::from_nanos(1200),
+            cqe_reap: SimTime::from_nanos(100),
+            sqpoll_wakeup: SimTime::from_micros(2),
+        }
+    }
+}
+
+impl PassthruCosts {
+    /// Submission-side CPU cost of issuing `n` commands in SQPOLL mode —
+    /// pure ring pushes, no kernel transition.
+    pub fn submit_sqpoll(&self, n: u64) -> SimTime {
+        self.sqe_prep.mul(n)
+    }
+
+    /// Submission-side CPU cost of issuing `n` commands with an
+    /// `io_uring_enter` batch submission.
+    pub fn submit_enter(&self, n: u64) -> SimTime {
+        self.sqe_prep.mul(n) + self.enter_syscall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqpoll_submission_has_no_syscall_term() {
+        let c = PassthruCosts::default();
+        let with = c.submit_enter(10);
+        let without = c.submit_sqpoll(10);
+        assert_eq!(with - without, c.enter_syscall);
+    }
+
+    #[test]
+    fn batch_submission_amortizes_syscall() {
+        let c = PassthruCosts::default();
+        // 100 ops in one enter call vs 100 enter calls.
+        let batched = c.submit_enter(100);
+        let unbatched = c.submit_enter(1).mul(100);
+        assert!(batched < unbatched);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the lock-free SPSC ring: no loss, no duplication,
+//! no reordering, under arbitrary push/pop interleavings and across
+//! threads with randomized batch sizes.
+
+use proptest::prelude::*;
+use slimio_uring::spsc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn single_thread_interleaving_is_fifo(
+        script in proptest::collection::vec((any::<bool>(), 1u8..16), 1..200),
+        cap in 1usize..64,
+    ) {
+        let (p, c) = spsc::ring::<u64>(cap);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        for (is_push, n) in script {
+            for _ in 0..n {
+                if is_push {
+                    match p.push(next_push) {
+                        Ok(()) => next_push += 1,
+                        Err(v) => {
+                            prop_assert_eq!(v, next_push);
+                            // Full: occupancy equals capacity.
+                            prop_assert_eq!(p.len(), p.capacity());
+                        }
+                    }
+                } else {
+                    match c.pop() {
+                        Some(v) => {
+                            prop_assert_eq!(v, next_pop);
+                            next_pop += 1;
+                        }
+                        None => prop_assert_eq!(next_pop, next_push),
+                    }
+                }
+            }
+            prop_assert_eq!(p.len() as u64, next_push - next_pop);
+        }
+        // Drain and check the tail.
+        while let Some(v) = c.pop() {
+            prop_assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        prop_assert_eq!(next_pop, next_push);
+    }
+
+    #[test]
+    fn cross_thread_transfer_with_random_capacity(
+        cap in 1usize..128,
+        n in 1u64..3000,
+    ) {
+        let (p, c) = spsc::ring::<u64>(cap);
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match p.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < n {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(c.pop(), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Workload generators for the SlimIO evaluation.
+//!
+//! Two workloads drive every experiment in the paper (§5.1):
+//!
+//! * [`RedisBench`] — the official redis-benchmark configuration: 50
+//!   concurrent clients, 8-byte keys drawn uniformly from a 5.3 M key
+//!   range, 4096-byte values, 28 M SET operations (write-only, large
+//!   values — the "large-data, write-intensive" scenario).
+//! * [`YcsbA`] — YCSB workload A: 8 client threads, 8-byte keys, 2048-byte
+//!   values, 9 M records, 115 M operations at a 0.5 : 0.5 GET:SET ratio
+//!   with the standard Zipfian request distribution (the "small-data,
+//!   less write-intensive" scenario).
+//!
+//! Both implement [`WorkloadGen`] and support uniform scaling via
+//! [`Scale`], so experiments can run the paper's exact parameters under
+//! the discrete-event clock or a proportionally smaller configuration for
+//! quick runs — ratios (key-range : ops : value-size) are preserved.
+
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod redis_bench;
+pub mod ycsb;
+pub mod zipf;
+
+pub use ops::{Op, OpKind, WorkloadGen};
+pub use redis_bench::RedisBench;
+pub use ycsb::YcsbA;
+pub use zipf::Zipfian;
+
+/// Uniform workload scaling.
+///
+/// `Scale::full()` is the paper's configuration; `Scale::ratio(0.01)`
+/// shrinks key range and op count by 100× while keeping value sizes and
+/// mix identical, so shapes (who wins, by what factor) are preserved.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// The paper's full-size configuration.
+    pub fn full() -> Self {
+        Scale(1.0)
+    }
+
+    /// A proportional fraction of the full configuration.
+    pub fn ratio(r: f64) -> Self {
+        assert!(r > 0.0 && r <= 1.0, "scale must be in (0, 1], got {r}");
+        Scale(r)
+    }
+
+    /// Scales a count, keeping at least 1.
+    pub fn count(&self, full: u64) -> u64 {
+        ((full as f64 * self.0) as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_preserves_minimum() {
+        assert_eq!(Scale::ratio(0.000001).count(10), 1);
+        assert_eq!(Scale::full().count(28_000_000), 28_000_000);
+        assert_eq!(Scale::ratio(0.01).count(28_000_000), 280_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_rejected() {
+        Scale::ratio(0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Operation stream abstraction.
+
+/// What a client asks the database to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read a key.
+    Get,
+    /// Write a key with a value of `Op::value_len` bytes.
+    Set,
+}
+
+/// One generated operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// Operation type.
+    pub kind: OpKind,
+    /// Numeric key; encode with [`key_bytes`] when raw bytes are needed.
+    pub key: u64,
+    /// Value payload length (0 for GETs).
+    pub value_len: u32,
+}
+
+/// A deterministic stream of operations plus its nominal run length.
+pub trait WorkloadGen {
+    /// Produces the next operation.
+    fn next_op(&mut self) -> Op;
+
+    /// Total operations a full run should execute.
+    fn total_ops(&self) -> u64;
+
+    /// Number of distinct keys the workload draws from.
+    fn key_space(&self) -> u64;
+
+    /// Value size used for SETs (bytes).
+    fn value_len(&self) -> u32;
+
+    /// Number of concurrent closed-loop clients the paper configures.
+    fn clients(&self) -> u32;
+
+    /// Records to preload before the measured phase (0 = none).
+    fn preload_records(&self) -> u64 {
+        0
+    }
+}
+
+impl<W: WorkloadGen + ?Sized> WorkloadGen for Box<W> {
+    fn next_op(&mut self) -> Op {
+        (**self).next_op()
+    }
+    fn total_ops(&self) -> u64 {
+        (**self).total_ops()
+    }
+    fn key_space(&self) -> u64 {
+        (**self).key_space()
+    }
+    fn value_len(&self) -> u32 {
+        (**self).value_len()
+    }
+    fn clients(&self) -> u32 {
+        (**self).clients()
+    }
+    fn preload_records(&self) -> u64 {
+        (**self).preload_records()
+    }
+}
+
+/// Encodes a numeric key as fixed-width bytes (the paper uses 8-byte
+/// keys; redis-benchmark zero-pads a decimal counter, we use the numeric
+/// big-endian form which has identical length and distribution).
+pub fn key_bytes(key: u64) -> [u8; 8] {
+    key.to_be_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bytes_are_fixed_width_and_ordered() {
+        assert_eq!(key_bytes(0).len(), 8);
+        assert!(key_bytes(1) < key_bytes(2));
+        assert!(key_bytes(255) < key_bytes(256));
+    }
+}

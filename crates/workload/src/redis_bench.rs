@@ -1,0 +1,112 @@
+//! The redis-benchmark workload (§5.1).
+
+use slimio_des::Xoshiro256;
+
+use crate::ops::{Op, OpKind, WorkloadGen};
+use crate::Scale;
+
+/// Paper configuration: 50 clients, 5.3 M key range, 8 B keys, 4096 B
+/// values, 28 M SETs per repetition, keys uniform random.
+#[derive(Clone, Debug)]
+pub struct RedisBench {
+    rng: Xoshiro256,
+    key_range: u64,
+    value_len: u32,
+    total_ops: u64,
+    clients: u32,
+}
+
+impl RedisBench {
+    /// Full-size paper key range.
+    pub const FULL_KEY_RANGE: u64 = 5_300_000;
+    /// Full-size paper operation count (one repetition).
+    pub const FULL_OPS: u64 = 28_000_000;
+
+    /// Creates the workload at the given scale with a deterministic seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        RedisBench {
+            rng: Xoshiro256::new(seed),
+            key_range: scale.count(Self::FULL_KEY_RANGE),
+            value_len: 4096,
+            total_ops: scale.count(Self::FULL_OPS),
+            clients: 50,
+        }
+    }
+}
+
+impl WorkloadGen for RedisBench {
+    fn next_op(&mut self) -> Op {
+        Op {
+            kind: OpKind::Set,
+            key: self.rng.gen_range(self.key_range),
+            value_len: self.value_len,
+        }
+    }
+
+    fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    fn key_space(&self) -> u64 {
+        self.key_range
+    }
+
+    fn value_len(&self) -> u32 {
+        self.value_len
+    }
+
+    fn clients(&self) -> u32 {
+        self.clients
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let w = RedisBench::new(Scale::full(), 1);
+        assert_eq!(w.key_space(), 5_300_000);
+        assert_eq!(w.total_ops(), 28_000_000);
+        assert_eq!(w.value_len(), 4096);
+        assert_eq!(w.clients(), 50);
+        // Dataset ≈ 5.3M × 4KB ≈ 21.7 GB — the paper's ~20 GB snapshots.
+        let dataset = w.key_space() * w.value_len() as u64;
+        assert!((20_000_000_000..24_000_000_000).contains(&dataset));
+    }
+
+    #[test]
+    fn all_ops_are_sets_in_range() {
+        let mut w = RedisBench::new(Scale::ratio(0.001), 2);
+        for _ in 0..10_000 {
+            let op = w.next_op();
+            assert_eq!(op.kind, OpKind::Set);
+            assert!(op.key < w.key_space());
+            assert_eq!(op.value_len, 4096);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = RedisBench::new(Scale::ratio(0.01), 42);
+        let mut b = RedisBench::new(Scale::ratio(0.01), 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = RedisBench::new(Scale::ratio(0.01), 43);
+        let same = (0..1000).filter(|_| a.next_op() == c.next_op()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn keys_cover_the_space_roughly_uniformly() {
+        let mut w = RedisBench::new(Scale::ratio(0.0001), 5); // 530 keys
+        let mut seen = vec![0u32; w.key_space() as usize];
+        for _ in 0..53_000 {
+            seen[w.next_op().key as usize] += 1;
+        }
+        let hit = seen.iter().filter(|&&c| c > 0).count();
+        assert!(hit as f64 > seen.len() as f64 * 0.99);
+    }
+}

@@ -1,0 +1,140 @@
+//! The YCSB-A workload (§5.1).
+
+use slimio_des::Xoshiro256;
+
+use crate::ops::{Op, OpKind, WorkloadGen};
+use crate::zipf::Zipfian;
+use crate::Scale;
+
+/// Paper configuration: 8 threads, 9 M records, 8 B keys, 2048 B values,
+/// 115 M operations, 0.5 : 0.5 GET : SET, Zipfian request distribution.
+#[derive(Clone, Debug)]
+pub struct YcsbA {
+    rng: Xoshiro256,
+    zipf: Zipfian,
+    records: u64,
+    value_len: u32,
+    total_ops: u64,
+    clients: u32,
+}
+
+impl YcsbA {
+    /// Full-size paper record count.
+    pub const FULL_RECORDS: u64 = 9_000_000;
+    /// Full-size paper operation count.
+    pub const FULL_OPS: u64 = 115_000_000;
+
+    /// Creates the workload at the given scale with a deterministic seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let records = scale.count(Self::FULL_RECORDS);
+        YcsbA {
+            rng: Xoshiro256::new(seed),
+            zipf: Zipfian::new(records),
+            records,
+            value_len: 2048,
+            total_ops: scale.count(Self::FULL_OPS),
+            clients: 8,
+        }
+    }
+}
+
+impl WorkloadGen for YcsbA {
+    fn next_op(&mut self) -> Op {
+        let key = self.zipf.sample_scrambled(&mut self.rng);
+        let kind = if self.rng.gen_bool(0.5) {
+            OpKind::Get
+        } else {
+            OpKind::Set
+        };
+        Op {
+            kind,
+            key,
+            value_len: if kind == OpKind::Set { self.value_len } else { 0 },
+        }
+    }
+
+    fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    fn key_space(&self) -> u64 {
+        self.records
+    }
+
+    fn value_len(&self) -> u32 {
+        self.value_len
+    }
+
+    fn clients(&self) -> u32 {
+        self.clients
+    }
+
+    fn preload_records(&self) -> u64 {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let w = YcsbA::new(Scale::full(), 1);
+        assert_eq!(w.key_space(), 9_000_000);
+        assert_eq!(w.total_ops(), 115_000_000);
+        assert_eq!(w.value_len(), 2048);
+        assert_eq!(w.clients(), 8);
+        assert_eq!(w.preload_records(), 9_000_000);
+        // Dataset ≈ 9M × 2KB ≈ 18.4 GB.
+        let dataset = w.key_space() * w.value_len() as u64;
+        assert!((17_000_000_000..20_000_000_000).contains(&dataset));
+    }
+
+    #[test]
+    fn mix_is_roughly_half_and_half() {
+        let mut w = YcsbA::new(Scale::ratio(0.001), 3);
+        let n = 100_000;
+        let sets = (0..n).filter(|_| w.next_op().kind == OpKind::Set).count();
+        let frac = sets as f64 / n as f64;
+        assert!((0.48..0.52).contains(&frac), "SET share {frac}");
+    }
+
+    #[test]
+    fn gets_have_no_payload() {
+        let mut w = YcsbA::new(Scale::ratio(0.001), 4);
+        for _ in 0..1000 {
+            let op = w.next_op();
+            match op.kind {
+                OpKind::Get => assert_eq!(op.value_len, 0),
+                OpKind::Set => assert_eq!(op.value_len, 2048),
+            }
+            assert!(op.key < w.key_space());
+        }
+    }
+
+    #[test]
+    fn request_distribution_is_skewed() {
+        let mut w = YcsbA::new(Scale::ratio(0.01), 5); // 90k records
+        let mut counts = std::collections::HashMap::new();
+        let n = 200_000;
+        for _ in 0..n {
+            *counts.entry(w.next_op().key).or_insert(0u32) += 1;
+        }
+        // Zipfian: a small minority of keys should absorb a large share.
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top100: u32 = freqs.iter().take(100).sum();
+        let share = top100 as f64 / n as f64;
+        assert!(share > 0.15, "top-100 share {share}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = YcsbA::new(Scale::ratio(0.01), 42);
+        let mut b = YcsbA::new(Scale::ratio(0.01), 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

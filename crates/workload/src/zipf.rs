@@ -1,0 +1,165 @@
+//! Zipfian key-popularity distribution (YCSB's generator).
+//!
+//! Implements the Gray et al. "quick zipf" algorithm used by YCSB's
+//! `ZipfianGenerator`: constants `alpha`, `zeta(n)`, `eta` are
+//! precomputed, then each draw costs one uniform sample and a `powf`.
+//! The default exponent is YCSB's 0.99.
+
+use slimio_des::Xoshiro256;
+
+/// Zipfian generator over `[0, n)`.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `n` items with YCSB's default skew 0.99.
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, 0.99)
+    }
+
+    /// Creates a generator with a custom exponent `theta` in (0, 1).
+    pub fn with_theta(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1), got {theta}");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; integral approximation for large n (the
+        // YCSB loader computes this incrementally — the approximation is
+        // accurate to <0.1% for n ≥ 10^5 and keeps construction O(1)).
+        if n <= 100_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let base: f64 = (1..=100_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫ x^-θ dx from 100000 to n.
+            let a = 1.0 - theta;
+            base + ((n as f64).powf(a) - 100_000f64.powf(a)) / a
+        }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Draws a *scattered* key: YCSB hashes the rank so popular keys are
+    /// spread over the key space instead of clustered at low ids.
+    pub fn sample_scrambled(&self, rng: &mut Xoshiro256) -> u64 {
+        let rank = self.sample(rng);
+        fnv1a(rank) % self.n
+    }
+
+    /// Precomputed ζ(2, θ) (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// FNV-1a 64-bit hash, the scrambler YCSB uses.
+fn fnv1a(x: u64) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_in_range() {
+        let z = Zipfian::new(1000);
+        let mut rng = Xoshiro256::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+            assert!(z.sample_scrambled(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipfian::new(10_000);
+        let mut rng = Xoshiro256::new(7);
+        let n = 100_000;
+        let top10 = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        // With θ=0.99 over 10k items, the top 10 ranks get roughly
+        // zeta(10)/zeta(10000) ≈ 30% of draws.
+        let frac = top10 as f64 / n as f64;
+        assert!((0.2..0.45).contains(&frac), "top-10 share {frac}");
+    }
+
+    #[test]
+    fn theta_zero_is_uniformish() {
+        let z = Zipfian::with_theta(1000, 0.0);
+        let mut rng = Xoshiro256::new(3);
+        let n = 200_000;
+        let low = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        let frac = low as f64 / n as f64;
+        assert!((0.07..0.13).contains(&frac), "uniform share {frac}");
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_keys() {
+        let z = Zipfian::new(100_000);
+        let mut rng = Xoshiro256::new(9);
+        // The most common *scrambled* key should not be key 0.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(z.sample_scrambled(&mut rng)).or_insert(0u32) += 1;
+        }
+        let (hot, _) = counts.iter().max_by_key(|(_, c)| **c).unwrap();
+        assert_ne!(*hot, 0, "scrambler should move the hot key away from 0");
+    }
+
+    #[test]
+    fn large_n_constructs_quickly_and_samples() {
+        // The paper's YCSB config uses 9M records.
+        let z = Zipfian::new(9_000_000);
+        let mut rng = Xoshiro256::new(11);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 9_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_items_rejected() {
+        Zipfian::new(0);
+    }
+}

@@ -1,0 +1,44 @@
+//! A YCSB-A "service" comparison on the whole-system model.
+//!
+//! Runs the paper's YCSB-A workload (scaled down) against the baseline and
+//! SlimIO stacks and prints a small service-report: throughput in and out
+//! of snapshot windows, tail latencies for GETs and SETs, memory, and
+//! snapshot durations — Table 4 in miniature.
+//!
+//! ```sh
+//! cargo run --release --example ycsb_service
+//! ```
+
+use slimio_suite::metrics::Table;
+use slimio_suite::system::experiment::periodical;
+use slimio_suite::system::{Experiment, StackKind, WorkloadKind};
+
+fn main() {
+    let mut table = Table::new([
+        "stack",
+        "WAL-only RPS",
+        "snapshot RPS",
+        "avg RPS",
+        "SET p999 (ms)",
+        "GET p999 (ms)",
+        "peak mem (MB)",
+        "snapshots",
+    ]);
+    for stack in [StackKind::KernelF2fs, StackKind::PassthruFdp] {
+        let mut e = Experiment::new(WorkloadKind::YcsbA, stack, periodical());
+        e.scale = 1.0 / 128.0; // quick demo scale
+        let r = e.run();
+        table.row([
+            stack.label().to_string(),
+            format!("{:.0}", r.wal_only_rps),
+            format!("{:.0}", r.wal_snap_rps),
+            format!("{:.0}", r.avg_rps),
+            format!("{:.3}", r.set_lat.p999() as f64 / 1e6),
+            format!("{:.3}", r.get_lat.p999() as f64 / 1e6),
+            format!("{:.1}", r.mem_peak as f64 / 1e6),
+            r.snapshot_times.len().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(shape per paper Table 4: SlimIO ahead on every column, GETs included)");
+}

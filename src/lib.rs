@@ -1,0 +1,17 @@
+//! Umbrella crate for the SlimIO reproduction suite.
+//!
+//! Re-exports the workspace crates under one roof so that examples and
+//! integration tests can use a single dependency. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use slimio;
+pub use slimio_des as des;
+pub use slimio_ftl as ftl;
+pub use slimio_imdb as imdb;
+pub use slimio_kpath as kpath;
+pub use slimio_metrics as metrics;
+pub use slimio_nand as nand;
+pub use slimio_nvme as nvme;
+pub use slimio_system as system;
+pub use slimio_uring as uring;
+pub use slimio_workload as workload;

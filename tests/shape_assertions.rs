@@ -1,0 +1,127 @@
+//! Paper-shape assertions on the whole-system model.
+//!
+//! These run the discrete-event experiments at a small scale and assert
+//! the *qualitative* results the paper reports — who wins, in which
+//! direction, with what side effects — rather than absolute numbers.
+//! Table/figure binaries in `slimio-bench` print the quantitative
+//! comparison; these tests keep the shapes from regressing.
+
+use slimio_suite::system::experiment::{always, periodical};
+use slimio_suite::system::recovery::run_recovery;
+use slimio_suite::system::{Experiment, StackKind, WorkloadKind};
+
+fn quick(workload: WorkloadKind, stack: StackKind, policy: slimio_suite::system::model::Policy) -> Experiment {
+    let mut e = Experiment::new(workload, stack, policy);
+    e.scale = 1.0 / 256.0;
+    e.reps = 1;
+    e
+}
+
+#[test]
+fn slimio_wins_wal_only_rps_under_both_policies() {
+    for policy in [periodical(), always()] {
+        let base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, policy).run();
+        let slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, policy).run();
+        assert!(
+            slim.wal_only_rps > base.wal_only_rps * 1.1,
+            "{policy:?}: slimio {} must beat baseline {} by >10%",
+            slim.wal_only_rps,
+            base.wal_only_rps
+        );
+    }
+}
+
+#[test]
+fn always_log_gap_is_larger_than_periodical_gap() {
+    // §5.2: SlimIO's advantage grows under Always-Log (up to +54% vs +32%).
+    let b_peri = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical()).run();
+    let s_peri = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical()).run();
+    let b_alw = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, always()).run();
+    let s_alw = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, always()).run();
+    let gap_peri = s_peri.wal_only_rps / b_peri.wal_only_rps;
+    let gap_alw = s_alw.wal_only_rps / b_alw.wal_only_rps;
+    assert!(
+        gap_alw > gap_peri,
+        "always gap {gap_alw:.2} should exceed periodical gap {gap_peri:.2}"
+    );
+}
+
+#[test]
+fn snapshots_are_faster_on_slimio() {
+    let base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical()).run();
+    let slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical()).run();
+    let b: f64 = base.snapshot_times.iter().map(|t| t.as_secs_f64()).sum();
+    let s: f64 = slim.snapshot_times.iter().map(|t| t.as_secs_f64()).sum();
+    assert!(!base.snapshot_times.is_empty());
+    assert!(s < b, "slimio snapshots {s:.2}s must beat baseline {b:.2}s");
+}
+
+#[test]
+fn tail_latency_is_lower_on_slimio() {
+    let base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical()).run();
+    let slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical()).run();
+    assert!(
+        slim.set_lat.p999() < base.set_lat.p999(),
+        "slimio p999 {} must beat baseline {}",
+        slim.set_lat.p999(),
+        base.set_lat.p999()
+    );
+}
+
+#[test]
+fn memory_doubles_during_write_heavy_snapshots() {
+    // Table 1: peak ≈ 2× base under the write-only workload.
+    let r = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical()).run();
+    assert!(!r.snapshot_times.is_empty());
+    let ratio = r.mem_peak as f64 / r.mem_base as f64;
+    assert!(
+        ratio > 1.5,
+        "peak/base memory ratio {ratio:.2} should approach 2 during snapshots"
+    );
+}
+
+#[test]
+fn slimio_recovery_is_faster() {
+    // Table 5 shape.
+    let e_base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical());
+    let e_slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical());
+    let bytes = 80_000_000;
+    let entries = 20_000;
+    let base = run_recovery(&e_base, entries, bytes);
+    let slim = run_recovery(&e_slim, entries, bytes);
+    assert!(
+        slim.time < base.time,
+        "slimio {:?} must recover faster than baseline {:?}",
+        slim.time,
+        base.time
+    );
+}
+
+#[test]
+fn fdp_waf_is_one_conventional_is_not_under_aging() {
+    // Figure 4/5's device-level story: SlimIO on FDP never relocates;
+    // an aged conventional baseline must garbage-collect.
+    let mut base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical());
+    base.age_device = true;
+    let slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical());
+    let rb = base.run();
+    let rs = slim.run();
+    assert!(
+        rs.waf.waf() < 1.001,
+        "SlimIO+FDP WAF must stay at 1.00, got {}",
+        rs.waf.waf()
+    );
+    assert!(rb.gc_passes > 0, "aged baseline device should GC");
+}
+
+#[test]
+fn deterministic_experiments() {
+    let e = quick(WorkloadKind::YcsbA, StackKind::PassthruFdp, periodical());
+    let a = e.run();
+    let b = e.run();
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.duration, b.duration);
+    assert_eq!(a.set_lat.p999(), b.set_lat.p999());
+    assert_eq!(a.get_lat.p999(), b.get_lat.p999());
+    assert_eq!(a.waf.nand_pages(), b.waf.nand_pages());
+}
