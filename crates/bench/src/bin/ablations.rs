@@ -14,9 +14,9 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use parking_lot::Mutex;
-use slimio_bench::Cli;
+use slimio_bench::{maybe_write_perf, run_cells, Cli, PerfCell};
 use slimio_des::SimTime;
 use slimio_ftl::FtlConfig;
 use slimio_metrics::Table;
@@ -25,9 +25,11 @@ use slimio_nvme::{DeviceConfig, NvmeDevice};
 use slimio_system::experiment::periodical;
 use slimio_system::{Experiment, StackKind, WorkloadKind};
 use slimio_uring::PassthruCosts;
+use std::sync::Mutex;
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
 
     // ---- 1. SQPOLL ablation: submission CPU per command -------------
     println!("Ablation 1: SQPOLL vs enter-driven submission (CPU per command)\n");
@@ -66,7 +68,7 @@ fn main() {
             honor_deallocate: true,
         })));
         let waf = generational_pattern(&dev, true);
-        let d = dev.lock();
+        let d = dev.lock().unwrap();
         t.row([
             format!("{ru_mb} MiB"),
             cfg.total_rus().to_string(),
@@ -98,7 +100,7 @@ fn main() {
             honor_deallocate: true,
         })));
         let waf = generational_pattern(&dev, separate);
-        let d = dev.lock();
+        let d = dev.lock().unwrap();
         t.row([
             label.to_string(),
             format!("{waf:.4}"),
@@ -110,14 +112,25 @@ fn main() {
     // ---- 4. End-to-end: SQPOLL off on the snapshot path -------------
     println!("\nAblation 4: whole-system run, SlimIO vs SlimIO-without-FDP vs baseline\n");
     let mut t = Table::new(["stack", "WAL-only RPS", "avg RPS", "p999 ms", "WAF"]);
-    for stack in [
+    let cells = [
         StackKind::KernelF2fs,
         StackKind::PassthruConventional,
         StackKind::PassthruFdp,
-    ] {
-        let mut e = cli.configure(Experiment::new(WorkloadKind::RedisBench, stack, periodical()));
+    ];
+    let results = run_cells(&cells, cli.jobs, |_, &stack| {
+        let mut e = cli.configure(Experiment::new(
+            WorkloadKind::RedisBench,
+            stack,
+            periodical(),
+        ));
         e.scale = (cli.scale / 4.0).max(1.0 / 512.0); // quick cells
+        let t0 = Instant::now();
         let r = e.run();
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    for (stack, (r, wall)) in cells.iter().zip(&results) {
+        perf.push(PerfCell::from_run(stack.label(), *wall, r));
         t.row([
             stack.label().to_string(),
             format!("{:.0}", r.wal_only_rps),
@@ -127,13 +140,19 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    maybe_write_perf(
+        &cli,
+        "ablations",
+        suite_start.elapsed().as_secs_f64(),
+        &perf,
+    );
 }
 
 /// The §3.1.4 lifetime pattern: interleaved WAL + snapshot traffic with
 /// whole-generation deallocation, plus one long-lived backup stream.
 fn generational_pattern(dev: &Arc<Mutex<NvmeDevice>>, separate: bool) -> f64 {
     let t = SimTime::ZERO;
-    let capacity = dev.lock().capacity_blocks();
+    let capacity = dev.lock().unwrap().capacity_blocks();
     let layout = slimio::layout::Layout::default_for(capacity);
     let pid = |stream: u8| if separate { stream } else { 0 };
     let chunk = 64u64;
@@ -141,7 +160,7 @@ fn generational_pattern(dev: &Arc<Mutex<NvmeDevice>>, separate: bool) -> f64 {
     let snap_pages = layout.slot_lbas * 9 / 10;
     // Long-lived backup in slot 2.
     {
-        let mut d = dev.lock();
+        let mut d = dev.lock().unwrap();
         let mut p = 0;
         while p < snap_pages {
             let n = chunk.min(snap_pages - p);
@@ -153,7 +172,7 @@ fn generational_pattern(dev: &Arc<Mutex<NvmeDevice>>, separate: bool) -> f64 {
     for generation in 0..5u64 {
         let slot = layout.slot_lba((generation % 2) as usize);
         let (mut w, mut s) = (0u64, 0u64);
-        let mut d = dev.lock();
+        let mut d = dev.lock().unwrap();
         while w < gen_pages || s < snap_pages {
             if w < gen_pages {
                 let off = wal_head % layout.wal_lbas;
@@ -177,8 +196,12 @@ fn generational_pattern(dev: &Arc<Mutex<NvmeDevice>>, separate: bool) -> f64 {
             d.deallocate(layout.wal_lba + off, n, t).unwrap();
             p += n;
         }
-        d.deallocate(layout.slot_lba(((generation + 1) % 2) as usize), layout.slot_lbas, t)
-            .unwrap();
+        d.deallocate(
+            layout.slot_lba(((generation + 1) % 2) as usize),
+            layout.slot_lbas,
+            t,
+        )
+        .unwrap();
     }
-    dev.lock().waf()
+    dev.lock().unwrap().waf()
 }

@@ -11,14 +11,54 @@ use slimio_system::{Experiment, StackKind, WorkloadKind};
 fn main() {
     let cli = Cli::parse();
     let cells = [
-        (WorkloadKind::RedisBench, periodical(), StackKind::KernelF2fs, &paper::TABLE3[0]),
-        (WorkloadKind::RedisBench, periodical(), StackKind::PassthruFdp, &paper::TABLE3[1]),
-        (WorkloadKind::RedisBench, always(), StackKind::KernelF2fs, &paper::TABLE3[2]),
-        (WorkloadKind::RedisBench, always(), StackKind::PassthruFdp, &paper::TABLE3[3]),
-        (WorkloadKind::YcsbA, periodical(), StackKind::KernelF2fs, &paper::TABLE4[0]),
-        (WorkloadKind::YcsbA, periodical(), StackKind::PassthruFdp, &paper::TABLE4[1]),
-        (WorkloadKind::YcsbA, always(), StackKind::KernelF2fs, &paper::TABLE4[2]),
-        (WorkloadKind::YcsbA, always(), StackKind::PassthruFdp, &paper::TABLE4[3]),
+        (
+            WorkloadKind::RedisBench,
+            periodical(),
+            StackKind::KernelF2fs,
+            &paper::TABLE3[0],
+        ),
+        (
+            WorkloadKind::RedisBench,
+            periodical(),
+            StackKind::PassthruFdp,
+            &paper::TABLE3[1],
+        ),
+        (
+            WorkloadKind::RedisBench,
+            always(),
+            StackKind::KernelF2fs,
+            &paper::TABLE3[2],
+        ),
+        (
+            WorkloadKind::RedisBench,
+            always(),
+            StackKind::PassthruFdp,
+            &paper::TABLE3[3],
+        ),
+        (
+            WorkloadKind::YcsbA,
+            periodical(),
+            StackKind::KernelF2fs,
+            &paper::TABLE4[0],
+        ),
+        (
+            WorkloadKind::YcsbA,
+            periodical(),
+            StackKind::PassthruFdp,
+            &paper::TABLE4[1],
+        ),
+        (
+            WorkloadKind::YcsbA,
+            always(),
+            StackKind::KernelF2fs,
+            &paper::TABLE4[2],
+        ),
+        (
+            WorkloadKind::YcsbA,
+            always(),
+            StackKind::PassthruFdp,
+            &paper::TABLE4[3],
+        ),
     ];
     let mut table = Table::new([
         "cell",
@@ -36,11 +76,7 @@ fn main() {
     for (wl, policy, stack, p) in cells {
         let e = cli.configure(Experiment::new(wl, stack, policy));
         let r = e.run();
-        let label = format!(
-            "{:?}/{}",
-            wl,
-            stack.label()
-        );
+        let label = format!("{:?}/{}", wl, stack.label());
         summarize(&label, &r);
         let snap_meas = mean_time(&r.snapshot_times).as_secs_f64() / cli.scale;
         table.row([

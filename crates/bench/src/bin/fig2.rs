@@ -10,12 +10,14 @@
 //!     Paper: snapshot throughput 30–45 % below WAL throughput; WAL
 //!     stays stable under GC while snapshots degrade.
 
-use slimio_bench::{summarize, Cli};
+use std::time::Instant;
+
+use slimio_bench::{maybe_write_perf, run_cells, summarize, Cli, PerfCell};
 use slimio_metrics::Table;
 use slimio_system::experiment::periodical;
 use slimio_system::{Experiment, RunResult, StackKind, WorkloadKind};
 
-fn scenario(cli: &Cli, label: &str, wal_active: bool, gc_pressure: bool) -> RunResult {
+fn scenario(cli: &Cli, wal_active: bool, gc_pressure: bool) -> RunResult {
     let mut e = cli.configure(Experiment::new(
         WorkloadKind::RedisBench,
         StackKind::KernelF2fs,
@@ -26,7 +28,7 @@ fn scenario(cli: &Cli, label: &str, wal_active: bool, gc_pressure: bool) -> RunR
         // writes during the run contend with sustained GC.
         e.age_device = true;
     }
-    let r = if wal_active {
+    if wal_active {
         e.run()
     } else {
         // Snapshot-Only: preload the dataset, run zero queries, snapshot
@@ -41,25 +43,39 @@ fn scenario(cli: &Cli, label: &str, wal_active: bool, gc_pressure: bool) -> RunR
         let mut model = slimio_system::SystemModel::new(cfg, gen, path);
         model.preload(keys);
         model.run()
-    };
-    summarize(label, &r);
-    r
+    }
 }
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
     println!("Figure 2: snapshot duration distribution and throughput (baseline)\n");
-    let runs = [
-        ("Snapshot Only", scenario(&cli, "snapshot-only", false, false)),
-        ("Snapshot & WAL", scenario(&cli, "snapshot+wal", true, false)),
-        (
-            "Snapshot & WAL (under GC)",
-            scenario(&cli, "snapshot+wal+gc", true, true),
-        ),
+    let cells = [
+        ("Snapshot Only", "snapshot-only", false, false),
+        ("Snapshot & WAL", "snapshot+wal", true, false),
+        ("Snapshot & WAL (under GC)", "snapshot+wal+gc", true, true),
     ];
+    let results = run_cells(&cells, cli.jobs, |_, &(_, _, wal_active, gc_pressure)| {
+        let t0 = Instant::now();
+        let r = scenario(&cli, wal_active, gc_pressure);
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    let mut runs = Vec::new();
+    for ((title, label, _, _), (r, wall)) in cells.iter().zip(results.iter()) {
+        summarize(label, r);
+        perf.push(PerfCell::from_run(label, *wall, r));
+        runs.push((*title, r));
+    }
 
     println!("(a) Snapshot time distribution (fractions of snapshot duration)");
-    let mut a = Table::new(["scenario", "in-memory", "kernel I/O path", "SSD wait", "snap time s"]);
+    let mut a = Table::new([
+        "scenario",
+        "in-memory",
+        "kernel I/O path",
+        "SSD wait",
+        "snap time s",
+    ]);
     for (label, r) in &runs {
         // Average the per-snapshot breakdowns.
         let n = r.snapshot_breakdown.len().max(1) as f64;
@@ -91,8 +107,8 @@ fn main() {
     let mut b = Table::new(["scenario", "snapshot MB/s", "WAL MB/s", "snap/WAL ratio"]);
     for (label, r) in &runs {
         let snap: f64 = r.snapshot_mbps.iter().sum::<f64>() / r.snapshot_mbps.len().max(1) as f64;
-        let wal: f64 = r.wal_mbps_during_snap.iter().sum::<f64>()
-            / r.wal_mbps_during_snap.len().max(1) as f64;
+        let wal: f64 =
+            r.wal_mbps_during_snap.iter().sum::<f64>() / r.wal_mbps_during_snap.len().max(1) as f64;
         let ratio = if wal > 0.0 { snap / wal } else { f64::NAN };
         b.row([
             label.to_string(),
@@ -104,4 +120,5 @@ fn main() {
     println!("{}", b.render());
     println!("(paper: snapshot throughput 30–45% below WAL throughput when concurrent;");
     println!(" WAL throughput stable under GC, snapshot throughput degrades)");
+    maybe_write_perf(&cli, "fig2", suite_start.elapsed().as_secs_f64(), &perf);
 }

@@ -6,12 +6,18 @@
 //! SlimIO-without-FDP writes directly to the device, so GC stalls fill its
 //! ring and RPS nosedives — occasionally to ~0 — during GC windows.
 
-use slimio_bench::{summarize, Cli};
+use std::time::Instant;
+
+use slimio_bench::{maybe_write_perf, run_cells, summarize, Cli, PerfCell};
 use slimio_system::experiment::periodical;
 use slimio_system::{Experiment, RunResult, StackKind, WorkloadKind};
 
 fn run(cli: &Cli, stack: StackKind) -> RunResult {
-    let mut e = cli.configure(Experiment::new(WorkloadKind::RedisBench, stack, periodical()));
+    let mut e = cli.configure(Experiment::new(
+        WorkloadKind::RedisBench,
+        stack,
+        periodical(),
+    ));
     if stack != StackKind::KernelF2fs {
         // The paper's five repetitions leave the direct-write device at
         // high FTL utilization; the baseline hides behind the page cache
@@ -19,28 +25,36 @@ fn run(cli: &Cli, stack: StackKind) -> RunResult {
         // paths do not.
         e.device_ratio = 0.70;
     }
-    let r = e.run();
-    summarize(stack.label(), &r);
-    r
+    e.run()
 }
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
     println!("Figure 4: runtime RPS, Baseline vs SlimIO without FDP\n");
-    let base = run(&cli, StackKind::KernelF2fs);
-    let slim = run(&cli, StackKind::PassthruConventional);
+    let cells = [
+        ("Baseline", StackKind::KernelF2fs),
+        ("SlimIO w/o FDP", StackKind::PassthruConventional),
+    ];
+    let results = run_cells(&cells, cli.jobs, |_, &(_, stack)| {
+        let t0 = Instant::now();
+        let r = run(&cli, stack);
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    for ((label, stack), (r, wall)) in cells.iter().zip(&results) {
+        summarize(stack.label(), r);
+        perf.push(PerfCell::from_run(label, *wall, r));
+    }
 
-    for (label, r) in [("Baseline", &base), ("SlimIO w/o FDP", &slim)] {
+    for ((label, _), (r, _)) in cells.iter().zip(&results) {
         println!("--- {label} (RPS over time) ---");
         print!("{}", r.timeline.ascii_chart(8));
         let rates = r.timeline.rates();
         let nonzero: Vec<f64> = rates.iter().copied().filter(|&x| x > 0.0).collect();
         let min = nonzero.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = nonzero.iter().cloned().fold(0.0, f64::max);
-        let deep_dips = rates
-            .iter()
-            .filter(|&&x| x > 0.0 && x < max * 0.2)
-            .count();
+        let deep_dips = rates.iter().filter(|&&x| x > 0.0 && x < max * 0.2).count();
         println!(
             "  min={min:.0} max={max:.0} buckets<20%-of-peak={deep_dips} gc_passes={}\n",
             r.gc_passes
@@ -48,4 +62,5 @@ fn main() {
     }
     println!("(paper: baseline relatively stable through GC; SlimIO w/o FDP");
     println!(" nosedives — occasionally to zero — during GC events)");
+    maybe_write_perf(&cli, "fig4", suite_start.elapsed().as_secs_f64(), &perf);
 }

@@ -5,20 +5,34 @@
 //! copies, and RPS stays in a tight band (paper: 70–80 k) except during
 //! snapshot windows.
 
-use slimio_bench::{paper, summarize, Cli};
+use std::time::Instant;
+
+use slimio_bench::{maybe_write_perf, paper, run_cells, summarize, Cli, PerfCell};
 use slimio_system::experiment::periodical;
 use slimio_system::{Experiment, StackKind, WorkloadKind};
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
     println!("Figure 5: runtime RPS, Baseline vs SlimIO (FDP)\n");
-    for stack in [StackKind::KernelF2fs, StackKind::PassthruFdp] {
-        let mut e = cli.configure(Experiment::new(WorkloadKind::RedisBench, stack, periodical()));
+    let cells = [StackKind::KernelF2fs, StackKind::PassthruFdp];
+    let results = run_cells(&cells, cli.jobs, |_, &stack| {
+        let mut e = cli.configure(Experiment::new(
+            WorkloadKind::RedisBench,
+            stack,
+            periodical(),
+        ));
         if stack != StackKind::KernelF2fs {
             e.device_ratio = 0.70; // same pressure as Figure 4
         }
+        let t0 = Instant::now();
         let r = e.run();
-        summarize(stack.label(), &r);
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    for (stack, (r, wall)) in cells.iter().zip(&results) {
+        summarize(stack.label(), r);
+        perf.push(PerfCell::from_run(stack.label(), *wall, r));
         println!("--- {} (RPS over time) ---", stack.label());
         print!("{}", r.timeline.ascii_chart(8));
         let rates = r.timeline.rates();
@@ -37,4 +51,5 @@ fn main() {
         paper::FIG5_RPS_BAND.0,
         paper::FIG5_RPS_BAND.1
     );
+    maybe_write_perf(&cli, "fig5", suite_start.elapsed().as_secs_f64(), &perf);
 }

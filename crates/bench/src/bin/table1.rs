@@ -6,13 +6,16 @@
 //! Snapshot&WAL phases. Expected shape: RPS drops ~28–31 % during
 //! snapshots, memory roughly doubles, and F2FS edges out EXT4.
 
-use slimio_bench::{fmt_gb, fmt_rps, paper, summarize, Cli};
+use std::time::Instant;
+
+use slimio_bench::{fmt_gb, fmt_rps, maybe_write_perf, paper, run_cells, summarize, Cli, PerfCell};
 use slimio_metrics::Table;
 use slimio_system::experiment::periodical;
 use slimio_system::{Experiment, StackKind, WorkloadKind};
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
     println!("Table 1: Performance degradation and memory during snapshots\n");
     let mut table = Table::new([
         "FS",
@@ -22,10 +25,11 @@ fn main() {
         "PeakMem GB (meas)",
         "PeakMem GB (paper)",
     ]);
-    for (stack, p) in [
+    let cells = [
         (StackKind::KernelExt4, &paper::TABLE1[0]),
         (StackKind::KernelF2fs, &paper::TABLE1[1]),
-    ] {
+    ];
+    let results = run_cells(&cells, cli.jobs, |_, &(stack, _)| {
         // Table 1's experiment runs once and relies on WAL-snapshots only
         // (§5.1: "the experiment runs once without generating an
         // On-Demand-Snapshot").
@@ -35,8 +39,14 @@ fn main() {
             periodical(),
         ));
         e.on_demand_at_end = false;
+        let t0 = Instant::now();
         let r = e.run();
-        summarize(p.fs, &r);
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    for ((_, p), (r, wall)) in cells.iter().zip(&results) {
+        summarize(p.fs, r);
+        perf.push(PerfCell::from_run(p.fs, *wall, r));
         // Memory scales with the dataset: report at paper scale.
         let scale_up = 1.0 / cli.scale;
         let mem_walonly = (r.mem_base as f64 * scale_up) as u64;
@@ -62,4 +72,5 @@ fn main() {
     if cli.csv {
         println!("{}", table.render_csv());
     }
+    maybe_write_perf(&cli, "table1", suite_start.elapsed().as_secs_f64(), &perf);
 }

@@ -6,55 +6,61 @@
 //! the F2FS write path — "control path" overhead the passthru path
 //! removes entirely.
 
-use slimio_bench::{paper, summarize, Cli};
+use std::time::Instant;
+
+use slimio_bench::{maybe_write_perf, paper, run_cells, summarize, Cli, PerfCell};
 use slimio_metrics::Table;
 use slimio_system::experiment::periodical;
 use slimio_system::{Experiment, StackKind, WorkloadKind};
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
     println!("Table 2: CPU usage of the F2FS write path during snapshots\n");
     let mut table = Table::new(["scenario", "FS-path CPU % (meas)", "FS-path CPU % (paper)"]);
 
-    // Snapshot-Only: no measured query phase — preload the dataset, then
-    // take one on-demand snapshot. Modeled by running zero ops with an
-    // end-of-run snapshot over a preloaded keyspace; we reuse the YCSB
-    // preload plumbing with the redis-benchmark value size by running a
-    // minimal op count.
-    let mut only = cli.configure(Experiment::new(
-        WorkloadKind::RedisBench,
-        StackKind::KernelF2fs,
-        periodical(),
-    ));
-    only.on_demand_at_end = true;
-    // Shrink the measured phase to (almost) nothing: the snapshot then
-    // runs against an idle system.
-    only.scale = cli.scale; // dataset builds during the short run
-    let r_only = run_snapshot_only(only);
-    summarize("snapshot-only", &r_only);
-
-    let with_wal = cli.configure(Experiment::new(
-        WorkloadKind::RedisBench,
-        StackKind::KernelF2fs,
-        periodical(),
-    ));
-    let r_wal = with_wal.run();
-    summarize("snapshot&wal", &r_wal);
-
-    table.row([
-        "Snapshot Only".to_string(),
-        format!("{:.2}", r_only.fs_cpu_fraction * 100.0),
-        format!("{:.2}", paper::TABLE2_SNAPSHOT_ONLY_PCT),
-    ]);
-    table.row([
-        "Snapshot&WAL".to_string(),
-        format!("{:.2}", r_wal.fs_cpu_fraction * 100.0),
-        format!("{:.2}", paper::TABLE2_SNAPSHOT_WAL_PCT),
-    ]);
+    let cells = [
+        ("snapshot-only", paper::TABLE2_SNAPSHOT_ONLY_PCT),
+        ("snapshot&wal", paper::TABLE2_SNAPSHOT_WAL_PCT),
+    ];
+    let results = run_cells(&cells, cli.jobs, |_, &(label, _)| {
+        let mut e = cli.configure(Experiment::new(
+            WorkloadKind::RedisBench,
+            StackKind::KernelF2fs,
+            periodical(),
+        ));
+        let t0 = Instant::now();
+        let r = if label == "snapshot-only" {
+            // Snapshot-Only: no measured query phase — preload the
+            // dataset, run zero queries, then take one on-demand snapshot
+            // against the idle system.
+            e.on_demand_at_end = true;
+            run_snapshot_only(e)
+        } else {
+            e.run()
+        };
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    for ((label, paper_pct), (r, wall)) in cells.iter().zip(&results) {
+        summarize(label, r);
+        perf.push(PerfCell::from_run(label, *wall, r));
+        let row_label = if *label == "snapshot-only" {
+            "Snapshot Only"
+        } else {
+            "Snapshot&WAL"
+        };
+        table.row([
+            row_label.to_string(),
+            format!("{:.2}", r.fs_cpu_fraction * 100.0),
+            format!("{paper_pct:.2}"),
+        ]);
+    }
     println!("{}", table.render());
     if cli.csv {
         println!("{}", table.render_csv());
     }
+    maybe_write_perf(&cli, "table2", suite_start.elapsed().as_secs_f64(), &perf);
 }
 
 /// Preloads the dataset, runs zero queries, and takes one on-demand

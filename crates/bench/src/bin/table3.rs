@@ -7,13 +7,19 @@
 //! faster, p999 roughly halved, WAF 1.00 vs 1.14–1.24 — while WAL&Snapshot
 //! RPS barely differs (fork/CoW dominates there, §5.2).
 
-use slimio_bench::{fmt_gb, fmt_ms, fmt_rps, mean_time, paper, summarize, Cli};
+use std::time::Instant;
+
+use slimio_bench::{
+    fmt_gb, fmt_ms, fmt_rps, maybe_write_perf, mean_time, paper, run_cells, summarize, Cli,
+    PerfCell,
+};
 use slimio_metrics::Table;
 use slimio_system::experiment::{always, periodical};
 use slimio_system::{Experiment, StackKind, WorkloadKind};
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
     println!("Table 3: Overall evaluation, Redis benchmark workload\n");
     let cells = [
         (periodical(), StackKind::KernelF2fs, &paper::TABLE3[0]),
@@ -38,10 +44,16 @@ fn main() {
         "WAF",
         "(paper)",
     ]);
-    for (policy, stack, p) in cells {
+    let results = run_cells(&cells, cli.jobs, |_, &(policy, stack, _)| {
         let e = cli.configure(Experiment::new(WorkloadKind::RedisBench, stack, policy));
+        let t0 = Instant::now();
         let r = e.run();
-        summarize(p.label, &r);
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    for ((_, _, p), (r, wall)) in cells.iter().zip(&results) {
+        summarize(p.label, r);
+        perf.push(PerfCell::from_run(p.label, *wall, r));
         let scale_up = 1.0 / cli.scale;
         table.row([
             p.label.to_string(),
@@ -68,4 +80,5 @@ fn main() {
     if cli.csv {
         println!("{}", table.render_csv());
     }
+    maybe_write_perf(&cli, "table3", suite_start.elapsed().as_secs_f64(), &perf);
 }

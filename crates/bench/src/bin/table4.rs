@@ -6,13 +6,19 @@
 //! (+15 % WAL-only RPS), dramatic wins under Always (~2×), snapshot ~10 %
 //! faster, both tails lower.
 
-use slimio_bench::{fmt_gb, fmt_ms, fmt_rps, mean_time, paper, summarize, Cli};
+use std::time::Instant;
+
+use slimio_bench::{
+    fmt_gb, fmt_ms, fmt_rps, maybe_write_perf, mean_time, paper, run_cells, summarize, Cli,
+    PerfCell,
+};
 use slimio_metrics::Table;
 use slimio_system::experiment::{always, periodical};
 use slimio_system::{Experiment, StackKind, WorkloadKind};
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
     println!("Table 4: Overall evaluation, YCSB-A workload\n");
     let cells = [
         (periodical(), StackKind::KernelF2fs, &paper::TABLE4[0]),
@@ -37,10 +43,16 @@ fn main() {
         "GET p999 ms",
         "(paper)",
     ]);
-    for (policy, stack, p) in cells {
+    let results = run_cells(&cells, cli.jobs, |_, &(policy, stack, _)| {
         let e = cli.configure(Experiment::new(WorkloadKind::YcsbA, stack, policy));
+        let t0 = Instant::now();
         let r = e.run();
-        summarize(p.label, &r);
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    for ((_, _, p), (r, wall)) in cells.iter().zip(&results) {
+        summarize(p.label, r);
+        perf.push(PerfCell::from_run(p.label, *wall, r));
         let scale_up = 1.0 / cli.scale;
         table.row([
             p.label.to_string(),
@@ -67,4 +79,5 @@ fn main() {
     if cli.csv {
         println!("{}", table.render_csv());
     }
+    maybe_write_perf(&cli, "table4", suite_start.elapsed().as_secs_f64(), &perf);
 }

@@ -5,7 +5,9 @@
 //! read-ahead buffer. Paper: 55.38 s / 374.77 MB/s vs 44.12 s /
 //! 471.13 MB/s (~20 % faster).
 
-use slimio_bench::{paper, Cli};
+use std::time::Instant;
+
+use slimio_bench::{maybe_write_perf, paper, run_cells, Cli, PerfCell};
 use slimio_metrics::Table;
 use slimio_system::experiment::periodical;
 use slimio_system::recovery::run_recovery;
@@ -13,6 +15,7 @@ use slimio_system::{Experiment, StackKind, WorkloadKind};
 
 fn main() {
     let cli = Cli::parse();
+    let suite_start = Instant::now();
     println!("Table 5: Recovery evaluation on snapshot\n");
     // The paper's snapshot: ~20 GB covering 5.3 M entries; scaled.
     let stream_bytes = (20.0e9 * cli.scale) as u64;
@@ -24,7 +27,7 @@ fn main() {
         "MB/s (meas)",
         "(paper)",
     ]);
-    for (stack, p_secs, p_mbps) in [
+    let cells = [
         (
             StackKind::KernelF2fs,
             paper::TABLE5_BASELINE_SECS,
@@ -35,9 +38,29 @@ fn main() {
             paper::TABLE5_SLIMIO_SECS,
             paper::TABLE5_SLIMIO_MBPS,
         ),
-    ] {
-        let e = cli.configure(Experiment::new(WorkloadKind::RedisBench, stack, periodical()));
+    ];
+    let results = run_cells(&cells, cli.jobs, |_, &(stack, _, _)| {
+        let e = cli.configure(Experiment::new(
+            WorkloadKind::RedisBench,
+            stack,
+            periodical(),
+        ));
+        let t0 = Instant::now();
         let r = run_recovery(&e, entries, stream_bytes);
+        (r, t0.elapsed().as_secs_f64())
+    });
+    let mut perf = Vec::new();
+    for ((stack, p_secs, p_mbps), (r, wall)) in cells.iter().zip(&results) {
+        // Recovery runs have no query phase, so the RunResult-derived
+        // perf fields stay zero; wall-clock is the interesting number.
+        perf.push(PerfCell {
+            label: stack.label().to_string(),
+            wall_secs: *wall,
+            events: 0,
+            avg_rps: 0.0,
+            p999_ms: 0.0,
+            waf: 0.0,
+        });
         table.row([
             stack.label().to_string(),
             format!("{:.2}", r.time.as_secs_f64() / cli.scale),
@@ -50,4 +73,5 @@ fn main() {
     if cli.csv {
         println!("{}", table.render_csv());
     }
+    maybe_write_perf(&cli, "table5", suite_start.elapsed().as_secs_f64(), &perf);
 }

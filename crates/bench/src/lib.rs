@@ -11,9 +11,17 @@
 //! * `--scale <f>` — proportional scale (default 1/16; `1.0` = the
 //!   paper's full configuration);
 //! * `--seed <n>` — RNG seed (default 42);
-//! * `--csv` — also emit CSV.
+//! * `--csv` — also emit CSV;
+//! * `--jobs <n>` — run independent experiment cells (or, for `run_all`,
+//!   whole suites) on `n` worker threads;
+//! * `--quick` — CI smoke mode: clamps the scale to 1/64;
+//! * `--perf-json <path>` — write machine-readable per-experiment
+//!   performance data (wall-clock, simulated events/sec, RPS, p999, WAF).
 
 #![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use slimio_des::SimTime;
 use slimio_system::{Experiment, RunResult};
@@ -21,7 +29,7 @@ use slimio_system::{Experiment, RunResult};
 pub mod paper;
 
 /// Parsed command-line options shared by all binaries.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Cli {
     /// Proportional scale of workload + device.
     pub scale: f64,
@@ -29,6 +37,12 @@ pub struct Cli {
     pub seed: u64,
     /// Emit CSV after the table.
     pub csv: bool,
+    /// Worker threads for independent experiment cells.
+    pub jobs: usize,
+    /// CI smoke mode (clamped scale).
+    pub quick: bool,
+    /// Where to write machine-readable perf data, if anywhere.
+    pub perf_json: Option<String>,
 }
 
 impl Default for Cli {
@@ -37,6 +51,9 @@ impl Default for Cli {
             scale: 1.0 / 16.0,
             seed: 42,
             csv: false,
+            jobs: 1,
+            quick: false,
+            perf_json: None,
         }
     }
 }
@@ -65,10 +82,30 @@ impl Cli {
                         .unwrap_or_else(|| usage("--seed needs an integer"));
                 }
                 "--csv" => cli.csv = true,
+                "--jobs" => {
+                    i += 1;
+                    cli.jobs = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+                }
+                "--quick" => cli.quick = true,
+                "--perf-json" => {
+                    i += 1;
+                    cli.perf_json = Some(
+                        args.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--perf-json needs a path")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
             i += 1;
+        }
+        if cli.quick {
+            cli.scale = cli.scale.min(1.0 / 64.0);
         }
         cli
     }
@@ -85,8 +122,133 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale f | --full] [--seed n] [--csv]");
+    eprintln!(
+        "usage: <bin> [--scale f | --full] [--seed n] [--csv] [--jobs n] [--quick] \
+         [--perf-json path]"
+    );
     std::process::exit(2);
+}
+
+/// Runs `f` over `items`, fanning out across `jobs` worker threads, and
+/// returns the results **in item order** regardless of completion order.
+/// Identical to a serial `map` when `jobs <= 1` — including, because every
+/// experiment carries its own seed, identical output values.
+pub fn run_cells<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *results[i].lock().unwrap() = Some(f(i, item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// One experiment's worth of machine-readable performance data.
+#[derive(Clone, Debug)]
+pub struct PerfCell {
+    /// Experiment label (table row / figure series).
+    pub label: String,
+    /// Host wall-clock seconds spent simulating this cell.
+    pub wall_secs: f64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Average requests/sec the simulated system achieved.
+    pub avg_rps: f64,
+    /// SET p999 latency in milliseconds.
+    pub p999_ms: f64,
+    /// Device write amplification.
+    pub waf: f64,
+}
+
+impl PerfCell {
+    /// Builds a cell from a finished run.
+    pub fn from_run(label: &str, wall_secs: f64, r: &RunResult) -> PerfCell {
+        PerfCell {
+            label: label.to_string(),
+            wall_secs,
+            events: r.events,
+            avg_rps: r.avg_rps,
+            p999_ms: r.set_lat.p999() as f64 / 1e6,
+            waf: r.waf.waf(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":{},\"wall_secs\":{:.4},\"events\":{},\"events_per_sec\":{:.0},\
+             \"avg_rps\":{:.2},\"set_p999_ms\":{:.3},\"waf\":{:.4}}}",
+            json_string(&self.label),
+            self.wall_secs,
+            self.events,
+            self.events as f64 / self.wall_secs.max(1e-9),
+            self.avg_rps,
+            self.p999_ms,
+            self.waf
+        )
+    }
+}
+
+/// Minimal JSON string escaping (labels are plain ASCII in practice).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders one suite's perf record as a JSON object.
+pub fn perf_suite_json(binary: &str, wall_secs: f64, cells: &[PerfCell]) -> String {
+    let events: u64 = cells.iter().map(|c| c.events).sum();
+    let mut s = format!(
+        "{{\"suite\":{},\"wall_secs\":{:.4},\"events\":{},\"events_per_sec\":{:.0},\
+         \"experiments\":[",
+        json_string(binary),
+        wall_secs,
+        events,
+        events as f64 / wall_secs.max(1e-9)
+    );
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&c.to_json());
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Writes the suite perf record when `--perf-json` was given. Errors are
+/// fatal: a CI consumer asked for the file.
+pub fn maybe_write_perf(cli: &Cli, binary: &str, wall_secs: f64, cells: &[PerfCell]) {
+    if let Some(path) = &cli.perf_json {
+        std::fs::write(path, perf_suite_json(binary, wall_secs, cells) + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
 }
 
 /// Formats an RPS value the way the paper prints them.
@@ -168,5 +330,57 @@ mod tests {
         let ts = [SimTime::from_secs(100), SimTime::from_secs(200)];
         assert_eq!(mean_time(&ts), SimTime::from_secs(150));
         assert_eq!(mean_time(&[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_cells_preserves_item_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |i: usize, &x: &u64| x * 31 + i as u64;
+        let serial = run_cells(&items, 1, f);
+        for jobs in [2, 4, 8] {
+            assert_eq!(run_cells(&items, jobs, f), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_experiment_cells_match_serial() {
+        use slimio_system::experiment::periodical;
+        use slimio_system::{StackKind, WorkloadKind};
+
+        let cells = [StackKind::KernelF2fs, StackKind::PassthruFdp];
+        let run = |_i: usize, &stack: &StackKind| {
+            let mut e = Experiment::new(WorkloadKind::RedisBench, stack, periodical());
+            e.scale = 1.0 / 512.0;
+            e.reps = 1;
+            let r = e.run();
+            (
+                r.ops,
+                r.events,
+                r.duration,
+                r.set_lat.p999(),
+                r.waf.nand_pages(),
+            )
+        };
+        let serial = run_cells(&cells, 1, run);
+        let parallel = run_cells(&cells, 4, run);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn perf_json_shape() {
+        let cells = [PerfCell {
+            label: "a \"b\"".to_string(),
+            wall_secs: 1.5,
+            events: 3_000_000,
+            avg_rps: 50_000.0,
+            p999_ms: 2.25,
+            waf: 1.0,
+        }];
+        let s = perf_suite_json("table9", 1.5, &cells);
+        assert!(s.starts_with("{\"suite\":\"table9\""));
+        assert!(s.contains("\"events\":3000000"));
+        assert!(s.contains("\"events_per_sec\":2000000"));
+        assert!(s.contains("\\\"b\\\""));
+        assert!(s.ends_with("]}"));
     }
 }

@@ -182,7 +182,10 @@ mod tests {
         let mut s = FcfsServer::new();
         s.serve(SimTime::ZERO, SimTime::from_micros(100));
         // Arrives at t=10 but server busy until t=100.
-        assert_eq!(s.wait_at(SimTime::from_micros(10)), SimTime::from_nanos(90 * US));
+        assert_eq!(
+            s.wait_at(SimTime::from_micros(10)),
+            SimTime::from_nanos(90 * US)
+        );
         let (start, end) = s.serve(SimTime::from_micros(10), SimTime::from_micros(5));
         assert_eq!(start, SimTime::from_micros(100));
         assert_eq!(end, SimTime::from_micros(105));

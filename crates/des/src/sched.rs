@@ -1,9 +1,45 @@
-//! The pending-event set.
+//! The pending-event set: a two-level calendar queue.
+//!
+//! The scheduler is the hottest structure in the engine — every simulated
+//! I/O touches it at least twice — so it is organized around the *hold
+//! model* access pattern DES produces: pop the earliest event, push a
+//! successor a short delay in the future. A binary heap pays `O(log n)`
+//! in comparisons and cache misses per operation; the calendar queue makes
+//! the common path a `Vec::push` and a `Vec::pop`:
+//!
+//! * **Wheel** — `NBUCKETS` buckets of width `2^SHIFT` ns (1.02 µs each,
+//!   ~16.8 ms horizon). A future event lands in bucket
+//!   `(at >> SHIFT) & MASK` with a plain `Vec::push`; buckets ahead of the
+//!   cursor stay unsorted.
+//! * **Current run** — when the cursor reaches a bucket, its contents move
+//!   to `cur_run` and are sorted once, in *reverse* `(at, seq)` order, so
+//!   the earliest event pops from the back in `O(1)`.
+//! * **Insertion heap** — events that land at or before the cursor bucket
+//!   *after* it was drained (short self-loops, or scheduling "in the
+//!   past") go to a small binary heap instead of an `O(n)` sorted insert.
+//!   `pop` takes the smaller `(at, seq)` of the run's tail and the heap's
+//!   top, so the merge order is exactly a global heap's order.
+//! * **Overflow** — events beyond the wheel horizon go to a binary heap.
+//!   Invariant: every overflow event has `bucket(at) >= cursor + NBUCKETS`;
+//!   each cursor advance migrates newly-in-range events into the wheel, so
+//!   any wheel event pops before any overflow event.
+//!
+//! Tie-break semantics are identical to the heap it replaced: events at
+//! equal timestamps pop in insertion (`seq`) order, which is what keeps
+//! same-seed simulations bit-identical. Scheduling "in the past" (earlier
+//! than the last popped event) is allowed and pops next, exactly as a heap
+//! ordered by `(at, seq)` would.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+
+/// log2 of the bucket width in nanoseconds (1.02 µs per bucket).
+const SHIFT: u32 = 10;
+/// Number of wheel buckets; power of two. Horizon = NBUCKETS << SHIFT ≈ 16.8 ms.
+const NBUCKETS: u64 = 16384;
+const MASK: u64 = NBUCKETS - 1;
 
 struct Entry<E> {
     at: SimTime,
@@ -12,8 +48,6 @@ struct Entry<E> {
 }
 
 // BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
-// `seq` breaks ties in insertion order, which is what makes the engine
-// deterministic when many events share a timestamp.
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -37,7 +71,27 @@ impl<E> Ord for Entry<E> {
 /// [`Scheduler::at`] / [`Scheduler::after`]. Events at equal timestamps pop
 /// in insertion order (FIFO), which keeps simulations deterministic.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Unsorted future buckets; the cursor bucket's contents live in
+    /// `cur_run`/`cur_inserts` instead.
+    wheel: Vec<Vec<(SimTime, u64, E)>>,
+    /// One bit per wheel slot, set while the slot is non-empty, so
+    /// `advance` finds the next occupied bucket with a word scan instead
+    /// of probing empty `Vec`s one by one.
+    occupied: Vec<u64>,
+    /// Absolute bucket number currently being drained. All wheel events
+    /// have `bucket(at)` in `(cursor, cursor + NBUCKETS)`.
+    cursor: u64,
+    /// The cursor bucket, sorted in reverse `(at, seq)` order: the
+    /// earliest event is at the back.
+    cur_run: Vec<(SimTime, u64, E)>,
+    /// Events that arrived in (or before) the cursor bucket after the
+    /// drain; merged with `cur_run` on pop.
+    cur_inserts: BinaryHeap<Entry<E>>,
+    /// Far-future events, strictly beyond the wheel horizon.
+    overflow: BinaryHeap<Entry<E>>,
+    /// Events held in wheel buckets (excludes run, inserts, overflow).
+    wheel_len: usize,
+    len: usize,
     seq: u64,
 }
 
@@ -51,41 +105,177 @@ impl<E> Scheduler<E> {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            wheel: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; (NBUCKETS / 64) as usize],
+            cursor: 0,
+            cur_run: Vec::new(),
+            cur_inserts: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            wheel_len: 0,
+            len: 0,
             seq: 0,
         }
     }
 
     /// Schedules `ev` at absolute time `at`.
+    #[inline]
     pub fn at(&mut self, at: SimTime, ev: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, ev });
+        self.len += 1;
+        let b = at.0 >> SHIFT;
+        // Hot path first: a single range check covers "strictly after the
+        // cursor bucket, within the horizon" (the wrapping subtraction
+        // maps `b <= cursor` to a huge distance).
+        let dist = b.wrapping_sub(self.cursor);
+        if dist.wrapping_sub(1) < NBUCKETS - 1 {
+            let slot = (b & MASK) as usize;
+            // SAFETY: slot < NBUCKETS == wheel.len(), and
+            // slot / 64 < NBUCKETS / 64 == occupied.len().
+            unsafe {
+                self.wheel.get_unchecked_mut(slot).push((at, seq, ev));
+                *self.occupied.get_unchecked_mut(slot / 64) |= 1 << (slot % 64);
+            }
+            self.wheel_len += 1;
+        } else if b <= self.cursor {
+            self.cur_inserts.push(Entry { at, seq, ev });
+        } else {
+            self.overflow.push(Entry { at, seq, ev });
+        }
     }
 
     /// Schedules `ev` at `now + delay`.
+    #[inline]
     pub fn after(&mut self, now: SimTime, delay: SimTime, ev: E) {
         self.at(now + delay, ev);
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.ev))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let from_run = match (self.cur_run.last(), self.cur_inserts.peek()) {
+                (Some(r), Some(i)) => (r.0, r.1) <= (i.at, i.seq),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    self.advance();
+                    continue;
+                }
+            };
+            self.len -= 1;
+            return if from_run {
+                let (at, _seq, ev) = self.cur_run.pop().unwrap();
+                Some((at, ev))
+            } else {
+                let Entry { at, ev, .. } = self.cur_inserts.pop().unwrap();
+                Some((at, ev))
+            };
+        }
     }
 
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        // Everything at the cursor pops before any wheel bucket, and any
+        // wheel bucket before any overflow event.
+        match (self.cur_run.last(), self.cur_inserts.peek()) {
+            (Some(r), Some(i)) => return Some(r.0.min(i.at)),
+            (Some(r), None) => return Some(r.0),
+            (None, Some(i)) => return Some(i.at),
+            (None, None) => {}
+        }
+        if self.wheel_len > 0 {
+            let b = self.cursor + 1 + self.distance_to_occupied((self.cursor + 1) & MASK);
+            return self.wheel[(b & MASK) as usize].iter().map(|e| e.0).min();
+        }
+        self.overflow.peek().map(|e| e.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Ring distance from `slot` (inclusive) to the nearest occupied wheel
+    /// slot. Must only be called while some wheel bucket is non-empty.
+    #[inline]
+    fn distance_to_occupied(&self, slot: u64) -> u64 {
+        let nwords = self.occupied.len();
+        let w = (slot / 64) as usize;
+        let bit = slot % 64;
+        let first = self.occupied[w] >> bit;
+        if first != 0 {
+            return u64::from(first.trailing_zeros());
+        }
+        let mut i = 1;
+        loop {
+            let word = self.occupied[(w + i) % nwords];
+            if word != 0 {
+                return (64 - bit) + (i as u64 - 1) * 64 + u64::from(word.trailing_zeros());
+            }
+            i += 1;
+        }
+    }
+
+    /// Moves the cursor to the next bucket that can hold the minimum,
+    /// drains it into the sorted run, and pulls newly-in-range overflow
+    /// events into the wheel. Only called with the cursor bucket empty.
+    fn advance(&mut self) {
+        debug_assert!(self.cur_run.is_empty() && self.cur_inserts.is_empty());
+        if self.wheel_len == 0 {
+            // Wheel dry: jump straight to the earliest overflow bucket
+            // instead of stepping through up to NBUCKETS empty slots.
+            let at = self.overflow.peek().expect("len > 0").at;
+            self.cursor = at.0 >> SHIFT;
+        } else {
+            // Jump to the next occupied bucket via the bitmap. No overflow
+            // event can belong to a skipped slot: overflow timestamps are
+            // at least a full horizon ahead of the pre-advance cursor, and
+            // the jump stops at the first occupied bucket, which is in
+            // range.
+            self.cursor += 1 + self.distance_to_occupied((self.cursor + 1) & MASK);
+        }
+        let slot = self.cursor & MASK;
+        let idx = slot as usize;
+        self.wheel_len -= self.wheel[idx].len();
+        self.occupied[(slot / 64) as usize] &= !(1 << (slot % 64));
+        // Swap rather than copy: `cur_run` is empty here, so this moves the
+        // bucket's contents over for free and leaves `cur_run`'s old
+        // allocation behind for the bucket to refill.
+        std::mem::swap(&mut self.cur_run, &mut self.wheel[idx]);
+        let limit = self.cursor + NBUCKETS;
+        while let Some(e) = self.overflow.peek() {
+            let b = e.at.0 >> SHIFT;
+            if b >= limit {
+                break;
+            }
+            let Entry { at, seq, ev } = self.overflow.pop().unwrap();
+            if b <= self.cursor {
+                self.cur_run.push((at, seq, ev));
+            } else {
+                let s = b & MASK;
+                self.wheel[s as usize].push((at, seq, ev));
+                self.occupied[(s / 64) as usize] |= 1 << (s % 64);
+                self.wheel_len += 1;
+            }
+        }
+        if !self.cur_run.is_empty() {
+            // Reverse order via a single packed key; `seq` never exceeds
+            // 2^64 so `(at << 64) | seq` compares exactly like `(at, seq)`.
+            self.cur_run.sort_unstable_by_key(|e| {
+                std::cmp::Reverse(((e.0 .0 as u128) << 64) | e.1 as u128)
+            });
+        }
     }
 }
 
@@ -132,5 +322,58 @@ mod tests {
         assert_eq!(s.len(), 1);
         s.pop();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overflow_events_pop_in_order() {
+        // Mix of near events and events far past the wheel horizon.
+        let mut s = Scheduler::new();
+        s.at(SimTime::from_secs(2), "far-b");
+        s.at(SimTime::from_micros(1), "near");
+        s.at(SimTime::from_secs(1), "far-a");
+        assert_eq!(s.pop().unwrap().1, "near");
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(s.pop().unwrap().1, "far-a");
+        assert_eq!(s.pop().unwrap().1, "far-b");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn insert_into_drained_cursor_bucket_keeps_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_nanos(100);
+        s.at(t, 0);
+        s.at(t, 1);
+        assert_eq!(s.pop().unwrap().1, 0); // drains the cursor bucket
+        s.at(t, 2); // lands in the insertion heap
+        assert_eq!(s.pop().unwrap().1, 1);
+        assert_eq!(s.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn past_events_pop_before_future_ones() {
+        let mut s = Scheduler::new();
+        s.at(SimTime::from_millis(10), "late");
+        assert_eq!(s.pop().unwrap().1, "late");
+        // Scheduled "in the past" relative to the drain position.
+        s.at(SimTime::from_millis(1), "past-b");
+        s.at(SimTime::ZERO, "past-a");
+        s.at(SimTime::from_millis(20), "future");
+        assert_eq!(s.peek_time(), Some(SimTime::ZERO));
+        assert_eq!(s.pop().unwrap().1, "past-a");
+        assert_eq!(s.pop().unwrap().1, "past-b");
+        assert_eq!(s.pop().unwrap().1, "future");
+    }
+
+    #[test]
+    fn interleaved_run_and_insert_heap_merge_in_order() {
+        let mut s = Scheduler::new();
+        // Two events in one bucket; drain it, then insert between them.
+        s.at(SimTime::from_nanos(10), "a");
+        s.at(SimTime::from_nanos(30), "c");
+        assert_eq!(s.pop().unwrap().1, "a");
+        s.at(SimTime::from_nanos(20), "b"); // insertion heap, pops before "c"
+        assert_eq!(s.pop().unwrap().1, "b");
+        assert_eq!(s.pop().unwrap().1, "c");
     }
 }

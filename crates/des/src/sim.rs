@@ -66,7 +66,11 @@ impl<M: Model> Simulation<M> {
     /// # Panics
     /// Panics if `at` is in the simulated past.
     pub fn schedule(&mut self, at: SimTime, ev: M::Event) {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         self.sched.at(at, ev);
     }
 

@@ -166,7 +166,10 @@ mod tests {
     fn arithmetic_saturates() {
         assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
         assert_eq!(SimTime::ZERO - SimTime::from_secs(1), SimTime::ZERO);
-        assert_eq!(SimTime::from_secs(3) - SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(
+            SimTime::from_secs(3) - SimTime::from_secs(1),
+            SimTime::from_secs(2)
+        );
     }
 
     #[test]
@@ -180,7 +183,10 @@ mod tests {
     #[test]
     fn scaling() {
         assert_eq!(SimTime::from_micros(10).mul(3), SimTime::from_micros(30));
-        assert_eq!(SimTime::from_micros(10).mul_f64(0.5), SimTime::from_micros(5));
+        assert_eq!(
+            SimTime::from_micros(10).mul_f64(0.5),
+            SimTime::from_micros(5)
+        );
         assert_eq!(SimTime::from_micros(10).mul_f64(-1.0), SimTime::ZERO);
     }
 

@@ -1,0 +1,131 @@
+//! Regression tests: the calendar-queue scheduler must be observationally
+//! identical to a binary heap ordered by `(timestamp, insertion seq)` —
+//! including FIFO tie-breaks at equal timestamps, far-future overflow,
+//! and events scheduled "in the past". Randomized schedules come from the
+//! workspace's deterministic PRNG so every case reproduces from its seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use slimio_des::{Scheduler, SimTime, Xoshiro256};
+
+/// The specification: a plain min-heap over `(at, seq, id)`.
+#[derive(Default)]
+struct RefHeap {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    seq: u64,
+}
+
+impl RefHeap {
+    fn push(&mut self, at: SimTime, id: u32) {
+        self.heap.push(Reverse((at, self.seq, id)));
+        self.seq += 1;
+    }
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        self.heap.pop().map(|Reverse((at, _, id))| (at, id))
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+}
+
+/// Drives both queues through the same randomized push/pop script and
+/// asserts every observable output matches.
+fn check_script(rng: &mut Xoshiro256, gen_time: impl Fn(&mut Xoshiro256, SimTime) -> SimTime) {
+    let mut cal: Scheduler<u32> = Scheduler::new();
+    let mut reference = RefHeap::default();
+    let mut now = SimTime::ZERO;
+    let mut next_id = 0u32;
+    let steps = 200 + rng.gen_range(800);
+    for _ in 0..steps {
+        // 3 push : 2 pop, so queues grow and drain repeatedly.
+        if rng.gen_range(5) < 3 {
+            let burst = 1 + rng.gen_range(8);
+            for _ in 0..burst {
+                let at = gen_time(rng, now);
+                cal.at(at, next_id);
+                reference.push(at, next_id);
+                next_id += 1;
+            }
+        } else {
+            let burst = 1 + rng.gen_range(8);
+            for _ in 0..burst {
+                assert_eq!(cal.peek_time(), reference.peek_time());
+                let got = cal.pop();
+                let want = reference.pop();
+                assert_eq!(got, want, "divergence after {next_id} pushes");
+                if let Some((t, _)) = got {
+                    now = t;
+                }
+            }
+        }
+        assert_eq!(cal.len(), reference.heap.len());
+    }
+    // Drain fully; order must match to the last event.
+    loop {
+        assert_eq!(cal.peek_time(), reference.peek_time());
+        let got = cal.pop();
+        assert_eq!(got, reference.pop());
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn matches_reference_heap_on_hold_model_schedules() {
+    // Delays in the 0–20 µs range: the steady-state shape of the NVMe and
+    // kernel-path models, densely packed within the wheel.
+    let mut rng = Xoshiro256::new(0x5C4E_D001);
+    for _case in 0..24 {
+        check_script(&mut rng, |rng, now| SimTime(now.0 + rng.gen_range(20_000)));
+    }
+}
+
+#[test]
+fn matches_reference_heap_with_many_equal_timestamps() {
+    // Only 8 distinct future offsets, so most pushes collide exactly and
+    // the FIFO tie-break carries the whole ordering.
+    let mut rng = Xoshiro256::new(0x5C4E_D002);
+    for _case in 0..24 {
+        check_script(&mut rng, |rng, now| {
+            SimTime(now.0 + rng.gen_range(8) * 1000)
+        });
+    }
+}
+
+#[test]
+fn matches_reference_heap_across_overflow_horizon() {
+    // Delays up to 200 ms — far past the ~33 ms wheel horizon — so events
+    // constantly cross the overflow/wheel boundary in both directions.
+    let mut rng = Xoshiro256::new(0x5C4E_D003);
+    for _case in 0..16 {
+        check_script(&mut rng, |rng, now| {
+            SimTime(now.0 + rng.gen_range(200_000_000))
+        });
+    }
+}
+
+#[test]
+fn matches_reference_heap_with_past_scheduling() {
+    // Timestamps drawn around `now`, sometimes before it: legal for the
+    // API, and the queue must still pop in global (at, seq) order.
+    let mut rng = Xoshiro256::new(0x5C4E_D004);
+    for _case in 0..16 {
+        check_script(&mut rng, |rng, now| {
+            let span = 40_000u64;
+            let base = now.0.saturating_sub(span / 2);
+            SimTime(base + rng.gen_range(span))
+        });
+    }
+}
+
+#[test]
+fn matches_reference_heap_on_absolute_random_times() {
+    // Pure random absolute timestamps over a 10 s range: no hold-model
+    // structure at all, maximum stress on cursor jumps and migration.
+    let mut rng = Xoshiro256::new(0x5C4E_D005);
+    for _case in 0..16 {
+        check_script(&mut rng, |rng, _now| SimTime(rng.gen_range(10_000_000_000)));
+    }
+}

@@ -87,15 +87,25 @@ impl FtlConfig {
     /// paper's 180 GB / 1 GiB configuration).
     pub fn fdp_with_ru(geometry: Geometry, ru_bytes: u64) -> Self {
         let ru_blocks = (ru_bytes / geometry.block_bytes()).max(1) as u32;
-        FtlConfig {
+        let max_pids = 8;
+        let mut cfg = FtlConfig {
             geometry,
             ru_blocks,
             op_ratio: 0.07,
             gc_low_water: 4,
             gc_high_water: 8,
-            mode: PlacementMode::Fdp { max_pids: 8 },
+            mode: PlacementMode::Fdp { max_pids },
         }
-        .with_adaptive_gc()
+        .with_adaptive_gc();
+        // Every placement stream can strand up to two partially filled RUs
+        // (its host and GC append points), and GC's victim scan only sees
+        // Full RUs — stranded capacity is unreclaimable until the stream
+        // fills it. Hide that many pages from the host so a fully written
+        // logical space still leaves the free pool solvent.
+        let stranded =
+            (2 * max_pids as u64 * cfg.ru_pages()) as f64 / cfg.geometry.total_pages() as f64;
+        cfg.op_ratio = (cfg.op_ratio + stranded).min(0.5);
+        cfg
     }
 
     /// Small configuration for unit tests: tiny geometry, 4-block RUs.
@@ -131,7 +141,11 @@ impl FtlConfig {
         if self.ru_blocks == 0 {
             return Err("ru_blocks must be positive".into());
         }
-        if !self.geometry.total_blocks().is_multiple_of(self.ru_blocks as u64) {
+        if !self
+            .geometry
+            .total_blocks()
+            .is_multiple_of(self.ru_blocks as u64)
+        {
             return Err(format!(
                 "total blocks {} not divisible by ru_blocks {}",
                 self.geometry.total_blocks(),
@@ -188,8 +202,12 @@ mod tests {
 
     #[test]
     fn tiny_configs_validate() {
-        assert!(FtlConfig::tiny(PlacementMode::Conventional).validate().is_ok());
-        assert!(FtlConfig::tiny(PlacementMode::Fdp { max_pids: 4 }).validate().is_ok());
+        assert!(FtlConfig::tiny(PlacementMode::Conventional)
+            .validate()
+            .is_ok());
+        assert!(FtlConfig::tiny(PlacementMode::Fdp { max_pids: 4 })
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -90,6 +90,9 @@ pub struct Ftl {
     gc_active: Vec<Option<RuId>>,
     stats: FtlStats,
     live_pages: u64,
+    /// Reused between GC passes so victim scanning allocates only on the
+    /// first pass (or when a victim holds more live pages than any before).
+    gc_scratch: Vec<(u64, Lpn)>,
 }
 
 impl Ftl {
@@ -114,6 +117,7 @@ impl Ftl {
             gc_active: vec![None; streams],
             stats: FtlStats::default(),
             live_pages: 0,
+            gc_scratch: Vec::new(),
         }
     }
 
@@ -357,9 +361,11 @@ impl Ftl {
         let stream = owner as usize;
         // Collect the victim's live pages first; appends below touch other
         // RUs only (the victim is Full, never an append point).
-        let live: Vec<(u64, Lpn)> = self.rus[victim as usize].valid_pages().collect();
+        let mut live = std::mem::take(&mut self.gc_scratch);
+        live.clear();
+        live.extend(self.rus[victim as usize].valid_pages());
         let mut copies = Vec::with_capacity(live.len());
-        for (off, lpn) in live {
+        for (off, lpn) in live.drain(..) {
             let src = self.rus[victim as usize].page_at(off);
             let dst_ru = self.gc_append_ru(stream)?;
             let ru = &mut self.rus[dst_ru as usize];
@@ -384,6 +390,7 @@ impl Ftl {
         }
         self.free.push_back(victim);
         self.stats.gc_passes += 1;
+        self.gc_scratch = live;
         Ok(Some(GcPass {
             victim,
             owner_pid: owner,
@@ -424,11 +431,7 @@ impl Ftl {
             assert!(seen.insert(id), "duplicate RU {id} in free list");
             assert_eq!(self.rus[id as usize].phase, RuPhase::Free);
         }
-        let free_phase = self
-            .rus
-            .iter()
-            .filter(|r| r.phase == RuPhase::Free)
-            .count();
+        let free_phase = self.rus.iter().filter(|r| r.phase == RuPhase::Free).count();
         assert_eq!(free_phase, self.free.len(), "free-phase RUs not all pooled");
         // 4. Append points are Open.
         for id in self.active.iter().chain(&self.gc_active).flatten() {
@@ -571,15 +574,13 @@ mod tests {
             let hot = cap / 8; // LPNs [0, hot) are hot
             let cold_end = cap / 2;
             let mut cold_next = hot;
-            let mut i = 0u64;
-            for _ in 0..(cap * 3) {
-                if i % 4 == 0 && cold_next < cold_end {
+            for i in 0..(cap * 3) {
+                if i.is_multiple_of(4) && cold_next < cold_end {
                     f.write(cold_next, cold_pid).unwrap();
                     cold_next += 1;
                 } else {
                     f.write(i % hot, hot_pid).unwrap();
                 }
-                i += 1;
             }
             f.check_invariants();
             f.stats().waf_value()
@@ -686,7 +687,9 @@ mod tests {
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut pass_with_copies = None;
         for _ in 0..cap * 4 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lpn = (state >> 33) % cap;
             let r = f.write(lpn, 0).unwrap();
             if let Some(p) = r.gc.into_iter().find(|p| !p.copies.is_empty()) {
@@ -716,9 +719,10 @@ mod tests {
             let _ = round;
         }
         assert!(f.total_erases() > 0);
+        // WAF counts block erases; the wear counter counts RU erases.
         assert_eq!(
             f.stats().waf.erases(),
-            f.total_erases() * 0 + f.stats().waf.erases()
+            f.total_erases() * u64::from(f.config().ru_blocks)
         );
     }
 }

@@ -101,7 +101,10 @@ impl Ru {
     pub fn invalidate(&mut self, offset: u64) -> Lpn {
         let word = (offset / 64) as usize;
         let bit = 1u64 << (offset % 64);
-        assert!(self.bitmap[word] & bit != 0, "double invalidate at offset {offset}");
+        assert!(
+            self.bitmap[word] & bit != 0,
+            "double invalidate at offset {offset}"
+        );
         self.bitmap[word] &= !bit;
         self.valid -= 1;
         std::mem::replace(&mut self.rmap[offset as usize], NO_LPN)
@@ -262,8 +265,7 @@ mod tests {
         for ru in &rus {
             assert_eq!(ru.blocks.len(), 4);
             // All blocks of an RU on distinct dies (4 blocks, 4 dies).
-            let dies: std::collections::HashSet<u32> =
-                ru.blocks.iter().map(|b| b.die).collect();
+            let dies: std::collections::HashSet<u32> = ru.blocks.iter().map(|b| b.die).collect();
             assert_eq!(dies.len(), 4);
             for b in &ru.blocks {
                 assert!(seen.insert(*b), "block {b:?} appears twice");

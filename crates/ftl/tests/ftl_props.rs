@@ -1,14 +1,18 @@
-//! Property-based tests for FTL invariants.
+//! Randomized model tests for FTL invariants.
 //!
-//! These drive the FTL with arbitrary interleavings of writes, trims, and
+//! These drive the FTL with randomized interleavings of writes, trims, and
 //! background GC across both placement modes and assert the structural
 //! invariants (`Ftl::check_invariants`) plus mode-specific guarantees:
 //! WAF ≥ 1 always, FDP never mixes PIDs within an RU, and the mapping
 //! behaves like a simple `HashMap<Lpn, generation>` shadow model.
+//!
+//! Scripts come from the workspace's own deterministic PRNG
+//! (`slimio_des::Xoshiro256`) so every case reproduces from its seed and
+//! the suite needs no external crates.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use slimio_des::Xoshiro256;
 use slimio_ftl::{Ftl, FtlConfig, Lpn, Pid, PlacementMode};
 
 /// One step of the generated workload.
@@ -20,13 +24,28 @@ enum Op {
     BackgroundGc,
 }
 
-fn op_strategy(cap: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (0..cap, 0u8..4).prop_map(|(lpn, pid)| Op::Write { lpn, pid }),
-        2 => (0..cap).prop_map(|lpn| Op::Trim { lpn }),
-        1 => (0..cap, 1u64..64).prop_map(|(start, count)| Op::TrimRange { start, count }),
-        1 => Just(Op::BackgroundGc),
-    ]
+fn gen_op(rng: &mut Xoshiro256, cap: u64) -> Op {
+    // Weights mirror the original proptest strategy:
+    // 6 write : 2 trim : 1 trim-range : 1 background GC.
+    match rng.gen_range(10) {
+        0..=5 => Op::Write {
+            lpn: rng.gen_range(cap),
+            pid: rng.gen_range(4) as Pid,
+        },
+        6 | 7 => Op::Trim {
+            lpn: rng.gen_range(cap),
+        },
+        8 => Op::TrimRange {
+            start: rng.gen_range(cap),
+            count: 1 + rng.gen_range(63),
+        },
+        _ => Op::BackgroundGc,
+    }
+}
+
+fn gen_script(rng: &mut Xoshiro256, cap: u64) -> Vec<Op> {
+    let len = 1 + rng.gen_range(399) as usize;
+    (0..len).map(|_| gen_op(rng, cap)).collect()
 }
 
 fn run_model(mode: PlacementMode, ops: &[Op]) {
@@ -63,9 +82,6 @@ fn run_model(mode: PlacementMode, ops: &[Op]) {
                 ftl.background_gc().unwrap();
             }
         }
-        // Mapping presence must match the shadow model at every step.
-        // (Spot-check a few keys to keep the test fast; the full sweep
-        // happens at the end.)
     }
 
     // Final full validation.
@@ -82,44 +98,51 @@ fn run_model(mode: PlacementMode, ops: &[Op]) {
     assert!(ftl.stats().waf_value() >= 1.0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn conventional_matches_shadow_model(ops in proptest::collection::vec(op_strategy(1 << 12), 1..400)) {
+#[test]
+fn conventional_matches_shadow_model() {
+    let mut rng = Xoshiro256::new(0xF71_C0DE);
+    for _case in 0..64 {
+        let ops = gen_script(&mut rng, 1 << 12);
         run_model(PlacementMode::Conventional, &ops);
     }
+}
 
-    #[test]
-    fn fdp_matches_shadow_model(ops in proptest::collection::vec(op_strategy(1 << 12), 1..400)) {
+#[test]
+fn fdp_matches_shadow_model() {
+    let mut rng = Xoshiro256::new(0xFD9_C0DE);
+    for _case in 0..64 {
+        let ops = gen_script(&mut rng, 1 << 12);
         run_model(PlacementMode::Fdp { max_pids: 4 }, &ops);
     }
+}
 
-    #[test]
-    fn heavy_overwrite_never_breaks_invariants(
-        seed in any::<u64>(),
-        rounds in 1u64..4,
-    ) {
+#[test]
+fn heavy_overwrite_never_breaks_invariants() {
+    let mut rng = Xoshiro256::new(0x0E58_11EA);
+    for _case in 0..16 {
+        let seed = rng.next_u64();
+        let rounds = 1 + rng.gen_range(3);
         let mut ftl = Ftl::new(FtlConfig::tiny(PlacementMode::Conventional));
         let cap = ftl.logical_pages();
         let mut state = seed | 1;
         for _ in 0..rounds * cap {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lpn = (state >> 33) % cap;
             ftl.write(lpn, 0).unwrap();
         }
         ftl.check_invariants();
-        prop_assert!(ftl.stats().waf_value() >= 1.0);
+        assert!(ftl.stats().waf_value() >= 1.0);
     }
+}
 
-    #[test]
-    fn fdp_generation_trim_waf_stays_one(
-        gens in 1u64..6,
-        wal_frac in 2u64..4,
-    ) {
+#[test]
+fn fdp_generation_trim_waf_stays_one() {
+    let mut rng = Xoshiro256::new(0x9E_57A7);
+    for _case in 0..16 {
+        let gens = 1 + rng.gen_range(5);
+        let wal_frac = 2 + rng.gen_range(2);
         let mut ftl = Ftl::new(FtlConfig::tiny(PlacementMode::Fdp { max_pids: 4 }));
         let cap = ftl.logical_pages();
         let wal_pages = cap / wal_frac;
@@ -131,6 +154,6 @@ proptest! {
         }
         ftl.check_invariants();
         let waf = ftl.stats().waf_value();
-        prop_assert!((waf - 1.0).abs() < 1e-12, "WAF {waf}");
+        assert!((waf - 1.0).abs() < 1e-12, "WAF {waf}");
     }
 }

@@ -97,8 +97,11 @@ pub trait PersistBackend {
     /// Starts a snapshot of the given kind. At most one snapshot may be in
     /// progress (§2.1). For [`SnapshotKind::WalSnapshot`] the backend also
     /// opens a fresh WAL generation so post-fork writes are separable.
-    fn snapshot_begin(&mut self, kind: SnapshotKind, now: SimTime)
-        -> Result<IoTiming, BackendError>;
+    fn snapshot_begin(
+        &mut self,
+        kind: SnapshotKind,
+        now: SimTime,
+    ) -> Result<IoTiming, BackendError>;
 
     /// Appends one chunk of the in-progress snapshot stream.
     fn snapshot_chunk(&mut self, data: &[u8], now: SimTime) -> Result<IoTiming, BackendError>;
@@ -223,9 +226,13 @@ impl FileBackend {
 
 impl PersistBackend for FileBackend {
     fn wal_append(&mut self, data: &[u8], now: SimTime) -> Result<IoTiming, BackendError> {
-        let o = self
-            .fs
-            .write(self.wal_fd, self.wal_written, data.len() as u64, Some(data), now)?;
+        let o = self.fs.write(
+            self.wal_fd,
+            self.wal_written,
+            data.len() as u64,
+            Some(data),
+            now,
+        )?;
         self.wal_written += data.len() as u64;
         Ok(Self::outcome_to_timing(o))
     }
@@ -359,7 +366,7 @@ mod tests {
     use std::sync::Arc;
 
     fn backend() -> FileBackend {
-        let dev = Arc::new(parking_lot::Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
+        let dev = Arc::new(std::sync::Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
             PlacementMode::Conventional,
         ))));
         let fs = SimFs::new(dev, KernelCosts::default(), FsProfile::f2fs());
@@ -379,14 +386,19 @@ mod tests {
     #[test]
     fn snapshot_lifecycle_publishes_atomically() {
         let mut b = backend();
-        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         b.snapshot_chunk(b"part-a|", SimTime::ZERO).unwrap();
         b.snapshot_chunk(b"part-b", SimTime::ZERO).unwrap();
         // Not yet visible.
-        let (pre, _) = b.load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        let (pre, _) = b
+            .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         assert!(pre.is_none());
         b.snapshot_commit(SimTime::ZERO).unwrap();
-        let (post, _) = b.load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        let (post, _) = b
+            .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         assert_eq!(post.unwrap(), b"part-a|part-b");
     }
 
@@ -394,7 +406,8 @@ mod tests {
     fn wal_snapshot_rotates_and_prunes_wal() {
         let mut b = backend();
         b.wal_append(b"old-old-old", SimTime::ZERO).unwrap();
-        b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         // Writes during the snapshot land in the new generation.
         b.wal_append(b"new", SimTime::ZERO).unwrap();
         assert_eq!(b.wal_len(), 3);
@@ -409,12 +422,15 @@ mod tests {
     fn abort_keeps_prior_state() {
         let mut b = backend();
         b.wal_append(b"keep-me", SimTime::ZERO).unwrap();
-        b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         b.wal_append(b"+tail", SimTime::ZERO).unwrap();
         b.snapshot_chunk(b"partial", SimTime::ZERO).unwrap();
         b.snapshot_abort(SimTime::ZERO).unwrap();
         // No snapshot visible; the full WAL chain still replays.
-        let (snap, _) = b.load_snapshot(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        let (snap, _) = b
+            .load_snapshot(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         assert!(snap.is_none());
         let (wal, _) = b.load_wal(SimTime::ZERO).unwrap();
         assert_eq!(&wal, b"keep-me+tail");
@@ -423,19 +439,25 @@ mod tests {
     #[test]
     fn concurrent_snapshots_rejected() {
         let mut b = backend();
-        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
-        assert!(b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).is_err());
+        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
+        assert!(b
+            .snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .is_err());
     }
 
     #[test]
     fn commit_replaces_previous_snapshot() {
         let mut b = backend();
         for round in 0..3u8 {
-            b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+            b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+                .unwrap();
             b.snapshot_chunk(&[round; 16], SimTime::ZERO).unwrap();
             b.snapshot_commit(SimTime::ZERO).unwrap();
         }
-        let (snap, _) = b.load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        let (snap, _) = b
+            .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         assert_eq!(snap.unwrap(), vec![2u8; 16]);
     }
 

@@ -24,76 +24,130 @@ fn hash3(data: &[u8], i: usize) -> usize {
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HLOG as u32)) as usize & (HSIZE - 1)
 }
 
-/// Compresses `input`. The output is self-delimiting only together with
-/// its length; callers store `(raw_len, compressed_bytes)`.
+/// A reusable LZF compressor.
 ///
-/// Incompressible data may grow by up to 1/32 + a few bytes; callers that
-/// care (the RDB writer) compare lengths and store raw when compression
-/// does not help, as Redis does.
+/// The match table is 16 Ki entries; zeroing it per call (as a stack array
+/// forces) costs a 128 KiB memset, which dominates small-value compression
+/// — and the snapshot path compresses one value at a time. Instead the
+/// table is allocated once and entries are *generation-stamped*: each
+/// `compress_into` call bumps a generation counter, and an entry from an
+/// older generation reads as position 0, which is exactly what a
+/// freshly-zeroed table holds. Output is therefore bit-identical to the
+/// zero-init implementation, with no per-call memset.
+pub struct Compressor {
+    /// `gen << 32 | position`. Stale generations decode as position 0.
+    table: Box<[u64; HSIZE]>,
+    generation: u32,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compressor {
+    /// Creates a compressor (one 128 KiB allocation, reused for life).
+    pub fn new() -> Self {
+        Compressor {
+            table: vec![0u64; HSIZE].into_boxed_slice().try_into().unwrap(),
+            generation: 0,
+        }
+    }
+
+    /// Compresses `input`, replacing the contents of `out`.
+    ///
+    /// The output is self-delimiting only together with its length;
+    /// callers store `(raw_len, compressed_bytes)`. Incompressible data
+    /// may grow by up to 1/32 + a few bytes; callers that care (the RDB
+    /// writer) compare lengths and store raw when compression does not
+    /// help, as Redis does.
+    pub fn compress_into(&mut self, input: &[u8], out: &mut Vec<u8>) {
+        debug_assert!(input.len() <= u32::MAX as usize);
+        out.clear();
+        if input.is_empty() {
+            return;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // u32 wrap: old stamps would alias as current. Reset.
+            self.table.fill(0);
+            self.generation = 1;
+        }
+        let live = u64::from(self.generation) << 32;
+        let table = &mut self.table;
+        let mut lit_start = 0usize;
+        let mut i = 0usize;
+
+        // Helper to flush the pending literal run [lit_start, end).
+        fn flush_literals(out: &mut Vec<u8>, input: &[u8], lit_start: usize, end: usize) {
+            let mut s = lit_start;
+            while s < end {
+                let n = (end - s).min(MAX_LIT);
+                out.push((n - 1) as u8);
+                out.extend_from_slice(&input[s..s + n]);
+                s += n;
+            }
+        }
+
+        while i + 2 < input.len() {
+            let h = hash3(input, i);
+            let slot = table[h];
+            // A stale entry reads as candidate 0, same as a zeroed table.
+            let candidate = if (slot & !0xFFFF_FFFF) == live {
+                (slot & 0xFFFF_FFFF) as usize
+            } else {
+                0
+            };
+            table[h] = live | i as u64;
+            // Valid candidate: strictly earlier, within window, 3-byte match.
+            let off = i.wrapping_sub(candidate);
+            if candidate < i
+                && off <= MAX_OFF
+                && input[candidate] == input[i]
+                && input[candidate + 1] == input[i + 1]
+                && input[candidate + 2] == input[i + 2]
+            {
+                // Extend the match.
+                let mut len = 3;
+                let max_len = (input.len() - i).min(MAX_REF_LEN);
+                while len < max_len && input[candidate + len] == input[i + len] {
+                    len += 1;
+                }
+                flush_literals(out, input, lit_start, i);
+                // Encode the reference. Stored length is len - 2.
+                let stored = len - 2;
+                let off_enc = off - 1;
+                if stored < 7 {
+                    out.push(((stored as u8) << 5) | (off_enc >> 8) as u8);
+                } else {
+                    out.push((7u8 << 5) | (off_enc >> 8) as u8);
+                    out.push((stored - 7) as u8);
+                }
+                out.push((off_enc & 0xFF) as u8);
+                // Re-seed the hash table inside the matched region (cheap
+                // partial: seed a couple of positions for better ratio).
+                let reseed_end = (i + len).min(input.len().saturating_sub(2));
+                let mut r = i + 1;
+                while r < reseed_end && r < i + 4 {
+                    table[hash3(input, r)] = live | r as u64;
+                    r += 1;
+                }
+                i += len;
+                lit_start = i;
+            } else {
+                i += 1;
+            }
+        }
+        flush_literals(out, input, lit_start, input.len());
+    }
+}
+
+/// One-shot convenience wrapper over [`Compressor`]; allocates the match
+/// table per call, so hot paths should hold a `Compressor` instead.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    if input.is_empty() {
-        return out;
-    }
-    let mut table = [0usize; HSIZE];
-    let mut lit_start = 0usize;
-    let mut i = 0usize;
-
-    // Helper to flush the pending literal run [lit_start, end).
-    fn flush_literals(out: &mut Vec<u8>, input: &[u8], lit_start: usize, end: usize) {
-        let mut s = lit_start;
-        while s < end {
-            let n = (end - s).min(MAX_LIT);
-            out.push((n - 1) as u8);
-            out.extend_from_slice(&input[s..s + n]);
-            s += n;
-        }
-    }
-
-    while i + 2 < input.len() {
-        let h = hash3(input, i);
-        let candidate = table[h];
-        table[h] = i;
-        // Valid candidate: strictly earlier, within window, 3-byte match.
-        let off = i.wrapping_sub(candidate);
-        if candidate < i
-            && off <= MAX_OFF
-            && input[candidate] == input[i]
-            && input[candidate + 1] == input[i + 1]
-            && input[candidate + 2] == input[i + 2]
-        {
-            // Extend the match.
-            let mut len = 3;
-            let max_len = (input.len() - i).min(MAX_REF_LEN);
-            while len < max_len && input[candidate + len] == input[i + len] {
-                len += 1;
-            }
-            flush_literals(&mut out, input, lit_start, i);
-            // Encode the reference. Stored length is len - 2.
-            let stored = len - 2;
-            let off_enc = off - 1;
-            if stored < 7 {
-                out.push(((stored as u8) << 5) | (off_enc >> 8) as u8);
-            } else {
-                out.push((7u8 << 5) | (off_enc >> 8) as u8);
-                out.push((stored - 7) as u8);
-            }
-            out.push((off_enc & 0xFF) as u8);
-            // Re-seed the hash table inside the matched region (cheap
-            // partial: seed a couple of positions for better ratio).
-            let reseed_end = (i + len).min(input.len().saturating_sub(2));
-            let mut r = i + 1;
-            while r < reseed_end && r < i + 4 {
-                table[hash3(input, r)] = r;
-                r += 1;
-            }
-            i += len;
-            lit_start = i;
-        } else {
-            i += 1;
-        }
-    }
-    flush_literals(&mut out, input, lit_start, input.len());
+    Compressor::new().compress_into(input, &mut out);
     out
 }
 
@@ -234,7 +288,7 @@ mod tests {
     #[test]
     fn long_matches_use_extended_length() {
         let mut data = b"0123456789abcdef".to_vec();
-        data.extend(std::iter::repeat(b'z').take(500)); // forces len > 9 refs
+        data.extend(std::iter::repeat_n(b'z', 500)); // forces len > 9 refs
         data.extend(b"0123456789abcdef");
         roundtrip(&data);
     }
@@ -258,6 +312,27 @@ mod tests {
         // A back-reference as the first token must fail (nothing to copy).
         let bogus = vec![0x20u8, 0x10];
         assert_eq!(decompress(&bogus, 100), Err(DecompressError::BadOffset));
+    }
+
+    #[test]
+    fn reused_compressor_matches_one_shot() {
+        // The generation-stamp trick must be invisible: a compressor on
+        // its Nth call produces byte-identical output to a fresh one.
+        let inputs: Vec<Vec<u8>> = vec![
+            b"aaaaaaaaaaaaaaaaaaaaaaaabbbbbbbb".repeat(20),
+            (0..5000u32).flat_map(|x| x.to_le_bytes()).collect(),
+            vec![0u8; 3000],
+            br#"{"k":"v"}"#.repeat(123),
+            b"xyz".to_vec(),
+        ];
+        let mut c = Compressor::new();
+        let mut out = Vec::new();
+        for _round in 0..3 {
+            for data in &inputs {
+                c.compress_into(data, &mut out);
+                assert_eq!(out, compress(data));
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use slimio_des::SimTime;
 
 use crate::backend::{BackendError, IoTiming, PersistBackend, SnapshotKind};
+use crate::fxhash::FxBuildHasher;
 use crate::snapshot::SnapshotJob;
 use crate::wal::{self, WalBuffer, WalRecord};
 
@@ -118,7 +119,7 @@ pub struct WriteReply {
 
 /// The in-memory database.
 pub struct Db<B: PersistBackend> {
-    map: HashMap<Arc<[u8]>, Arc<[u8]>>,
+    map: HashMap<Arc<[u8]>, Arc<[u8]>, FxBuildHasher>,
     backend: B,
     cfg: DbConfig,
     wal_buf: WalBuffer,
@@ -138,7 +139,7 @@ impl<B: PersistBackend> Db<B> {
     /// Creates an empty database over `backend`.
     pub fn new(backend: B, cfg: DbConfig) -> Self {
         Db {
-            map: HashMap::new(),
+            map: HashMap::default(),
             backend,
             cfg,
             wal_buf: WalBuffer::new(),
@@ -215,12 +216,7 @@ impl<B: PersistBackend> Db<B> {
     pub fn set(&mut self, key: &[u8], value: &[u8], now: SimTime) -> Result<WriteReply, DbError> {
         self.stats.sets += 1;
         self.seq += 1;
-        let rec = WalRecord::Set {
-            seq: self.seq,
-            key: key.to_vec(),
-            value: value.to_vec(),
-        };
-        self.wal_buf.push(&rec);
+        self.wal_buf.push_set(self.seq, key, value);
 
         let k: Arc<[u8]> = key.into();
         let v: Arc<[u8]> = value.into();
@@ -253,11 +249,7 @@ impl<B: PersistBackend> Db<B> {
     pub fn del(&mut self, key: &[u8], now: SimTime) -> Result<WriteReply, DbError> {
         self.stats.dels += 1;
         self.seq += 1;
-        let rec = WalRecord::Del {
-            seq: self.seq,
-            key: key.to_vec(),
-        };
-        self.wal_buf.push(&rec);
+        self.wal_buf.push_del(self.seq, key);
         let mut cow_retained = 0u64;
         if let Some(old) = self.map.remove(key) {
             if self.snapshot.is_some() {
@@ -298,10 +290,12 @@ impl<B: PersistBackend> Db<B> {
             self.last_flush = now;
             return Ok(IoTiming::instant(now));
         }
-        let bytes = self.wal_buf.take();
         self.stats.wal_flushes += 1;
-        self.stats.wal_bytes += bytes.len() as u64;
-        let t = self.backend.wal_append(&bytes, now)?;
+        self.stats.wal_bytes += self.wal_buf.len() as u64;
+        // Borrow the buffer in place; `clear` keeps the allocation, so
+        // steady-state flushing is allocation-free.
+        let t = self.backend.wal_append(self.wal_buf.bytes(), now)?;
+        self.wal_buf.clear();
         self.last_flush = t.done_at;
         Ok(t)
     }
@@ -333,13 +327,16 @@ impl<B: PersistBackend> Db<B> {
         let Some(job) = self.snapshot.as_mut() else {
             return Err(DbError::Snapshot("no snapshot in progress".into()));
         };
-        let out = job.step(max_entries);
         let kind = job.kind();
+        // Chunks stream straight from the job's reused buffer into the
+        // backend — no per-chunk Vec is ever allocated.
+        let backend = &mut self.backend;
         let mut t = now;
-        for chunk in &out.chunks {
-            let timing = self.backend.snapshot_chunk(chunk, t)?;
+        let out = job.step_each(max_entries, &mut |chunk: &[u8]| {
+            let timing = backend.snapshot_chunk(chunk, t)?;
             t = timing.done_at;
-        }
+            Ok::<(), BackendError>(())
+        })?;
         if out.finished {
             self.backend.snapshot_commit(t)?;
             self.snapshot = None;
@@ -409,8 +406,7 @@ impl<B: PersistBackend> Db<B> {
                             db.base_mem += value.len() as u64;
                         }
                         None => {
-                            db.base_mem +=
-                                (key.len() + value.len()) as u64 + cfg.entry_overhead;
+                            db.base_mem += (key.len() + value.len()) as u64 + cfg.entry_overhead;
                         }
                     }
                 }
@@ -435,7 +431,7 @@ mod tests {
     use slimio_nvme::{DeviceConfig, NvmeDevice};
 
     fn file_db(policy: LogPolicy) -> Db<FileBackend> {
-        let dev = Arc::new(parking_lot::Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
+        let dev = Arc::new(std::sync::Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
             PlacementMode::Conventional,
         ))));
         let fs = SimFs::new(dev, KernelCosts::default(), FsProfile::f2fs());
@@ -492,19 +488,23 @@ mod tests {
     fn recovery_restores_keyspace() {
         let mut db = file_db(LogPolicy::Always);
         for i in 0..200u32 {
-            db.set(format!("key{i}").as_bytes(), format!("val{i}").as_bytes(), SimTime::ZERO)
-                .unwrap();
+            db.set(
+                format!("key{i}").as_bytes(),
+                format!("val{i}").as_bytes(),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         db.del(b"key0", SimTime::ZERO).unwrap();
-        db.snapshot_run(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        db.snapshot_run(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         // Post-snapshot writes land in the WAL tail.
         db.set(b"after", b"snap", SimTime::ZERO).unwrap();
         db.flush_wal(SimTime::ZERO).unwrap();
         db.sync_wal(SimTime::ZERO).unwrap();
 
         let backend = db.into_backend();
-        let (mut db2, replayed) =
-            Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
+        let (mut db2, replayed) = Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
         assert_eq!(db2.len(), 200); // 200 set - 1 del + 1 after
         assert_eq!(&*db2.get(b"after").unwrap(), b"snap");
         assert!(db2.get(b"key0").is_none());
@@ -518,8 +518,7 @@ mod tests {
         db.set(b"x", b"1", SimTime::ZERO).unwrap();
         db.set(b"x", b"2", SimTime::ZERO).unwrap();
         let backend = db.into_backend();
-        let (mut db2, replayed) =
-            Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
+        let (mut db2, replayed) = Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
         assert_eq!(replayed, 2);
         assert_eq!(&*db2.get(b"x").unwrap(), b"2");
     }
@@ -529,13 +528,16 @@ mod tests {
         let mut db = file_db(LogPolicy::periodical_default());
         let val = vec![7u8; 1000];
         for i in 0..100u32 {
-            db.set(format!("k{i}").as_bytes(), &val, SimTime::ZERO).unwrap();
+            db.set(format!("k{i}").as_bytes(), &val, SimTime::ZERO)
+                .unwrap();
         }
         let before = db.mem_used();
-        db.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        db.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         // Overwrite everything mid-snapshot: CoW retains the old values.
         for i in 0..100u32 {
-            db.set(format!("k{i}").as_bytes(), &val, SimTime::ZERO).unwrap();
+            db.set(format!("k{i}").as_bytes(), &val, SimTime::ZERO)
+                .unwrap();
         }
         let during = db.mem_used();
         assert!(
@@ -553,7 +555,8 @@ mod tests {
         let big = vec![1u8; 64 * 1024];
         let mut triggered = false;
         for i in 0..40u32 {
-            db.set(format!("k{i}").as_bytes(), &big, SimTime::ZERO).unwrap();
+            db.set(format!("k{i}").as_bytes(), &big, SimTime::ZERO)
+                .unwrap();
             if db.maybe_wal_snapshot(SimTime::ZERO).unwrap() {
                 triggered = true;
                 break;
@@ -568,15 +571,21 @@ mod tests {
     fn snapshot_is_point_in_time_despite_concurrent_writes() {
         let mut db = file_db(LogPolicy::Always);
         for i in 0..50u32 {
-            db.set(format!("k{i}").as_bytes(), b"original", SimTime::ZERO).unwrap();
+            db.set(format!("k{i}").as_bytes(), b"original", SimTime::ZERO)
+                .unwrap();
         }
-        db.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        db.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         // Interleave mutation with snapshot production.
         let mut done = false;
         let mut i = 0u32;
         while !done {
-            db.set(format!("k{}", i % 50).as_bytes(), b"mutated!", SimTime::ZERO)
-                .unwrap();
+            db.set(
+                format!("k{}", i % 50).as_bytes(),
+                b"mutated!",
+                SimTime::ZERO,
+            )
+            .unwrap();
             done = db.snapshot_step(5, SimTime::ZERO).unwrap();
             i += 1;
         }
@@ -597,7 +606,12 @@ mod tests {
         let backend = db.into_backend();
         let (mut db2, _) = Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
         for (k, v) in live {
-            assert_eq!(db2.get(&k).unwrap().to_vec(), v, "key {:?}", String::from_utf8_lossy(&k));
+            assert_eq!(
+                db2.get(&k).unwrap().to_vec(),
+                v,
+                "key {:?}",
+                String::from_utf8_lossy(&k)
+            );
         }
     }
 
@@ -605,8 +619,11 @@ mod tests {
     fn double_snapshot_rejected() {
         let mut db = file_db(LogPolicy::periodical_default());
         db.set(b"a", b"b", SimTime::ZERO).unwrap();
-        db.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
-        assert!(db.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).is_err());
+        db.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
+        assert!(db
+            .snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .is_err());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod backend;
 pub mod compress;
 pub mod crc;
 pub mod engine;
+pub mod fxhash;
 pub mod rdb;
 pub mod snapshot;
 pub mod wal;

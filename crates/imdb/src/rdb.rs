@@ -17,6 +17,9 @@
 use crate::compress;
 use crate::crc::Crc32;
 
+/// Decoded key/value entries, in stream order.
+pub type Entries = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Stream magic.
 pub const MAGIC: &[u8; 8] = b"SLIMRDB1";
 /// Trailer marker.
@@ -63,6 +66,11 @@ pub struct RdbWriter {
     finished: bool,
     raw_bytes: u64,
     stored_bytes: u64,
+    // Reused across entries: the compressor's match table and the
+    // compressed-value scratch, so per-entry serialization is
+    // allocation-free in steady state.
+    compressor: compress::Compressor,
+    scratch: Vec<u8>,
 }
 
 impl RdbWriter {
@@ -81,15 +89,17 @@ impl RdbWriter {
             finished: false,
             raw_bytes: 0,
             stored_bytes: 0,
+            compressor: compress::Compressor::new(),
+            scratch: Vec::new(),
         }
     }
 
     /// Serializes one key/value entry.
     pub fn entry(&mut self, key: &[u8], value: &[u8]) {
         assert!(!self.finished, "entry() after finish()");
-        let compressed = compress::compress(value);
-        let (stored, flags): (&[u8], u8) = if compressed.len() < value.len() {
-            (&compressed, 1)
+        self.compressor.compress_into(value, &mut self.scratch);
+        let (stored, flags): (&[u8], u8) = if self.scratch.len() < value.len() {
+            (&self.scratch, 1)
         } else {
             (value, 0)
         };
@@ -143,6 +153,28 @@ impl RdbWriter {
         None
     }
 
+    /// Like [`RdbWriter::drain_chunk`], but fills a caller-owned buffer
+    /// (cleared first) instead of allocating. Returns `true` if a chunk
+    /// was produced. The pending bytes are shifted in place, so a looping
+    /// caller reuses both allocations indefinitely.
+    pub fn drain_chunk_into(&mut self, force: bool, out: &mut Vec<u8>) -> bool {
+        out.clear();
+        if self.buf.is_empty() {
+            return false;
+        }
+        let n = if self.buf.len() >= self.chunk_size {
+            self.chunk_size
+        } else if force {
+            self.buf.len()
+        } else {
+            return false;
+        };
+        out.extend_from_slice(&self.buf[..n]);
+        self.buf.copy_within(n.., 0);
+        self.buf.truncate(self.buf.len() - n);
+        true
+    }
+
     /// Writes the trailer + CRC. Call exactly once, then drain remaining
     /// chunks with `drain_chunk(true)`.
     pub fn finish(&mut self) {
@@ -156,7 +188,7 @@ impl RdbWriter {
 }
 
 /// Parses a complete snapshot stream into its entries.
-pub fn read_all(stream: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, RdbError> {
+pub fn read_all(stream: &[u8]) -> Result<Entries, RdbError> {
     if stream.len() < MAGIC.len() + 8 + TRAILER.len() + 4 {
         return Err(RdbError::Truncated);
     }

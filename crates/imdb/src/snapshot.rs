@@ -14,6 +14,9 @@ use std::sync::Arc;
 use crate::backend::SnapshotKind;
 use crate::rdb::RdbWriter;
 
+/// A frozen (key, value) view sharing storage with the live keyspace.
+type FrozenEntries = Vec<(Arc<[u8]>, Arc<[u8]>)>;
+
 /// Output of one serialization step.
 #[derive(Debug, Default)]
 pub struct StepOutput {
@@ -26,13 +29,24 @@ pub struct StepOutput {
     pub raw_bytes: u64,
 }
 
+/// Result of one [`SnapshotJob::step_each`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct StepStats {
+    /// True once the stream (including trailer) is fully produced.
+    pub finished: bool,
+    /// Raw bytes serialized during this step.
+    pub raw_bytes: u64,
+}
+
 /// An in-progress snapshot.
 pub struct SnapshotJob {
     kind: SnapshotKind,
-    entries: Vec<(Arc<[u8]>, Arc<[u8]>)>,
+    entries: FrozenEntries,
     cursor: usize,
     writer: RdbWriter,
     finished: bool,
+    /// Reused chunk buffer for the allocation-free step path.
+    chunk: Vec<u8>,
 }
 
 impl SnapshotJob {
@@ -41,8 +55,7 @@ impl SnapshotJob {
     where
         I: Iterator<Item = (&'a Arc<[u8]>, &'a Arc<[u8]>)>,
     {
-        let entries: Vec<(Arc<[u8]>, Arc<[u8]>)> =
-            live.map(|(k, v)| (Arc::clone(k), Arc::clone(v))).collect();
+        let entries: FrozenEntries = live.map(|(k, v)| (Arc::clone(k), Arc::clone(v))).collect();
         let writer = RdbWriter::new(entries.len() as u64, chunk_size);
         SnapshotJob {
             kind,
@@ -50,6 +63,7 @@ impl SnapshotJob {
             cursor: 0,
             writer,
             finished: false,
+            chunk: Vec::new(),
         }
     }
 
@@ -81,9 +95,30 @@ impl SnapshotJob {
     /// stream is complete.
     pub fn step(&mut self, max_entries: usize) -> StepOutput {
         let mut out = StepOutput::default();
+        let stats = self
+            .step_each(max_entries, &mut |c: &[u8]| {
+                out.chunks.push(c.to_vec());
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+        out.finished = stats.finished;
+        out.raw_bytes = stats.raw_bytes;
+        out
+    }
+
+    /// Allocation-free variant of [`SnapshotJob::step`]: each ready chunk
+    /// is handed to `emit` from a buffer owned (and reused) by the job.
+    /// An `Err` from `emit` aborts the step immediately.
+    pub fn step_each<E>(
+        &mut self,
+        max_entries: usize,
+        emit: &mut dyn FnMut(&[u8]) -> Result<(), E>,
+    ) -> Result<StepStats, E> {
         if self.finished {
-            out.finished = true;
-            return out;
+            return Ok(StepStats {
+                finished: true,
+                raw_bytes: 0,
+            });
         }
         let end = (self.cursor + max_entries).min(self.entries.len());
         let before_raw = self.writer.raw_bytes();
@@ -91,20 +126,22 @@ impl SnapshotJob {
             let (k, v) = &self.entries[self.cursor];
             self.writer.entry(k, v);
             self.cursor += 1;
-            while let Some(c) = self.writer.drain_chunk(false) {
-                out.chunks.push(c);
+            while self.writer.drain_chunk_into(false, &mut self.chunk) {
+                emit(&self.chunk)?;
             }
         }
-        out.raw_bytes = self.writer.raw_bytes() - before_raw;
+        let raw_bytes = self.writer.raw_bytes() - before_raw;
         if self.cursor == self.entries.len() {
             self.writer.finish();
-            while let Some(c) = self.writer.drain_chunk(true) {
-                out.chunks.push(c);
+            while self.writer.drain_chunk_into(true, &mut self.chunk) {
+                emit(&self.chunk)?;
             }
             self.finished = true;
-            out.finished = true;
         }
-        out
+        Ok(StepStats {
+            finished: self.finished,
+            raw_bytes,
+        })
     }
 
     /// Stored (compressed) bytes produced so far.
@@ -155,7 +192,7 @@ mod tests {
     #[test]
     fn view_is_immune_to_later_mutation() {
         let mut map = sample_map(10);
-        let job_view: Vec<(Arc<[u8]>, Arc<[u8]>)> = map
+        let job_view: FrozenEntries = map
             .iter()
             .map(|(k, v)| (Arc::clone(k), Arc::clone(v)))
             .collect();

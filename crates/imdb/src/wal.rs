@@ -49,33 +49,42 @@ impl WalRecord {
 const OP_SET: u8 = 1;
 const OP_DEL: u8 = 2;
 
-/// Serializes a record, appending to `out`. Returns the encoded length.
-pub fn encode(rec: &WalRecord, out: &mut Vec<u8>) -> usize {
+/// Serializes a `SET` directly from borrowed key/value bytes, appending to
+/// `out`. Returns the encoded length. This is the engine's hot path: no
+/// owned [`WalRecord`] (two `Vec` clones per command) is ever built.
+pub fn encode_set(seq: u64, key: &[u8], value: &[u8], out: &mut Vec<u8>) -> usize {
+    encode_parts(seq, OP_SET, key, value, out)
+}
+
+/// Serializes a `DEL` directly from a borrowed key, appending to `out`.
+/// Returns the encoded length.
+pub fn encode_del(seq: u64, key: &[u8], out: &mut Vec<u8>) -> usize {
+    encode_parts(seq, OP_DEL, key, &[], out)
+}
+
+fn encode_parts(seq: u64, op: u8, key: &[u8], value: &[u8], out: &mut Vec<u8>) -> usize {
     let start = out.len();
     out.extend_from_slice(&[0u8; 4]); // len placeholder
     let body_start = out.len();
-    match rec {
-        WalRecord::Set { seq, key, value } => {
-            out.extend_from_slice(&seq.to_le_bytes());
-            out.push(OP_SET);
-            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
-            out.extend_from_slice(key);
-            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
-            out.extend_from_slice(value);
-        }
-        WalRecord::Del { seq, key } => {
-            out.extend_from_slice(&seq.to_le_bytes());
-            out.push(OP_DEL);
-            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
-            out.extend_from_slice(key);
-            out.extend_from_slice(&0u32.to_le_bytes());
-        }
-    }
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(op);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(value);
     let crc = crc32(&out[body_start..]);
     out.extend_from_slice(&crc.to_le_bytes());
     let len = (out.len() - body_start) as u32;
     out[start..start + 4].copy_from_slice(&len.to_le_bytes());
     out.len() - start
+}
+
+/// Serializes a record, appending to `out`. Returns the encoded length.
+pub fn encode(rec: &WalRecord, out: &mut Vec<u8>) -> usize {
+    match rec {
+        WalRecord::Set { seq, key, value } => encode_set(*seq, key, value, out),
+        WalRecord::Del { seq, key } => encode_del(*seq, key, out),
+    }
 }
 
 /// Decode errors.
@@ -113,8 +122,7 @@ pub fn decode(buf: &[u8]) -> Result<(WalRecord, usize), WalDecodeError> {
         return Err(WalDecodeError::BadFraming);
     }
     let key = body[13..13 + klen].to_vec();
-    let vlen =
-        u32::from_le_bytes(body[13 + klen..13 + klen + 4].try_into().unwrap()) as usize;
+    let vlen = u32::from_le_bytes(body[13 + klen..13 + klen + 4].try_into().unwrap()) as usize;
     if 13 + klen + 4 + vlen != body.len() {
         return Err(WalDecodeError::BadFraming);
     }
@@ -169,6 +177,30 @@ impl WalBuffer {
     pub fn push(&mut self, rec: &WalRecord) -> usize {
         self.records += 1;
         encode(rec, &mut self.buf)
+    }
+
+    /// Appends a `SET` from borrowed bytes — no owned record is built.
+    pub fn push_set(&mut self, seq: u64, key: &[u8], value: &[u8]) -> usize {
+        self.records += 1;
+        encode_set(seq, key, value, &mut self.buf)
+    }
+
+    /// Appends a `DEL` from a borrowed key — no owned record is built.
+    pub fn push_del(&mut self, seq: u64, key: &[u8]) -> usize {
+        self.records += 1;
+        encode_del(seq, key, &mut self.buf)
+    }
+
+    /// The buffered bytes, for flushing without giving up the allocation.
+    /// Pair with [`WalBuffer::clear`] once the flush succeeds.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Empties the buffer, keeping its allocation for the next fill.
+    pub fn clear(&mut self) {
+        self.records = 0;
+        self.buf.clear();
     }
 
     /// Bytes currently buffered.

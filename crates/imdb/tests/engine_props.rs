@@ -1,16 +1,16 @@
-//! Property tests on the engine: recovery equivalence under arbitrary
+//! Randomized tests on the engine: recovery equivalence under randomized
 //! command sequences with interleaved snapshots, flushes, and syncs.
 //!
 //! The invariant is the database's core durability contract: after a sync,
 //! crash-and-recover yields exactly the keyspace produced by the original
 //! command sequence — regardless of where snapshots were cut or how their
-//! production interleaved with writes.
+//! production interleaved with writes. Command scripts come from the
+//! workspace's deterministic PRNG so every case reproduces from its seed.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-use slimio_des::SimTime;
+use slimio_des::{SimTime, Xoshiro256};
 use slimio_ftl::PlacementMode;
 use slimio_imdb::backend::{FileBackend, SnapshotKind};
 use slimio_imdb::{Db, DbConfig, LogPolicy};
@@ -27,15 +27,22 @@ enum Cmd {
     FlushSync,
 }
 
-fn cmd_strategy() -> impl Strategy<Value = Cmd> {
-    prop_oneof![
-        8 => (any::<u8>(), 1u16..600).prop_map(|(key, len)| Cmd::Set { key, len }),
-        2 => any::<u8>().prop_map(|key| Cmd::Del { key }),
-        1 => Just(Cmd::BeginWalSnapshot),
-        1 => Just(Cmd::BeginOdSnapshot),
-        3 => Just(Cmd::StepSnapshot),
-        2 => Just(Cmd::FlushSync),
-    ]
+fn gen_cmd(rng: &mut Xoshiro256) -> Cmd {
+    // Weights mirror the original strategy: 8 set : 2 del : 1 wal-snap :
+    // 1 od-snap : 3 step : 2 flush+sync.
+    match rng.gen_range(17) {
+        0..=7 => Cmd::Set {
+            key: rng.gen_range(256) as u8,
+            len: 1 + rng.gen_range(599) as u16,
+        },
+        8 | 9 => Cmd::Del {
+            key: rng.gen_range(256) as u8,
+        },
+        10 => Cmd::BeginWalSnapshot,
+        11 => Cmd::BeginOdSnapshot,
+        12..=14 => Cmd::StepSnapshot,
+        _ => Cmd::FlushSync,
+    }
 }
 
 fn value_for(key: u8, len: u16, version: u32) -> Vec<u8> {
@@ -44,14 +51,16 @@ fn value_for(key: u8, len: u16, version: u32) -> Vec<u8> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+#[test]
+fn synced_state_always_recovers() {
+    let mut rng = Xoshiro256::new(0xD8_5EED);
+    for _case in 0..24 {
+        let n = 1 + rng.gen_range(119) as usize;
+        let cmds: Vec<Cmd> = (0..n).map(|_| gen_cmd(&mut rng)).collect();
 
-    #[test]
-    fn synced_state_always_recovers(cmds in proptest::collection::vec(cmd_strategy(), 1..120)) {
-        let dev = Arc::new(parking_lot::Mutex::new(NvmeDevice::new(
-            DeviceConfig::tiny(PlacementMode::Conventional),
-        )));
+        let dev = Arc::new(std::sync::Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
+            PlacementMode::Conventional,
+        ))));
         let fs = SimFs::new(Arc::clone(&dev), KernelCosts::default(), FsProfile::f2fs());
         let cfg = DbConfig {
             policy: LogPolicy::Always,
@@ -104,14 +113,13 @@ proptest! {
 
         let mut fs = db.into_backend().into_fs();
         fs.crash();
-        let (mut rec, _) =
-            Db::recover(FileBackend::remount(fs).unwrap(), cfg, t).unwrap();
+        let (mut rec, _) = Db::recover(FileBackend::remount(fs).unwrap(), cfg, t).unwrap();
 
-        prop_assert_eq!(rec.len(), shadow.len());
+        assert_eq!(rec.len(), shadow.len());
         for (k, v) in &shadow {
             let got = rec.get(k);
-            prop_assert!(got.is_some(), "missing key {:?}", k);
-            prop_assert_eq!(&*got.unwrap(), v.as_slice());
+            assert!(got.is_some(), "missing key {k:?}");
+            assert_eq!(&*got.unwrap(), v.as_slice());
         }
     }
 }

@@ -10,9 +10,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio_des::{FcfsServer, SimTime};
 use slimio_nvme::{DeviceError, NvmeDevice, LBA_BYTES};
+use std::sync::Mutex;
 
 use crate::costs::{FsProfile, KernelCosts};
 use crate::pagecache::PageCache;
@@ -120,8 +120,7 @@ impl SimFs {
         // reusing freed segments (log-structured allocation: fresh
         // sections first, oldest-freed next — never hot-reuse). The top
         // JOURNAL_LBAS pages are reserved for journal/node blocks.
-        let capacity_pages =
-            (device.lock().capacity_blocks() - JOURNAL_LBAS) * 95 / 100;
+        let capacity_pages = (device.lock().unwrap().capacity_blocks() - JOURNAL_LBAS) * 95 / 100;
         SimFs {
             device,
             costs,
@@ -337,7 +336,7 @@ impl SimFs {
         if batch.is_empty() {
             return Ok(now);
         }
-        let mut dev = self.device.lock();
+        let mut dev = self.device.lock().unwrap();
         let mut cursor = now;
         for chunk in batch.chunks(WB_CHUNK) {
             let mut chunk_done = cursor;
@@ -372,7 +371,7 @@ impl SimFs {
         let dirty = self.cache.take_dirty_of_file(id);
         let mut done;
         {
-            let mut dev = self.device.lock();
+            let mut dev = self.device.lock().unwrap();
             // Data writeback, paced per chunk.
             let mut cursor = end;
             for chunk in dirty.chunks(WB_CHUNK) {
@@ -418,7 +417,9 @@ impl SimFs {
         let meta = self.files.get(&id).ok_or(FsError::BadFd(fd))?;
         let len = len.min(meta.size_bytes.saturating_sub(offset));
         let first_page = offset / LBA_BYTES as u64;
-        let last_page = (offset + len).div_ceil(LBA_BYTES as u64).max(first_page + 1);
+        let last_page = (offset + len)
+            .div_ceil(LBA_BYTES as u64)
+            .max(first_page + 1);
         let pages = last_page - first_page;
         let syscall_cpu = self.costs.read_syscall(pages);
         let mut t = now + syscall_cpu;
@@ -435,7 +436,7 @@ impl SimFs {
                 let Some(lba) = self.lba_of(id, p) else {
                     continue;
                 };
-                let (c, data) = self.device.lock().read(lba, 1, t)?;
+                let (c, data) = self.device.lock().unwrap().read(lba, 1, t)?;
                 t = t.max(c.done_at);
                 self.cache.fill_page((id, p), data.as_deref());
             }
@@ -476,7 +477,7 @@ impl SimFs {
             let Some(lba) = self.lba_of(id, p) else {
                 continue;
             };
-            let (_, data) = self.device.lock().read(lba, 1, now)?;
+            let (_, data) = self.device.lock().unwrap().read(lba, 1, now)?;
             self.cache.fill_page((id, p), data.as_deref());
         }
         Ok(())
@@ -561,7 +562,9 @@ mod tests {
         let mut f = fs();
         let fd = f.create("wal.log").unwrap();
         let data = vec![0x42u8; 10_000];
-        let w = f.write(fd, 0, data.len() as u64, Some(&data), SimTime::ZERO).unwrap();
+        let w = f
+            .write(fd, 0, data.len() as u64, Some(&data), SimTime::ZERO)
+            .unwrap();
         assert!(w.done_at > SimTime::ZERO);
         let (out, _) = f.read(fd, 0, data.len() as u64, w.done_at).unwrap();
         assert_eq!(out.unwrap(), data);
@@ -571,9 +574,11 @@ mod tests {
     fn unaligned_writes_preserve_neighbors() {
         let mut f = fs();
         let fd = f.create("x").unwrap();
-        f.write(fd, 0, 8192, Some(&vec![1u8; 8192]), SimTime::ZERO).unwrap();
+        f.write(fd, 0, 8192, Some(&vec![1u8; 8192]), SimTime::ZERO)
+            .unwrap();
         // Overwrite bytes 100..200 only.
-        f.write(fd, 100, 100, Some(&vec![9u8; 100]), SimTime::ZERO).unwrap();
+        f.write(fd, 100, 100, Some(&[9u8; 100]), SimTime::ZERO)
+            .unwrap();
         let (out, _) = f.read(fd, 0, 8192, SimTime::ZERO).unwrap();
         let out = out.unwrap();
         assert_eq!(out[99], 1);
@@ -587,11 +592,15 @@ mod tests {
         let mut f = fs();
         let fd = f.create("rdb").unwrap();
         let data = vec![7u8; LBA_BYTES * 3];
-        f.write(fd, 0, data.len() as u64, Some(&data), SimTime::ZERO).unwrap();
-        let before = f.device().lock().ftl().live_pages();
+        f.write(fd, 0, data.len() as u64, Some(&data), SimTime::ZERO)
+            .unwrap();
+        let before = f.device().lock().unwrap().ftl().live_pages();
         let s = f.fsync(fd, SimTime::ZERO).unwrap();
-        let after = f.device().lock().ftl().live_pages();
-        assert!(after > before, "fsync should program pages: {before} -> {after}");
+        let after = f.device().lock().unwrap().ftl().live_pages();
+        assert!(
+            after > before,
+            "fsync should program pages: {before} -> {after}"
+        );
         assert!(s.done_at >= SimTime::from_micros(200), "must wait for NAND");
     }
 
@@ -600,7 +609,9 @@ mod tests {
         let mut f = fs();
         let fd = f.create("w").unwrap();
         let data = vec![1u8; LBA_BYTES];
-        let w = f.write(fd, 0, LBA_BYTES as u64, Some(&data), SimTime::ZERO).unwrap();
+        let w = f
+            .write(fd, 0, LBA_BYTES as u64, Some(&data), SimTime::ZERO)
+            .unwrap();
         // Buffered write: microseconds (no NAND wait).
         assert!(w.done_at < SimTime::from_micros(50), "{:?}", w.done_at);
         let s = f.fsync(fd, w.done_at).unwrap();
@@ -638,9 +649,11 @@ mod tests {
     fn rename_replaces_target() {
         let mut f = fs();
         let a = f.create("temp-rdb").unwrap();
-        f.write(a, 0, 4096, Some(&vec![5u8; 4096]), SimTime::ZERO).unwrap();
+        f.write(a, 0, 4096, Some(&vec![5u8; 4096]), SimTime::ZERO)
+            .unwrap();
         let old = f.create("dump.rdb").unwrap();
-        f.write(old, 0, 4096, Some(&vec![1u8; 4096]), SimTime::ZERO).unwrap();
+        f.write(old, 0, 4096, Some(&vec![1u8; 4096]), SimTime::ZERO)
+            .unwrap();
         f.rename("temp-rdb", "dump.rdb").unwrap();
         let fd = f.open("dump.rdb").unwrap();
         let (out, _) = f.read(fd, 0, 4096, SimTime::ZERO).unwrap();
@@ -653,8 +666,14 @@ mod tests {
         let mut f = fs();
         let fd = f.create("big").unwrap();
         let total = 64 * LBA_BYTES as u64;
-        f.write(fd, 0, total, Some(&vec![3u8; total as usize]), SimTime::ZERO)
-            .unwrap();
+        f.write(
+            fd,
+            0,
+            total,
+            Some(&vec![3u8; total as usize]),
+            SimTime::ZERO,
+        )
+        .unwrap();
         f.fsync(fd, SimTime::ZERO).unwrap();
         // Evict to simulate a cold restart, then stream sequentially.
         f.cache.evict_file(fd.0);
@@ -699,7 +718,8 @@ mod tests {
     fn read_past_eof_is_clamped() {
         let mut f = fs();
         let fd = f.create("s").unwrap();
-        f.write(fd, 0, 100, Some(&vec![1u8; 100]), SimTime::ZERO).unwrap();
+        f.write(fd, 0, 100, Some(&[1u8; 100]), SimTime::ZERO)
+            .unwrap();
         let (out, _) = f.read(fd, 0, 10_000, SimTime::ZERO).unwrap();
         assert_eq!(out.unwrap().len(), 100);
         assert_eq!(f.size(fd).unwrap(), 100);

@@ -260,7 +260,10 @@ mod tests {
                 let rep = Histogram::value_of(idx);
                 assert!(rep >= v, "representative {rep} below value {v}");
                 let err = (rep - v) as f64 / v.max(1) as f64;
-                assert!(err <= 2.0 / SUB_BUCKETS as f64 + 1e-9, "v={v} rep={rep} err={err}");
+                assert!(
+                    err <= 2.0 / SUB_BUCKETS as f64 + 1e-9,
+                    "v={v} rep={rep} err={err}"
+                );
             }
         }
     }
@@ -335,6 +338,6 @@ mod tests {
         h.record(u64::MAX - 1);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
-        assert!(h.percentile(100.0) <= u64::MAX);
+        assert!(h.percentile(100.0) >= u64::MAX - 1);
     }
 }

@@ -124,8 +124,7 @@ impl Geometry {
 
     /// Encodes a [`PagePtr`] to a flat page index.
     pub fn page_flat(&self, p: PagePtr) -> u64 {
-        (p.die as u64 * self.blocks_per_die as u64 + p.block as u64)
-            * self.pages_per_block as u64
+        (p.die as u64 * self.blocks_per_die as u64 + p.block as u64) * self.pages_per_block as u64
             + p.page as u64
     }
 }

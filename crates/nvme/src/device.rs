@@ -227,8 +227,7 @@ impl NvmeDevice {
             }
             if let (Some(buf), Some(store)) = (out.as_mut(), self.store.as_ref()) {
                 if let Some(page) = store.get(&lpn) {
-                    buf[i as usize * LBA_BYTES..(i as usize + 1) * LBA_BYTES]
-                        .copy_from_slice(page);
+                    buf[i as usize * LBA_BYTES..(i as usize + 1) * LBA_BYTES].copy_from_slice(page);
                 }
             }
         }
@@ -432,7 +431,10 @@ mod tests {
                 let _ = round;
             }
         }
-        assert!(gc_latency > clean_latency, "{gc_latency} <= {clean_latency}");
+        assert!(
+            gc_latency > clean_latency,
+            "{gc_latency} <= {clean_latency}"
+        );
     }
 
     #[test]

@@ -15,13 +15,13 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio_des::SimTime;
 use slimio_ftl::Pid;
 use slimio_imdb::backend::{BackendError, IoTiming, PersistBackend, SnapshotKind};
 use slimio_imdb::wal as walcodec;
 use slimio_nvme::{NvmeDevice, LBA_BYTES};
 use slimio_uring::{Cqe, CqeResult, IoUring, PassthruCosts, RingError, SharedClock, Sqe, SqeOp};
+use std::sync::Mutex;
 
 use crate::layout::Layout;
 use crate::metadata::{pick_newest, MetaRecord};
@@ -102,18 +102,15 @@ fn cqe_error(cqe: &Cqe) -> Option<BackendError> {
 
 impl PassthruBackend {
     /// Creates a backend over a fresh device.
-    pub fn new(
-        device: Arc<Mutex<NvmeDevice>>,
-        clock: SharedClock,
-        cfg: PassthruConfig,
-    ) -> Self {
-        let capacity = device.lock().capacity_blocks();
+    pub fn new(device: Arc<Mutex<NvmeDevice>>, clock: SharedClock, cfg: PassthruConfig) -> Self {
+        let capacity = device.lock().unwrap().capacity_blocks();
         let layout = Layout::partition(capacity, cfg.wal_frac);
         // Format: creating a *new* SlimIO instance takes ownership of the
         // LBA space and deallocates it wholesale (use
         // [`PassthruBackend::recover`] to adopt existing state instead).
         device
             .lock()
+            .unwrap()
             .deallocate(0, capacity, SimTime::ZERO)
             .expect("format LBA space");
         let wal_ring = IoUring::new_enter(Arc::clone(&device), clock.clone(), cfg.ring_depth);
@@ -146,11 +143,17 @@ impl PassthruBackend {
         clock: SharedClock,
         cfg: PassthruConfig,
     ) -> Result<Self, BackendError> {
-        let capacity = device.lock().capacity_blocks();
+        let capacity = device.lock().unwrap().capacity_blocks();
         let layout = Layout::partition(capacity, cfg.wal_frac);
         // Step 1: metadata.
-        let (_, page_a) = device.lock().read(layout.meta_lba, 1, SimTime::ZERO)?;
-        let (_, page_b) = device.lock().read(layout.meta_lba + 1, 1, SimTime::ZERO)?;
+        let (_, page_a) = device
+            .lock()
+            .unwrap()
+            .read(layout.meta_lba, 1, SimTime::ZERO)?;
+        let (_, page_b) = device
+            .lock()
+            .unwrap()
+            .read(layout.meta_lba + 1, 1, SimTime::ZERO)?;
         let meta = match (page_a, page_b) {
             (Some(a), Some(b)) => pick_newest(&a, &b).unwrap_or_default(),
             _ => MetaRecord::default(),
@@ -174,7 +177,7 @@ impl PassthruBackend {
             let batch = 64u64.min((region_end - next_off) / page).max(1);
             // Clamp the batch to the contiguous run before the wrap.
             let run = (layout.wal_lbas - (lba - layout.wal_lba)).min(batch);
-            let (_, data) = device.lock().read(lba, run, SimTime::ZERO)?;
+            let (_, data) = device.lock().unwrap().read(lba, run, SimTime::ZERO)?;
             let Some(d) = data else {
                 break; // timing-only device: nothing to scan
             };
@@ -192,7 +195,7 @@ impl PassthruBackend {
                         consumed += used;
                     }
                     Err(walcodec::WalDecodeError::Truncated) => break, // need more pages
-                    Err(_) => break 'scan, // torn tail or garbage
+                    Err(_) => break 'scan,                             // torn tail or garbage
                 }
             }
         }
@@ -237,7 +240,7 @@ impl PassthruBackend {
 
     /// Current device write amplification.
     pub fn waf(&self) -> f64 {
-        self.device.lock().waf()
+        self.device.lock().unwrap().waf()
     }
 
     /// Current slot table (diagnostics).
@@ -480,7 +483,9 @@ impl PersistBackend for PassthruBackend {
         // Final partial page, zero-padded.
         if !st.staged.is_empty() {
             if st.written_pages >= self.layout.slot_lbas {
-                return Err(BackendError::Snapshot("snapshot exceeds slot capacity".into()));
+                return Err(BackendError::Snapshot(
+                    "snapshot exceeds slot capacity".into(),
+                ));
             }
             let mut page = std::mem::take(&mut st.staged);
             page.resize(LBA_BYTES, 0);
@@ -591,6 +596,7 @@ impl PersistBackend for PassthruBackend {
             let (c, data) = self
                 .device
                 .lock()
+                .unwrap()
                 .read(self.layout.wal_lba + slot, run, t)?;
             t = t.max(c.done_at);
             match data {
@@ -628,7 +634,11 @@ mod tests {
     }
 
     fn backend(dev: &Arc<Mutex<NvmeDevice>>) -> PassthruBackend {
-        PassthruBackend::new(Arc::clone(dev), SharedClock::new(), PassthruConfig::default())
+        PassthruBackend::new(
+            Arc::clone(dev),
+            SharedClock::new(),
+            PassthruConfig::default(),
+        )
     }
 
     fn wal_record(seq: u64, payload_len: usize) -> Vec<u8> {
@@ -664,14 +674,20 @@ mod tests {
         let dev = device();
         let mut b = backend(&dev);
         let r0 = b.slot_table().reserve();
-        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
-        b.snapshot_chunk(&vec![0xCD; 10_000], SimTime::ZERO).unwrap();
+        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
+        b.snapshot_chunk(&vec![0xCD; 10_000], SimTime::ZERO)
+            .unwrap();
         b.snapshot_commit(SimTime::ZERO).unwrap();
         assert_ne!(b.slot_table().reserve(), r0);
-        let (data, _) = b.load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        let (data, _) = b
+            .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         assert_eq!(data.unwrap(), vec![0xCD; 10_000]);
         // The WAL-snapshot slot is still empty.
-        let (none, _) = b.load_snapshot(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        let (none, _) = b
+            .load_snapshot(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         assert!(none.is_none());
     }
 
@@ -681,7 +697,8 @@ mod tests {
         let mut b = backend(&dev);
         b.wal_append(&wal_record(1, 3000), SimTime::ZERO).unwrap();
         b.wal_sync(SimTime::ZERO).unwrap();
-        b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         // Records arriving during the snapshot belong to the new tail.
         let post = wal_record(2, 100);
         b.wal_append(&post, SimTime::ZERO).unwrap();
@@ -696,13 +713,17 @@ mod tests {
     fn abort_leaves_previous_snapshot() {
         let dev = device();
         let mut b = backend(&dev);
-        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         b.snapshot_chunk(b"v1", SimTime::ZERO).unwrap();
         b.snapshot_commit(SimTime::ZERO).unwrap();
-        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         b.snapshot_chunk(&vec![9u8; 5000], SimTime::ZERO).unwrap();
         b.snapshot_abort(SimTime::ZERO).unwrap();
-        let (data, _) = b.load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        let (data, _) = b
+            .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         assert_eq!(data.unwrap(), b"v1");
     }
 
@@ -715,7 +736,8 @@ mod tests {
                 b.wal_append(&wal_record(seq, 2000), SimTime::ZERO).unwrap();
             }
             b.wal_sync(SimTime::ZERO).unwrap();
-            b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+            b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
+                .unwrap();
             b.snapshot_chunk(&vec![0xAB; 9000], SimTime::ZERO).unwrap();
             b.snapshot_commit(SimTime::ZERO).unwrap();
             for seq in 6..=8u64 {
@@ -729,7 +751,9 @@ mod tests {
             PassthruConfig::default(),
         )
         .unwrap();
-        let (snap, _) = r.load_snapshot(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        let (snap, _) = r
+            .load_snapshot(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         assert_eq!(snap.unwrap(), vec![0xAB; 9000]);
         let (wal, _) = r.load_wal(SimTime::ZERO).unwrap();
         let recs = walcodec::replay(&wal);
@@ -768,11 +792,14 @@ mod tests {
         let dev = device();
         {
             let mut b = backend(&dev);
-            b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+            b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+                .unwrap();
             b.snapshot_chunk(b"epoch-1", SimTime::ZERO).unwrap();
             b.snapshot_commit(SimTime::ZERO).unwrap();
-            b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
-            b.snapshot_chunk(&vec![0x77u8; 20_000], SimTime::ZERO).unwrap();
+            b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+                .unwrap();
+            b.snapshot_chunk(&vec![0x77u8; 20_000], SimTime::ZERO)
+                .unwrap();
             // No commit — power cut here.
         }
         let mut r = PassthruBackend::recover(
@@ -781,13 +808,18 @@ mod tests {
             PassthruConfig::default(),
         )
         .unwrap();
-        let (snap, _) = r.load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        let (snap, _) = r
+            .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         assert_eq!(snap.unwrap(), b"epoch-1");
         // And the next snapshot still works (reserve slot reusable).
-        r.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        r.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         r.snapshot_chunk(b"epoch-2", SimTime::ZERO).unwrap();
         r.snapshot_commit(SimTime::ZERO).unwrap();
-        let (snap, _) = r.load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        let (snap, _) = r
+            .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         assert_eq!(snap.unwrap(), b"epoch-2");
     }
 
@@ -803,7 +835,8 @@ mod tests {
                 b.wal_append(&wal_record(seq, 3000), SimTime::ZERO).unwrap();
             }
             b.wal_sync(SimTime::ZERO).unwrap();
-            b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+            b.snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
+                .unwrap();
             b.snapshot_chunk(&vec![1u8; 40_000], SimTime::ZERO).unwrap();
             b.snapshot_commit(SimTime::ZERO).unwrap();
         }
@@ -815,7 +848,8 @@ mod tests {
         let dev = device();
         let mut b = backend(&dev);
         let slot_bytes = b.layout().slot_bytes();
-        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        b.snapshot_begin(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         let chunk = vec![0u8; 64 * 1024];
         let mut written = 0u64;
         let mut overflowed = false;

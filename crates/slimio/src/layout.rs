@@ -43,7 +43,10 @@ impl Layout {
     /// Panics if the device is too small to hold a meaningful layout
     /// (< 32 LBAs) or `wal_frac` is not within (0, 1).
     pub fn partition(capacity_lbas: u64, wal_frac: f64) -> Layout {
-        assert!(capacity_lbas >= 32, "device too small: {capacity_lbas} LBAs");
+        assert!(
+            capacity_lbas >= 32,
+            "device too small: {capacity_lbas} LBAs"
+        );
         assert!(
             wal_frac > 0.0 && wal_frac < 1.0,
             "wal_frac must be in (0,1), got {wal_frac}"

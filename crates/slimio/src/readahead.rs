@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio_des::SimTime;
 use slimio_nvme::{DeviceError, NvmeDevice, LBA_BYTES};
+use std::sync::Mutex;
 
 /// Streams a contiguous LBA range with large batched reads.
 pub struct RecoveryReader {
@@ -43,7 +43,7 @@ impl RecoveryReader {
         let mut p = 0u64;
         while p < pages {
             let n = self.batch_pages.min(pages - p);
-            let (c, data) = self.device.lock().read(lba + p, n, t)?;
+            let (c, data) = self.device.lock().unwrap().read(lba + p, n, t)?;
             t = t.max(c.done_at);
             if let Some(d) = data {
                 out.get_or_insert_with(Vec::new).extend_from_slice(&d);
@@ -68,7 +68,7 @@ mod tests {
             PlacementMode::Conventional,
         ))));
         {
-            let mut d = dev.lock();
+            let mut d = dev.lock().unwrap();
             for p in 0..pages {
                 let fill = vec![(p % 251) as u8; LBA_BYTES];
                 d.write(p, 1, 0, Some(&fill), SimTime::ZERO).unwrap();
@@ -81,7 +81,9 @@ mod tests {
     fn reads_back_exact_bytes() {
         let dev = device_with_data(10);
         let r = RecoveryReader::new(Arc::clone(&dev));
-        let (data, _) = r.read_stream(0, 10 * LBA_BYTES as u64, SimTime::ZERO).unwrap();
+        let (data, _) = r
+            .read_stream(0, 10 * LBA_BYTES as u64, SimTime::ZERO)
+            .unwrap();
         let data = data.unwrap();
         assert_eq!(data.len(), 10 * LBA_BYTES);
         for p in 0..10u64 {

@@ -76,7 +76,13 @@ impl WalLog {
     /// Restores a log after recovery: `head` bytes are live starting at
     /// `tail`; `partial` is the content of the final partial page
     /// (`head % 4096` bytes).
-    pub fn restore(region_lba: u64, region_lbas: u64, tail: u64, head: u64, partial: Vec<u8>) -> Self {
+    pub fn restore(
+        region_lba: u64,
+        region_lbas: u64,
+        tail: u64,
+        head: u64,
+        partial: Vec<u8>,
+    ) -> Self {
         assert!(head >= tail);
         assert_eq!(partial.len() as u64, head % PAGE);
         WalLog {
@@ -178,13 +184,23 @@ impl WalLog {
         // Only pages strictly below the new tail's page are fully dead.
         let end_dead_page = new_tail / PAGE;
         self.tail = new_tail;
-        ranges_of_pages(self.region_lba, self.region_lbas, first_dead_page, end_dead_page)
+        ranges_of_pages(
+            self.region_lba,
+            self.region_lbas,
+            first_dead_page,
+            end_dead_page,
+        )
     }
 }
 
 /// Converts a monotonic page range into contiguous LBA ranges, splitting
 /// at the circular wrap point.
-fn ranges_of_pages(region_lba: u64, region_lbas: u64, start_page: u64, end_page: u64) -> Vec<(u64, u64)> {
+fn ranges_of_pages(
+    region_lba: u64,
+    region_lbas: u64,
+    start_page: u64,
+    end_page: u64,
+) -> Vec<(u64, u64)> {
     let mut out = Vec::new();
     let mut p = start_page;
     while p < end_page {

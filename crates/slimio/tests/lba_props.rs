@@ -1,18 +1,18 @@
-//! Property tests for the LBA space manager and crash recovery.
+//! Randomized tests for the LBA space manager and crash recovery.
 //!
 //! Random scripts of WAL appends/syncs and snapshot begin/chunk/commit/
-//! abort run against the passthru backend; at a random crash point the
-//! backend is dropped and recovered, and the §4.2 guarantees are checked:
-//! committed snapshots intact, synced WAL prefix intact, sequence numbers
-//! monotone, never a torn mix of generations.
+//! abort run against the passthru backend; at the end the backend is
+//! dropped and recovered, and the §4.2 guarantees are checked: committed
+//! snapshots intact, synced WAL prefix intact, sequence numbers monotone,
+//! never a torn mix of generations. Scripts come from the workspace's
+//! deterministic PRNG so every case reproduces from its seed.
 
 use std::sync::Arc;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
-use proptest::prelude::*;
 use slimio::wal_log::WalLog;
 use slimio::{PassthruBackend, PassthruConfig};
-use slimio_des::SimTime;
+use slimio_des::{SimTime, Xoshiro256};
 use slimio_ftl::PlacementMode;
 use slimio_imdb::backend::{PersistBackend, SnapshotKind};
 use slimio_imdb::wal::{encode, replay, WalRecord};
@@ -29,15 +29,17 @@ enum Op {
     SnapAbort,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        5 => (1u16..2000).prop_map(Op::Append),
-        3 => Just(Op::Sync),
-        1 => any::<bool>().prop_map(Op::SnapBegin),
-        3 => (1u16..5000).prop_map(Op::SnapChunk),
-        1 => Just(Op::SnapCommit),
-        1 => Just(Op::SnapAbort),
-    ]
+fn gen_op(rng: &mut Xoshiro256) -> Op {
+    // Weights mirror the original strategy: 5 append : 3 sync : 1 begin :
+    // 3 chunk : 1 commit : 1 abort.
+    match rng.gen_range(14) {
+        0..=4 => Op::Append(1 + rng.gen_range(1999) as u16),
+        5..=7 => Op::Sync,
+        8 => Op::SnapBegin(rng.gen_range(2) == 0),
+        9..=11 => Op::SnapChunk(1 + rng.gen_range(4999) as u16),
+        12 => Op::SnapCommit,
+        _ => Op::SnapAbort,
+    }
 }
 
 fn wal_record(seq: u64, len: u16) -> Vec<u8> {
@@ -53,13 +55,13 @@ fn wal_record(seq: u64, len: u16) -> Vec<u8> {
     buf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+#[test]
+fn random_script_crash_recovers_consistently() {
+    let mut rng = Xoshiro256::new(0x1BA_5EED);
+    for _case in 0..32 {
+        let n = 1 + rng.gen_range(59) as usize;
+        let ops: Vec<Op> = (0..n).map(|_| gen_op(&mut rng)).collect();
 
-    #[test]
-    fn random_script_crash_recovers_consistently(
-        ops in proptest::collection::vec(op_strategy(), 1..60),
-    ) {
         let dev = Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
             PlacementMode::Fdp { max_pids: 8 },
         ))));
@@ -152,13 +154,12 @@ proptest! {
         for (kind, bytes) in &committed {
             let (got, _) = rec.load_snapshot(*kind, t).unwrap();
             if bytes.is_empty() {
-                prop_assert!(got.is_none() || got.as_deref() == Some(&[][..]));
+                assert!(got.is_none() || got.as_deref() == Some(&[][..]));
             } else {
-                prop_assert_eq!(
+                assert_eq!(
                     got.as_deref(),
                     Some(bytes.as_slice()),
-                    "snapshot {:?} lost or corrupted",
-                    kind
+                    "snapshot {kind:?} lost or corrupted"
                 );
             }
         }
@@ -166,61 +167,55 @@ proptest! {
         // The synced WAL prefix of the live generation replays, in order.
         let (wal, _) = rec.load_wal(t).unwrap();
         let seqs: Vec<u64> = replay(&wal).iter().map(|r| r.seq()).collect();
-        prop_assert!(
+        assert!(
             seqs.len() >= synced.len(),
-            "synced records lost: got {:?}, expected at least {:?}",
-            seqs,
-            synced
+            "synced records lost: got {seqs:?}, expected at least {synced:?}"
         );
-        prop_assert_eq!(&seqs[..synced.len()], synced.as_slice());
+        assert_eq!(&seqs[..synced.len()], synced.as_slice());
         for w in seqs.windows(2) {
-            prop_assert!(w[0] < w[1], "replay out of order: {:?}", seqs);
+            assert!(w[0] < w[1], "replay out of order: {seqs:?}");
         }
     }
+}
 
-    #[test]
-    fn wal_log_append_truncate_invariants(
-        ops in proptest::collection::vec(
-            prop_oneof![
-                4 => (1u64..9000).prop_map(|n| (0u8, n)),  // append n bytes
-                1 => (0u64..100).prop_map(|p| (1u8, p)),   // truncate to head - p%
-            ],
-            1..200
-        ),
-    ) {
+#[test]
+fn wal_log_append_truncate_invariants() {
+    let mut rng = Xoshiro256::new(0x1BA_70C5);
+    for _case in 0..32 {
+        let n = 1 + rng.gen_range(199) as usize;
         let region_lbas = 64u64; // 256 KiB region
         let mut log = WalLog::new(10, region_lbas);
-        for (kind, arg) in ops {
-            match kind {
-                0 => {
-                    let before = log.head();
-                    match log.append(&vec![7u8; arg as usize]) {
-                        Ok(pages) => {
-                            prop_assert_eq!(log.head(), before + arg);
-                            for pw in &pages {
-                                prop_assert!(pw.lba >= 10 && pw.lba < 10 + region_lbas);
-                                prop_assert_eq!(pw.data.len(), 4096);
-                            }
-                        }
-                        Err(_) => {
-                            // Full: state unchanged.
-                            prop_assert_eq!(log.head(), before);
+        for _ in 0..n {
+            // 4 append : 1 truncate.
+            if rng.gen_range(5) < 4 {
+                let arg = 1 + rng.gen_range(8999);
+                let before = log.head();
+                match log.append(&vec![7u8; arg as usize]) {
+                    Ok(pages) => {
+                        assert_eq!(log.head(), before + arg);
+                        for pw in &pages {
+                            assert!(pw.lba >= 10 && pw.lba < 10 + region_lbas);
+                            assert_eq!(pw.data.len(), 4096);
                         }
                     }
-                }
-                _ => {
-                    let span = log.head() - log.tail();
-                    let new_tail = log.tail() + span * (arg % 100) / 100;
-                    let dead = log.truncate_to(new_tail);
-                    for (lba, n) in dead {
-                        prop_assert!(lba >= 10 && lba + n <= 10 + region_lbas);
-                        prop_assert!(n >= 1);
+                    Err(_) => {
+                        // Full: state unchanged.
+                        assert_eq!(log.head(), before);
                     }
-                    prop_assert_eq!(log.tail(), new_tail);
                 }
+            } else {
+                let pct = rng.gen_range(100);
+                let span = log.head() - log.tail();
+                let new_tail = log.tail() + span * pct / 100;
+                let dead = log.truncate_to(new_tail);
+                for (lba, n) in dead {
+                    assert!(lba >= 10 && lba + n <= 10 + region_lbas);
+                    assert!(n >= 1);
+                }
+                assert_eq!(log.tail(), new_tail);
             }
-            prop_assert!(log.live_bytes() <= log.capacity());
-            prop_assert!(log.tail() <= log.head());
+            assert!(log.live_bytes() <= log.capacity());
+            assert!(log.tail() <= log.head());
         }
     }
 }

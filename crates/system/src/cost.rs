@@ -119,7 +119,10 @@ mod tests {
         let c = CostModel::default();
         // A bare 4 KiB SET: ~12.4 µs ⇒ ~80k op/s single-threaded ceiling.
         let t = c.cmd_cpu(false, 4096);
-        assert!(t >= SimTime::from_micros(11) && t <= SimTime::from_micros(15), "{t}");
+        assert!(
+            t >= SimTime::from_micros(11) && t <= SimTime::from_micros(15),
+            "{t}"
+        );
         // GETs are cheaper.
         assert!(c.cmd_cpu(true, 0) < c.cmd_cpu(false, 0));
     }
@@ -136,7 +139,10 @@ mod tests {
         // the smaller dataset still snapshots *slower* (Table 4: 225 s).
         let t2 = c.snap_cpu(9_000_000, 9_000_000 * 2048, true);
         let secs2 = t2.as_secs_f64();
-        assert!(secs2 > secs, "YCSB snapshot must be longer: {secs2} vs {secs}");
+        assert!(
+            secs2 > secs,
+            "YCSB snapshot must be longer: {secs2} vs {secs}"
+        );
     }
 
     #[test]

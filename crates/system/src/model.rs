@@ -122,6 +122,9 @@ pub struct RunResult {
     pub timeline: Timeline,
     /// GC passes the device ran.
     pub gc_passes: u64,
+    /// Simulation events processed (scheduler steps), for events/sec
+    /// throughput reporting of the simulator itself.
+    pub events: u64,
 }
 
 struct SnapJob {
@@ -246,11 +249,7 @@ impl<G: WorkloadGen, P: PathModel> SystemModel<G, P> {
     }
 
     fn mem_used(&self) -> u64 {
-        self.mem_base
-            + self
-                .snap
-                .as_ref()
-                .map_or(0, |s| s.cow.retained_bytes())
+        self.mem_base + self.snap.as_ref().map_or(0, |s| s.cow.retained_bytes())
     }
 
     fn wal_record_bytes(&self, value_len: u32) -> u64 {
@@ -271,8 +270,7 @@ impl<G: WorkloadGen, P: PathModel> SystemModel<G, P> {
         if !is_get {
             // Keyspace + memory accounting.
             if self.mark_present(op.key) {
-                self.mem_base +=
-                    op.value_len as u64 + 8 + self.cfg.entry_overhead;
+                self.mem_base += op.value_len as u64 + 8 + self.cfg.entry_overhead;
             }
             // CoW fault on first touch while a snapshot runs (§2.2).
             if let Some(s) = self.snap.as_mut() {
@@ -294,8 +292,7 @@ impl<G: WorkloadGen, P: PathModel> SystemModel<G, P> {
                 // The event-loop iteration ends — and its group commit
                 // fires — when the batch is full OR no further client has
                 // a request pending (all are blocked awaiting the fsync).
-                let group_full = self.group.len() as u32
-                    >= self.cfg.cost.group_commit_ops
+                let group_full = self.group.len() as u32 >= self.cfg.cost.group_commit_ops
                     || (!self.group.is_empty() && self.ready.is_empty());
                 // Commit the group when full, or when a GET is about to
                 // be answered after pending writes (read-your-writes).
@@ -467,7 +464,10 @@ impl<G: WorkloadGen, P: PathModel> SystemModel<G, P> {
             let duration = end.saturating_sub(s.started);
             self.snapshot_times.push(duration);
             // Fig. 2a breakdown: in-memory vs kernel path vs device.
-            let io_cpu = self.path.snap_io_cpu().saturating_sub(self.snap_io_cpu_mark);
+            let io_cpu = self
+                .path
+                .snap_io_cpu()
+                .saturating_sub(self.snap_io_cpu_mark);
             let dev = self
                 .path
                 .snap_dev_wait()
@@ -509,7 +509,9 @@ impl<G: WorkloadGen, P: PathModel> SystemModel<G, P> {
             .ops_limit
             .unwrap_or(u64::MAX)
             .min(self.gen.total_ops());
+        let mut events = 0u64;
         while self.ops_done < total || self.snap.is_some() {
+            events += 1;
             let snap_t = self.snap.as_ref().map(|s| s.t);
             match snap_t {
                 Some(st) if st <= self.now || self.ops_done >= total => {
@@ -553,16 +555,14 @@ impl<G: WorkloadGen, P: PathModel> SystemModel<G, P> {
         let duration = self
             .now
             .max(self.snapshot_times.iter().fold(SimTime::ZERO, |a, _| a));
-        let waf = self.path.device().lock().ftl_stats().waf.clone();
-        let gc_passes = self.path.device().lock().ftl_stats().gc_passes;
+        let waf = self.path.device().lock().unwrap().ftl_stats().waf.clone();
+        let gc_passes = self.path.device().lock().unwrap().ftl_stats().gc_passes;
         RunResult {
             ops: self.ops_done,
             duration,
             avg_rps: self.ops_done as f64 / duration.as_secs_f64().max(1e-9),
-            wal_only_rps: self.ops_wal_only as f64
-                / self.time_wal_only.as_secs_f64().max(1e-9),
-            wal_snap_rps: self.ops_wal_snap as f64
-                / self.time_wal_snap.as_secs_f64().max(1e-9),
+            wal_only_rps: self.ops_wal_only as f64 / self.time_wal_only.as_secs_f64().max(1e-9),
+            wal_snap_rps: self.ops_wal_snap as f64 / self.time_wal_snap.as_secs_f64().max(1e-9),
             set_lat: std::mem::take(&mut self.set_lat),
             get_lat: std::mem::take(&mut self.get_lat),
             snapshot_times: std::mem::take(&mut self.snapshot_times),
@@ -573,13 +573,13 @@ impl<G: WorkloadGen, P: PathModel> SystemModel<G, P> {
             mem_peak: self.mem_peak,
             waf,
             fs_cpu_fraction: if self.snap_total_time > SimTime::ZERO {
-                self.fs_cpu_total.as_nanos() as f64
-                    / self.snap_total_time.as_nanos() as f64
+                self.fs_cpu_total.as_nanos() as f64 / self.snap_total_time.as_nanos() as f64
             } else {
                 0.0
             },
             timeline: std::mem::replace(&mut self.timeline, Timeline::new(1)),
             gc_passes,
+            events,
         }
     }
 }
@@ -591,46 +591,84 @@ mod dbg_tests {
     use std::sync::Arc;
 
     struct StubPath {
-        dev: Arc<parking_lot::Mutex<slimio_nvme::NvmeDevice>>,
+        dev: Arc<std::sync::Mutex<slimio_nvme::NvmeDevice>>,
         wal: u64,
     }
     impl PathModel for StubPath {
         fn wal_append(&mut self, bytes: u64, now: SimTime) -> LaneTiming {
             self.wal += bytes;
-            LaneTiming { done_at: now + SimTime::from_micros(2), cpu: SimTime::from_micros(2) }
+            LaneTiming {
+                done_at: now + SimTime::from_micros(2),
+                cpu: SimTime::from_micros(2),
+            }
         }
         fn wal_sync(&mut self, now: SimTime) -> LaneTiming {
-            LaneTiming { done_at: now + SimTime::from_micros(200), cpu: SimTime::from_micros(5) }
+            LaneTiming {
+                done_at: now + SimTime::from_micros(200),
+                cpu: SimTime::from_micros(5),
+            }
         }
-        fn wal_len(&self) -> u64 { self.wal }
-        fn snap_begin(&mut self, _r: bool, _n: SimTime) { self.wal = 0; }
+        fn wal_len(&self) -> u64 {
+            self.wal
+        }
+        fn snap_begin(&mut self, _r: bool, _n: SimTime) {
+            self.wal = 0;
+        }
         fn snap_write(&mut self, _b: u64, now: SimTime) -> LaneTiming {
-            LaneTiming { done_at: now + SimTime::from_micros(100), cpu: SimTime::from_micros(10) }
+            LaneTiming {
+                done_at: now + SimTime::from_micros(100),
+                cpu: SimTime::from_micros(10),
+            }
         }
         fn snap_commit(&mut self, now: SimTime) -> LaneTiming {
-            LaneTiming { done_at: now, cpu: SimTime::ZERO }
+            LaneTiming {
+                done_at: now,
+                cpu: SimTime::ZERO,
+            }
         }
-        fn device(&self) -> &Arc<parking_lot::Mutex<slimio_nvme::NvmeDevice>> { &self.dev }
-        fn snap_io_cpu(&self) -> SimTime { SimTime::ZERO }
-        fn snap_dev_wait(&self) -> SimTime { SimTime::ZERO }
-        fn fs_cpu_snapshot(&self) -> SimTime { SimTime::ZERO }
+        fn device(&self) -> &Arc<std::sync::Mutex<slimio_nvme::NvmeDevice>> {
+            &self.dev
+        }
+        fn snap_io_cpu(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn snap_dev_wait(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn fs_cpu_snapshot(&self) -> SimTime {
+            SimTime::ZERO
+        }
     }
 
     #[test]
     fn ops_continue_during_snapshots() {
-        let dev = Arc::new(parking_lot::Mutex::new(slimio_nvme::NvmeDevice::new(
+        let dev = Arc::new(std::sync::Mutex::new(slimio_nvme::NvmeDevice::new(
             slimio_nvme::DeviceConfig::tiny(slimio_ftl::PlacementMode::Conventional),
         )));
         let gen = slimio_workload::RedisBench::new(slimio_workload::Scale::ratio(0.002), 1);
-        let mut cfg = SystemConfig::default();
-        cfg.wal_snapshot_threshold = 10_000_000; // ~10MB -> several rotations
+        let cfg = SystemConfig {
+            wal_snapshot_threshold: 10_000_000, // ~10MB -> several rotations
+            ..SystemConfig::default()
+        };
         let model = SystemModel::new(cfg, gen, StubPath { dev, wal: 0 });
         let r = model.run();
-        eprintln!("snaps={} walOnly={} walSnap={} opsSnapPhase~{}",
-            r.snapshot_times.len(), r.wal_only_rps, r.wal_snap_rps,
-            r.wal_snap_rps * r.snapshot_times.iter().map(|t| t.as_secs_f64()).sum::<f64>());
+        eprintln!(
+            "snaps={} walOnly={} walSnap={} opsSnapPhase~{}",
+            r.snapshot_times.len(),
+            r.wal_only_rps,
+            r.wal_snap_rps,
+            r.wal_snap_rps
+                * r.snapshot_times
+                    .iter()
+                    .map(|t| t.as_secs_f64())
+                    .sum::<f64>()
+        );
         assert!(!r.snapshot_times.is_empty());
-        assert!(r.wal_snap_rps > 0.3 * r.wal_only_rps,
-            "main lane starved during snapshots: {} vs {}", r.wal_snap_rps, r.wal_only_rps);
+        assert!(
+            r.wal_snap_rps > 0.3 * r.wal_only_rps,
+            "main lane starved during snapshots: {} vs {}",
+            r.wal_snap_rps,
+            r.wal_only_rps
+        );
     }
 }

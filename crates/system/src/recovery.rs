@@ -10,11 +10,11 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio_des::SimTime;
 use slimio_kpath::{FsProfile, KernelCosts, SimFs};
 use slimio_nvme::{NvmeDevice, LBA_BYTES};
 use slimio_uring::PassthruCosts;
+use std::sync::Mutex;
 
 use crate::experiment::{Experiment, StackKind};
 
@@ -81,7 +81,8 @@ fn kernel_recovery(
     let fd = fs.create("snapshot.rdb").expect("create");
     // Materialize (untimed) and push to media; then drop the page cache —
     // recovery starts cold, as after a restart.
-    fs.write(fd, 0, stream_bytes, None, SimTime::ZERO).expect("fill");
+    fs.write(fd, 0, stream_bytes, None, SimTime::ZERO)
+        .expect("fill");
     fs.fsync(fd, SimTime::ZERO).expect("fsync");
     fs.crash();
 
@@ -110,16 +111,17 @@ fn passthru_recovery(
     stream_bytes: u64,
 ) -> RecoveryResult {
     // Materialize the snapshot in a slot region (untimed).
-    let capacity = device.lock().capacity_blocks();
+    let capacity = device.lock().unwrap().capacity_blocks();
     let layout = slimio::layout::Layout::default_for(capacity);
     let slot = layout.slot_lba(0);
     let pages = stream_bytes.div_ceil(LBA_BYTES as u64);
     {
-        let mut dev = device.lock();
+        let mut dev = device.lock().unwrap();
         let mut p = 0;
         while p < pages {
             let n = 256.min(pages - p);
-            dev.write(slot + p, n, 2, None, SimTime::ZERO).expect("fill");
+            dev.write(slot + p, n, 2, None, SimTime::ZERO)
+                .expect("fill");
             p += n;
         }
     }
@@ -139,14 +141,13 @@ fn passthru_recovery(
         let len = batch_bytes.min(stream_bytes - off);
         let lba = slot + off / LBA_BYTES as u64;
         read_done = {
-            let mut dev = device.lock();
+            let mut dev = device.lock().unwrap();
             dev.read(lba, len.div_ceil(LBA_BYTES as u64), read_done)
                 .expect("read")
                 .0
                 .done_at
         };
-        let parse =
-            costs.per_byte.mul(len) + costs.per_entry.mul_f64(entries_per_batch);
+        let parse = costs.per_byte.mul(len) + costs.per_entry.mul_f64(entries_per_batch);
         parse_done = parse_done.max(read_done) + parse + ring.submit_sqpoll(1);
         off += len;
     }

@@ -12,7 +12,6 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio::layout::Layout;
 use slimio::pids;
 use slimio::slots::{SlotRole, SlotTable};
@@ -20,6 +19,7 @@ use slimio_des::SimTime;
 use slimio_kpath::{Fd, FsProfile, KernelCosts, SimFs};
 use slimio_nvme::{NvmeDevice, LBA_BYTES};
 use slimio_uring::PassthruCosts;
+use std::sync::Mutex;
 
 /// Timing of one path operation as seen by the calling lane.
 #[derive(Clone, Copy, Debug, Default)]
@@ -91,7 +91,7 @@ impl<P: PathModel + ?Sized> PathModel for Box<P> {
 
 /// Current device WAF, shared helper.
 pub fn device_waf(dev: &Arc<Mutex<NvmeDevice>>) -> f64 {
-    dev.lock().waf()
+    dev.lock().unwrap().waf()
 }
 
 // ---------------------------------------------------------------------
@@ -189,7 +189,10 @@ impl PathModel for KernelPath {
 
     fn snap_write(&mut self, bytes: u64, now: SimTime) -> LaneTiming {
         let (fd, off) = self.snap.expect("snapshot not begun");
-        let o = self.fs.write(fd, off, bytes, None, now).expect("snap write");
+        let o = self
+            .fs
+            .write(fd, off, bytes, None, now)
+            .expect("snap write");
         self.snap = Some((fd, off + bytes));
         let cpu = o.syscall_cpu + o.fs_cpu;
         self.snap_io_cpu += cpu + o.journal_wait;
@@ -307,13 +310,14 @@ impl PassthruPath {
     /// Builds the passthru stack over `device`. `use_pids` selects FDP
     /// tagging (the device must be in FDP mode for the PIDs to matter).
     pub fn new(device: Arc<Mutex<NvmeDevice>>, ring_depth: usize, use_pids: bool) -> Self {
-        let capacity = device.lock().capacity_blocks();
+        let capacity = device.lock().unwrap().capacity_blocks();
         let layout = Layout::default_for(capacity);
         // Formatting: SlimIO owns the LBA space (§4.2), so initialization
         // deallocates it wholesale — an aged device starts clean, exactly
         // like running blkdiscard before mounting a fresh deployment.
         device
             .lock()
+            .unwrap()
             .deallocate(0, capacity, SimTime::ZERO)
             .expect("format LBA space");
         PassthruPath {
@@ -358,8 +362,10 @@ impl PassthruPath {
         for p in first_page..first_page + pages {
             let lba = self.layout.wal_lba + p % self.layout.wal_lbas;
             let done = {
-                let mut dev = self.device.lock();
-                dev.write(lba, 1, pid, None, issue).expect("wal write").done_at
+                let mut dev = self.device.lock().unwrap();
+                dev.write(lba, 1, pid, None, issue)
+                    .expect("wal write")
+                    .done_at
             };
             issue = issue.max(self.wal_window.push(issue, done));
         }
@@ -393,7 +399,7 @@ impl PathModel for PassthruPath {
             let p = self.wal_head / page;
             let lba = self.layout.wal_lba + p % self.layout.wal_lbas;
             let done = {
-                let mut dev = self.device.lock();
+                let mut dev = self.device.lock().unwrap();
                 dev.write(lba, 1, self.pid(pids::WAL), None, now)
                     .expect("tail write")
                     .done_at
@@ -439,8 +445,10 @@ impl PathModel for PassthruPath {
         for p in first..end {
             let lba = slot_lba + (p % self.layout.slot_lbas);
             let c = {
-                let mut dev = self.device.lock();
-                dev.write(lba, 1, pid, None, issue).expect("snap write").done_at
+                let mut dev = self.device.lock().unwrap();
+                dev.write(lba, 1, pid, None, issue)
+                    .expect("snap write")
+                    .done_at
             };
             issue = issue.max(self.snap_window.push(issue, c));
         }
@@ -458,13 +466,13 @@ impl PathModel for PassthruPath {
         // 2. Promote + metadata page.
         let (_, demoted) = self.slots.promote(self.snap_role, self.snap_written);
         let t_meta = {
-            let mut dev = self.device.lock();
+            let mut dev = self.device.lock().unwrap();
             dev.write(self.layout.meta_lba, 1, self.pid(pids::META), None, t_data)
                 .expect("meta write")
                 .done_at
         };
         // 3. Deallocate superseded data.
-        let mut dev = self.device.lock();
+        let mut dev = self.device.lock().unwrap();
         let page = LBA_BYTES as u64;
         if self.rotate_pending {
             let first_dead = self.wal_tail / page;
@@ -517,9 +525,7 @@ mod tests {
         let geometry = Geometry::scaled(0.05);
         let ftl = match mode {
             PlacementMode::Conventional => FtlConfig::conventional(geometry),
-            PlacementMode::Fdp { .. } => {
-                FtlConfig::fdp_with_ru(geometry, 64 * 1024 * 1024)
-            }
+            PlacementMode::Fdp { .. } => FtlConfig::fdp_with_ru(geometry, 64 * 1024 * 1024),
         };
         Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig {
             ftl,
@@ -633,7 +639,11 @@ mod tests {
             let r = p.snap_commit(t);
             t = r.done_at;
         }
-        assert!((device_waf(&dev) - 1.0).abs() < 1e-9, "WAF {}", device_waf(&dev));
+        assert!(
+            (device_waf(&dev) - 1.0).abs() < 1e-9,
+            "WAF {}",
+            device_waf(&dev)
+        );
     }
 
     #[test]

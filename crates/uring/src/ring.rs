@@ -4,8 +4,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
 use slimio_nvme::NvmeDevice;
+use std::sync::Mutex;
 
 use crate::clock::SharedClock;
 use crate::spsc::{self, Consumer, Producer};
@@ -70,7 +70,7 @@ pub struct IoUring {
 fn execute(device: &Mutex<NvmeDevice>, clock: &SharedClock, sqe: Sqe) -> Cqe {
     let now = sqe.submitted_at.max(clock.now());
     let user_data = sqe.user_data;
-    let mut dev = device.lock();
+    let mut dev = device.lock().unwrap();
     let (completed_at, result) = match sqe.op {
         SqeOp::Write {
             lba,
@@ -222,8 +222,7 @@ impl IoUring {
                 let mut n = 0;
                 while let Some(sqe) = sq_cons.pop() {
                     let cqe = execute(&self.device, &self.clock, sqe);
-                    cq_prod
-                        .push(cqe).expect("CQ sized 2x SQ cannot fill");
+                    cq_prod.push(cqe).expect("CQ sized 2x SQ cannot fill");
                     n += 1;
                 }
                 n
@@ -357,7 +356,7 @@ mod tests {
     #[test]
     fn device_errors_surface_as_cqe_errors() {
         let dev = device();
-        dev.lock().power_off();
+        dev.lock().unwrap().power_off();
         let mut ring = IoUring::new_enter(dev, SharedClock::new(), 4);
         ring.submit(write_sqe(9, 0, 0)).unwrap();
         let cqes = ring.wait_all();
@@ -432,7 +431,7 @@ mod tests {
             }
         }
         // FDP separation held: disjoint PIDs, no GC copies needed ever.
-        assert!((dev.lock().waf() - 1.0).abs() < 1e-12);
+        assert!((dev.lock().unwrap().waf() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -13,7 +13,25 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::CachePadded;
+/// Pads and aligns a value to 128 bytes (two x86-64 cache lines, covering
+/// the adjacent-line prefetcher) so the producer's tail and the consumer's
+/// head never share a cache line and ping-pong between cores.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    const fn new(v: T) -> Self {
+        CachePadded(v)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
 
 struct Inner<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,

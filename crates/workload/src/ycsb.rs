@@ -49,7 +49,11 @@ impl WorkloadGen for YcsbA {
         Op {
             kind,
             key,
-            value_len: if kind == OpKind::Set { self.value_len } else { 0 },
+            value_len: if kind == OpKind::Set {
+                self.value_len
+            } else {
+                0
+            },
         }
     }
 

@@ -27,7 +27,10 @@ impl Zipfian {
     /// Creates a generator with a custom exponent `theta` in (0, 1).
     pub fn with_theta(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipfian needs a non-empty key space");
-        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1), got {theta}");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0,1), got {theta}"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);

@@ -14,7 +14,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio_suite::des::SimTime;
 use slimio_suite::ftl::PlacementMode;
 use slimio_suite::imdb::backend::SnapshotKind;
@@ -22,6 +21,7 @@ use slimio_suite::imdb::{Db, DbConfig, LogPolicy};
 use slimio_suite::nvme::{DeviceConfig, NvmeDevice};
 use slimio_suite::slimio::{PassthruBackend, PassthruConfig};
 use slimio_suite::uring::SharedClock;
+use std::sync::Mutex;
 
 const PARTITIONS: u32 = 16;
 const TIMESTEPS: u32 = 40;
@@ -33,7 +33,9 @@ fn field(step: u32, part: u32) -> Vec<u8> {
     let mut v = Vec::with_capacity(FIELD_BYTES);
     let mut x = (u64::from(step) << 32 | u64::from(part)) | 1;
     while v.len() < FIELD_BYTES {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         v.extend_from_slice(&x.to_le_bytes());
     }
     v.truncate(FIELD_BYTES);
@@ -61,7 +63,11 @@ fn main() {
         ..DbConfig::default()
     };
     let mut db = Db::new(
-        PassthruBackend::new(Arc::clone(&device), SharedClock::new(), PassthruConfig::default()),
+        PassthruBackend::new(
+            Arc::clone(&device),
+            SharedClock::new(),
+            PassthruConfig::default(),
+        ),
         cfg,
     );
 
@@ -71,9 +77,13 @@ fn main() {
         run_timestep(&mut db, step);
         if step % CHECKPOINT_EVERY == 0 {
             // On-demand checkpoint: long-lived, gets its own PID / RUs.
-            db.snapshot_run(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+            db.snapshot_run(SnapshotKind::OnDemand, SimTime::ZERO)
+                .unwrap();
             last_checkpoint = step;
-            println!("checkpoint at timestep {step} (WAF {:.3})", device.lock().waf());
+            println!(
+                "checkpoint at timestep {step} (WAF {:.3})",
+                device.lock().unwrap().waf()
+            );
         }
     }
     println!("simulated crash after timestep {crash_at} (last checkpoint: {last_checkpoint})");
@@ -103,15 +113,19 @@ fn main() {
     for step in resumed_from + 1..=TIMESTEPS {
         run_timestep(&mut db, step);
         if step % CHECKPOINT_EVERY == 0 {
-            db.snapshot_run(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+            db.snapshot_run(SnapshotKind::OnDemand, SimTime::ZERO)
+                .unwrap();
             println!("checkpoint at timestep {step}");
         }
     }
     println!(
         "simulation complete: {} keys, final WAF {:.3}",
         db.len(),
-        device.lock().waf()
+        device.lock().unwrap().waf()
     );
-    assert_eq!(&*db.get(b"sim:last_step").unwrap(), TIMESTEPS.to_string().as_bytes());
+    assert_eq!(
+        &*db.get(b"sim:last_step").unwrap(),
+        TIMESTEPS.to_string().as_bytes()
+    );
     println!("cfd_checkpoint OK");
 }

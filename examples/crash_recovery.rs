@@ -16,7 +16,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio_suite::des::SimTime;
 use slimio_suite::ftl::PlacementMode;
 use slimio_suite::imdb::backend::{PersistBackend, SnapshotKind};
@@ -24,6 +23,7 @@ use slimio_suite::imdb::wal::{encode, replay, WalRecord};
 use slimio_suite::nvme::{DeviceConfig, NvmeDevice};
 use slimio_suite::slimio::{PassthruBackend, PassthruConfig};
 use slimio_suite::uring::SharedClock;
+use std::sync::Mutex;
 
 fn device() -> Arc<Mutex<NvmeDevice>> {
     Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
@@ -32,12 +32,20 @@ fn device() -> Arc<Mutex<NvmeDevice>> {
 }
 
 fn fresh(dev: &Arc<Mutex<NvmeDevice>>) -> PassthruBackend {
-    PassthruBackend::new(Arc::clone(dev), SharedClock::new(), PassthruConfig::default())
+    PassthruBackend::new(
+        Arc::clone(dev),
+        SharedClock::new(),
+        PassthruConfig::default(),
+    )
 }
 
 fn recover(dev: &Arc<Mutex<NvmeDevice>>) -> PassthruBackend {
-    PassthruBackend::recover(Arc::clone(dev), SharedClock::new(), PassthruConfig::default())
-        .expect("recovery")
+    PassthruBackend::recover(
+        Arc::clone(dev),
+        SharedClock::new(),
+        PassthruConfig::default(),
+    )
+    .expect("recovery")
 }
 
 fn wal_record(seq: u64) -> Vec<u8> {
@@ -68,7 +76,10 @@ fn main() {
     let mut b = recover(&dev);
     let (wal, _) = b.load_wal(t).unwrap();
     let recs = replay(&wal);
-    println!("scenario 1: {} of 3 records durable (record 3 was unsynced)", recs.len());
+    println!(
+        "scenario 1: {} of 3 records durable (record 3 was unsynced)",
+        recs.len()
+    );
     assert_eq!(recs.len(), 2);
 
     // --- Scenario 2: crash mid-snapshot leaves the old snapshot intact. ---
@@ -85,7 +96,10 @@ fn main() {
     }
     let mut b = recover(&dev);
     let (snap, _) = b.load_snapshot(SnapshotKind::OnDemand, t).unwrap();
-    println!("scenario 2: recovered snapshot = {:?}", String::from_utf8_lossy(&snap.clone().unwrap()));
+    println!(
+        "scenario 2: recovered snapshot = {:?}",
+        String::from_utf8_lossy(&snap.clone().unwrap())
+    );
     assert_eq!(snap.unwrap(), b"checkpoint-v1");
 
     // --- Scenario 3: torn metadata page → previous epoch wins. ---
@@ -103,7 +117,7 @@ fn main() {
     };
     {
         // Tear epoch 2's page (LBA parity 0).
-        let mut d = dev.lock();
+        let mut d = dev.lock().unwrap();
         d.write(meta_lba, 1, 0, Some(&vec![0xFF; 4096]), t).unwrap();
     }
     let mut b = recover(&dev);
@@ -138,5 +152,8 @@ fn main() {
     );
     assert_eq!(od.unwrap(), b"precious-backup");
 
-    println!("crash_recovery OK (device WAF {:.3})", dev.lock().waf());
+    println!(
+        "crash_recovery OK (device WAF {:.3})",
+        dev.lock().unwrap().waf()
+    );
 }

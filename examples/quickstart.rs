@@ -10,14 +10,14 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use slimio_suite::imdb::backend::SnapshotKind;
-use slimio_suite::imdb::{Db, DbConfig, LogPolicy};
-use slimio_suite::slimio::{PassthruBackend, PassthruConfig};
 use slimio_suite::des::SimTime;
 use slimio_suite::ftl::PlacementMode;
+use slimio_suite::imdb::backend::SnapshotKind;
+use slimio_suite::imdb::{Db, DbConfig, LogPolicy};
 use slimio_suite::nvme::{DeviceConfig, NvmeDevice};
+use slimio_suite::slimio::{PassthruBackend, PassthruConfig};
 use slimio_suite::uring::SharedClock;
+use std::sync::Mutex;
 
 fn main() {
     // 1. An emulated FDP SSD (tiny geometry: 16 MiB — plenty for a demo).
@@ -53,7 +53,7 @@ fn main() {
     db.snapshot_run(SnapshotKind::WalSnapshot, t).unwrap();
     println!(
         "snapshot committed; device WAF = {:.3}",
-        device.lock().waf()
+        device.lock().unwrap().waf()
     );
 
     // 6. More writes after the snapshot land in the new WAL generation.
@@ -77,6 +77,9 @@ fn main() {
     );
     assert_eq!(db2.len(), 1001);
     assert_eq!(&*db2.get(b"after:snapshot").unwrap(), b"still-durable");
-    assert_eq!(&*db2.get(b"sensor:0042").unwrap(), b"{\"temp\": 22, \"ok\": true}");
+    assert_eq!(
+        &*db2.get(b"sensor:0042").unwrap(),
+        b"{\"temp\": 22, \"ok\": true}"
+    );
     println!("quickstart OK");
 }

@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio_suite::des::SimTime;
 use slimio_suite::ftl::PlacementMode;
 use slimio_suite::imdb::backend::{PersistBackend, SnapshotKind};
@@ -15,6 +14,7 @@ use slimio_suite::imdb::wal::{encode, replay, WalRecord};
 use slimio_suite::nvme::{DeviceConfig, NvmeDevice};
 use slimio_suite::slimio::{PassthruBackend, PassthruConfig};
 use slimio_suite::uring::SharedClock;
+use std::sync::Mutex;
 
 /// A scripted persistence step.
 #[derive(Clone, Copy, Debug)]
@@ -84,8 +84,11 @@ fn run_prefix(len: usize) -> (Arc<Mutex<NvmeDevice>>, Oracle) {
     let dev = Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
         PlacementMode::Fdp { max_pids: 8 },
     ))));
-    let mut backend =
-        PassthruBackend::new(Arc::clone(&dev), SharedClock::new(), PassthruConfig::default());
+    let mut backend = PassthruBackend::new(
+        Arc::clone(&dev),
+        SharedClock::new(),
+        PassthruConfig::default(),
+    );
     let mut oracle = Oracle::default();
     let t = SimTime::ZERO;
     for step in &SCRIPT[..len] {
@@ -155,7 +158,9 @@ fn crash_after_every_step_recovers_consistently() {
         .unwrap_or_else(|e| panic!("recovery failed at crash point {crash_point}: {e}"));
 
         // 1. The committed WAL-snapshot matches the oracle.
-        let (snap, _) = rec.load_snapshot(SnapshotKind::WalSnapshot, SimTime::ZERO).unwrap();
+        let (snap, _) = rec
+            .load_snapshot(SnapshotKind::WalSnapshot, SimTime::ZERO)
+            .unwrap();
         match (&oracle.wal_snapshot, &snap) {
             (Some(want), Some(got)) => {
                 assert_eq!(got, want, "wal-snapshot bytes at crash point {crash_point}")
@@ -212,7 +217,9 @@ fn committed_od_snapshot_survives_any_later_crash() {
             PassthruConfig::default(),
         )
         .unwrap();
-        let (od, _) = rec.load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO).unwrap();
+        let (od, _) = rec
+            .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
+            .unwrap();
         assert_eq!(
             od.is_some(),
             oracle.od_snapshot.is_some(),

@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use slimio_suite::des::{SimTime, Xoshiro256};
 use slimio_suite::ftl::PlacementMode;
 use slimio_suite::imdb::backend::{FileBackend, SnapshotKind};
@@ -16,6 +15,7 @@ use slimio_suite::kpath::{FsProfile, KernelCosts, SimFs};
 use slimio_suite::nvme::{DeviceConfig, NvmeDevice};
 use slimio_suite::slimio::{PassthruBackend, PassthruConfig};
 use slimio_suite::uring::SharedClock;
+use std::sync::Mutex;
 
 fn fdp_device() -> Arc<Mutex<NvmeDevice>> {
     Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::tiny(
@@ -87,14 +87,21 @@ fn verify<B: slimio_suite::imdb::PersistBackend>(
 fn both_backends_recover_identical_state() {
     // Baseline: files on F2FS over a conventional device.
     let base_dev = conventional_device();
-    let fs = SimFs::new(Arc::clone(&base_dev), KernelCosts::default(), FsProfile::f2fs());
+    let fs = SimFs::new(
+        Arc::clone(&base_dev),
+        KernelCosts::default(),
+        FsProfile::f2fs(),
+    );
     let mut base_db = Db::new(FileBackend::new(fs).unwrap(), db_config());
     let expect_base = drive(&mut base_db, 3000, 7);
 
     // SlimIO: passthru over an FDP device.
     let slim_dev = fdp_device();
-    let backend =
-        PassthruBackend::new(Arc::clone(&slim_dev), SharedClock::new(), PassthruConfig::default());
+    let backend = PassthruBackend::new(
+        Arc::clone(&slim_dev),
+        SharedClock::new(),
+        PassthruConfig::default(),
+    );
     let mut slim_db = Db::new(backend, db_config());
     let expect_slim = drive(&mut slim_db, 3000, 7);
 
@@ -104,8 +111,12 @@ fn both_backends_recover_identical_state() {
     // Crash both; recover both; verify both.
     let mut fs = base_db.into_backend().into_fs();
     fs.crash();
-    let (mut base_rec, _) =
-        Db::recover(FileBackend::remount(fs).unwrap(), db_config(), SimTime::ZERO).unwrap();
+    let (mut base_rec, _) = Db::recover(
+        FileBackend::remount(fs).unwrap(),
+        db_config(),
+        SimTime::ZERO,
+    )
+    .unwrap();
     verify(&mut base_rec, &expect_base);
 
     drop(slim_db);
@@ -119,30 +130,35 @@ fn both_backends_recover_identical_state() {
     verify(&mut slim_rec, &expect_slim);
 
     // The paper's WAF split: FDP-separated SlimIO stays at 1.00.
-    let slim_waf = slim_dev.lock().waf();
+    let slim_waf = slim_dev.lock().unwrap().waf();
     assert!(
         (slim_waf - 1.0).abs() < 1e-9,
         "SlimIO/FDP must not amplify: {slim_waf}"
     );
-    assert!(base_dev.lock().waf() >= 1.0);
+    assert!(base_dev.lock().unwrap().waf() >= 1.0);
 }
 
 #[test]
 fn on_demand_and_wal_snapshots_coexist() {
     let dev = fdp_device();
-    let backend =
-        PassthruBackend::new(Arc::clone(&dev), SharedClock::new(), PassthruConfig::default());
+    let backend = PassthruBackend::new(
+        Arc::clone(&dev),
+        SharedClock::new(),
+        PassthruConfig::default(),
+    );
     let mut cfg = db_config();
     cfg.wal_snapshot_threshold = 48 * 1024;
     let mut db = Db::new(backend, cfg);
     let t = SimTime::ZERO;
     for i in 0..200u32 {
-        db.set(format!("k{i}").as_bytes(), &vec![1u8; 512], t).unwrap();
+        db.set(format!("k{i}").as_bytes(), &vec![1u8; 512], t)
+            .unwrap();
     }
     // A manual backup (On-Demand), then keep writing and rotating.
     db.snapshot_run(SnapshotKind::OnDemand, t).unwrap();
     for i in 200..400u32 {
-        db.set(format!("k{i}").as_bytes(), &vec![2u8; 512], t).unwrap();
+        db.set(format!("k{i}").as_bytes(), &vec![2u8; 512], t)
+            .unwrap();
         db.maybe_wal_snapshot(t).unwrap();
         while db.snapshot_active() {
             db.snapshot_step(64, t).unwrap();
@@ -150,14 +166,20 @@ fn on_demand_and_wal_snapshots_coexist() {
     }
     db.flush_wal(t).unwrap();
     db.sync_wal(t).unwrap();
-    assert!(db.stats().wal_snapshots >= 1, "rotation should have happened");
+    assert!(
+        db.stats().wal_snapshots >= 1,
+        "rotation should have happened"
+    );
     assert_eq!(db.stats().od_snapshots, 1);
     drop(db);
 
     // Recovery uses the WAL-snapshot chain and sees everything.
-    let backend =
-        PassthruBackend::recover(Arc::clone(&dev), SharedClock::new(), PassthruConfig::default())
-            .unwrap();
+    let backend = PassthruBackend::recover(
+        Arc::clone(&dev),
+        SharedClock::new(),
+        PassthruConfig::default(),
+    )
+    .unwrap();
     let (mut rec, _) = Db::recover(backend, cfg, t).unwrap();
     assert_eq!(rec.len(), 400);
     assert_eq!(&*rec.get(b"k0").unwrap(), &[1u8; 512][..]);
@@ -177,7 +199,7 @@ fn repeated_crash_recover_cycles_converge() {
         );
         let mut db = Db::new(backend, db_config());
         for i in 0..500u32 {
-            db.set(format!("k{i}").as_bytes(), &vec![9u8; 200], t).unwrap();
+            db.set(format!("k{i}").as_bytes(), &[9u8; 200], t).unwrap();
         }
         db.flush_wal(t).unwrap();
         db.sync_wal(t).unwrap();

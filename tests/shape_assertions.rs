@@ -10,7 +10,11 @@ use slimio_suite::system::experiment::{always, periodical};
 use slimio_suite::system::recovery::run_recovery;
 use slimio_suite::system::{Experiment, StackKind, WorkloadKind};
 
-fn quick(workload: WorkloadKind, stack: StackKind, policy: slimio_suite::system::model::Policy) -> Experiment {
+fn quick(
+    workload: WorkloadKind,
+    stack: StackKind,
+    policy: slimio_suite::system::model::Policy,
+) -> Experiment {
     let mut e = Experiment::new(workload, stack, policy);
     e.scale = 1.0 / 256.0;
     e.reps = 1;
@@ -34,8 +38,18 @@ fn slimio_wins_wal_only_rps_under_both_policies() {
 #[test]
 fn always_log_gap_is_larger_than_periodical_gap() {
     // §5.2: SlimIO's advantage grows under Always-Log (up to +54% vs +32%).
-    let b_peri = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical()).run();
-    let s_peri = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical()).run();
+    let b_peri = quick(
+        WorkloadKind::RedisBench,
+        StackKind::KernelF2fs,
+        periodical(),
+    )
+    .run();
+    let s_peri = quick(
+        WorkloadKind::RedisBench,
+        StackKind::PassthruFdp,
+        periodical(),
+    )
+    .run();
     let b_alw = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, always()).run();
     let s_alw = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, always()).run();
     let gap_peri = s_peri.wal_only_rps / b_peri.wal_only_rps;
@@ -48,8 +62,18 @@ fn always_log_gap_is_larger_than_periodical_gap() {
 
 #[test]
 fn snapshots_are_faster_on_slimio() {
-    let base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical()).run();
-    let slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical()).run();
+    let base = quick(
+        WorkloadKind::RedisBench,
+        StackKind::KernelF2fs,
+        periodical(),
+    )
+    .run();
+    let slim = quick(
+        WorkloadKind::RedisBench,
+        StackKind::PassthruFdp,
+        periodical(),
+    )
+    .run();
     let b: f64 = base.snapshot_times.iter().map(|t| t.as_secs_f64()).sum();
     let s: f64 = slim.snapshot_times.iter().map(|t| t.as_secs_f64()).sum();
     assert!(!base.snapshot_times.is_empty());
@@ -58,8 +82,18 @@ fn snapshots_are_faster_on_slimio() {
 
 #[test]
 fn tail_latency_is_lower_on_slimio() {
-    let base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical()).run();
-    let slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical()).run();
+    let base = quick(
+        WorkloadKind::RedisBench,
+        StackKind::KernelF2fs,
+        periodical(),
+    )
+    .run();
+    let slim = quick(
+        WorkloadKind::RedisBench,
+        StackKind::PassthruFdp,
+        periodical(),
+    )
+    .run();
     assert!(
         slim.set_lat.p999() < base.set_lat.p999(),
         "slimio p999 {} must beat baseline {}",
@@ -71,7 +105,12 @@ fn tail_latency_is_lower_on_slimio() {
 #[test]
 fn memory_doubles_during_write_heavy_snapshots() {
     // Table 1: peak ≈ 2× base under the write-only workload.
-    let r = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical()).run();
+    let r = quick(
+        WorkloadKind::RedisBench,
+        StackKind::KernelF2fs,
+        periodical(),
+    )
+    .run();
     assert!(!r.snapshot_times.is_empty());
     let ratio = r.mem_peak as f64 / r.mem_base as f64;
     assert!(
@@ -83,8 +122,16 @@ fn memory_doubles_during_write_heavy_snapshots() {
 #[test]
 fn slimio_recovery_is_faster() {
     // Table 5 shape.
-    let e_base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical());
-    let e_slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical());
+    let e_base = quick(
+        WorkloadKind::RedisBench,
+        StackKind::KernelF2fs,
+        periodical(),
+    );
+    let e_slim = quick(
+        WorkloadKind::RedisBench,
+        StackKind::PassthruFdp,
+        periodical(),
+    );
     let bytes = 80_000_000;
     let entries = 20_000;
     let base = run_recovery(&e_base, entries, bytes);
@@ -101,9 +148,17 @@ fn slimio_recovery_is_faster() {
 fn fdp_waf_is_one_conventional_is_not_under_aging() {
     // Figure 4/5's device-level story: SlimIO on FDP never relocates;
     // an aged conventional baseline must garbage-collect.
-    let mut base = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, periodical());
+    let mut base = quick(
+        WorkloadKind::RedisBench,
+        StackKind::KernelF2fs,
+        periodical(),
+    );
     base.age_device = true;
-    let slim = quick(WorkloadKind::RedisBench, StackKind::PassthruFdp, periodical());
+    let slim = quick(
+        WorkloadKind::RedisBench,
+        StackKind::PassthruFdp,
+        periodical(),
+    );
     let rb = base.run();
     let rs = slim.run();
     assert!(
@@ -121,7 +176,25 @@ fn deterministic_experiments() {
     let b = e.run();
     assert_eq!(a.ops, b.ops);
     assert_eq!(a.duration, b.duration);
+    assert_eq!(a.events, b.events);
     assert_eq!(a.set_lat.p999(), b.set_lat.p999());
     assert_eq!(a.get_lat.p999(), b.get_lat.p999());
     assert_eq!(a.waf.nand_pages(), b.waf.nand_pages());
+}
+
+#[test]
+fn deterministic_experiments_kernel_path() {
+    // The kernel/F2FS stack schedules far more intermediate events
+    // (page-cache writeback, fsync barriers, GC) — a stronger workout for
+    // the scheduler's tie-break order than the passthru path.
+    let e = quick(WorkloadKind::RedisBench, StackKind::KernelF2fs, always());
+    let a = e.run();
+    let b = e.run();
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.duration, b.duration);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.set_lat.p999(), b.set_lat.p999());
+    assert_eq!(a.waf.nand_pages(), b.waf.nand_pages());
+    assert_eq!(a.gc_passes, b.gc_passes);
+    assert_eq!(a.snapshot_times, b.snapshot_times);
 }
