@@ -13,7 +13,8 @@
 //! * `--seed <n>` — RNG seed (default 42);
 //! * `--csv` — also emit CSV;
 //! * `--jobs <n>` — run independent experiment cells (or, for `run_all`,
-//!   whole suites) on `n` worker threads;
+//!   whole suites) on `n` worker threads; `0` auto-detects one worker per
+//!   available core;
 //! * `--quick` — CI smoke mode: clamps the scale to 1/64;
 //! * `--perf-json <path>` — write machine-readable per-experiment
 //!   performance data (wall-clock, simulated events/sec, RPS, p999, WAF).
@@ -61,8 +62,13 @@ impl Default for Cli {
 impl Cli {
     /// Parses `std::env::args`. Unknown flags abort with usage help.
     pub fn parse() -> Cli {
-        let mut cli = Cli::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(&args)
+    }
+
+    /// Parses an explicit argument list (testable core of [`Cli::parse`]).
+    pub fn parse_from(args: &[String]) -> Cli {
+        let mut cli = Cli::default();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -84,11 +90,11 @@ impl Cli {
                 "--csv" => cli.csv = true,
                 "--jobs" => {
                     i += 1;
-                    cli.jobs = args
+                    let n: usize = args
                         .get(i)
                         .and_then(|s| s.parse().ok())
-                        .filter(|&n| n >= 1)
-                        .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+                        .unwrap_or_else(|| usage("--jobs needs a non-negative integer"));
+                    cli.jobs = if n == 0 { autodetect_jobs() } else { n };
                 }
                 "--quick" => cli.quick = true,
                 "--perf-json" => {
@@ -118,12 +124,19 @@ impl Cli {
     }
 }
 
+/// Worker count for `--jobs 0`: one per available core.
+pub fn autodetect_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--scale f | --full] [--seed n] [--csv] [--jobs n] [--quick] \
+        "usage: <bin> [--scale f | --full] [--seed n] [--csv] [--jobs n (0 = auto)] [--quick] \
          [--perf-json path]"
     );
     std::process::exit(2);
@@ -330,6 +343,17 @@ mod tests {
         let ts = [SimTime::from_secs(100), SimTime::from_secs(200)];
         assert_eq!(mean_time(&ts), SimTime::from_secs(150));
         assert_eq!(mean_time(&[]), SimTime::ZERO);
+    }
+
+    #[test]
+    fn jobs_zero_autodetects_parallelism() {
+        let args: Vec<String> = ["--jobs", "0"].iter().map(|s| s.to_string()).collect();
+        let cli = Cli::parse_from(&args);
+        assert_eq!(cli.jobs, autodetect_jobs());
+        assert!(cli.jobs >= 1);
+
+        let args: Vec<String> = ["--jobs", "3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(Cli::parse_from(&args).jobs, 3);
     }
 
     #[test]

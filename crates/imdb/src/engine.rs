@@ -158,6 +158,11 @@ impl<B: PersistBackend> Db<B> {
         &self.stats
     }
 
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
     /// Number of live keys.
     pub fn len(&self) -> usize {
         self.map.len()

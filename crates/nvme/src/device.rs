@@ -57,6 +57,29 @@ impl DeviceConfig {
             honor_deallocate: true,
         }
     }
+
+    /// Live-serving device: the paper's FEMU geometry scaled by `ratio`,
+    /// with the data plane enabled so real payloads round-trip. FDP mode
+    /// shrinks the RU with the device (keeping the 180 GB / 1 GiB ratio)
+    /// but never below one block per die, so append points still stripe
+    /// across the full die population.
+    pub fn live(fdp: bool, ratio: f64) -> Self {
+        let geometry = slimio_nand::Geometry::scaled(ratio);
+        let ftl = if fdp {
+            let ru_bytes = (((1u64 << 30) as f64 * ratio) as u64)
+                .max(geometry.dies() as u64 * geometry.block_bytes())
+                .next_power_of_two();
+            FtlConfig::fdp_with_ru(geometry, ru_bytes)
+        } else {
+            FtlConfig::conventional(geometry)
+        };
+        DeviceConfig {
+            ftl,
+            latencies: Latencies::default(),
+            store_data: true,
+            honor_deallocate: true,
+        }
+    }
 }
 
 /// The emulated NVMe SSD.
@@ -435,6 +458,23 @@ mod tests {
             gc_latency > clean_latency,
             "{gc_latency} <= {clean_latency}"
         );
+    }
+
+    #[test]
+    fn live_presets_validate_and_store_data() {
+        for fdp in [false, true] {
+            for ratio in [0.02, 0.05] {
+                let cfg = DeviceConfig::live(fdp, ratio);
+                assert!(cfg.ftl.validate().is_ok(), "{:?}", cfg.ftl.validate());
+                assert!(cfg.store_data && cfg.honor_deallocate);
+                let mut dev = NvmeDevice::new(cfg);
+                assert!(dev.capacity_blocks() > 0);
+                let data = page(0x5A);
+                dev.write(0, 1, 0, Some(&data), SimTime::ZERO).unwrap();
+                let (_, out) = dev.read(0, 1, SimTime::ZERO).unwrap();
+                assert_eq!(out.unwrap(), data);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Closed-loop load generator and one-shot command client.
+//!
+//! Mirrors `redis-benchmark`: `-c` concurrent connections, `-n` total
+//! requests, `-d` value size. Each client thread runs its own RNG and key
+//! pattern (uniform or Zipfian, matching `slimio-workload` defaults),
+//! issues blocking SETs, and records per-request wall latency into a
+//! private [`Histogram`]; the per-thread histograms merge into one report.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use slimio_des::Xoshiro256;
+use slimio_metrics::Histogram;
+use slimio_workload::Zipfian;
+
+use crate::resp::{self, Parser, Value};
+
+/// Load-generator parameters.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Server host.
+    pub host: String,
+    /// Server port.
+    pub port: u16,
+    /// Concurrent connections (`-c`).
+    pub clients: usize,
+    /// Total requests across all connections (`-n`).
+    pub requests: u64,
+    /// Value payload bytes (`-d`).
+    pub value_len: usize,
+    /// Distinct keys (`-r`).
+    pub keyspace: u64,
+    /// RNG seed; client `i` uses `seed + i`.
+    pub seed: u64,
+    /// Zipfian (theta 0.99) key popularity instead of uniform.
+    pub zipf: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            host: "127.0.0.1".to_string(),
+            port: 6400,
+            clients: 50,
+            requests: 100_000,
+            value_len: 64,
+            keyspace: 10_000,
+            seed: 42,
+            zipf: false,
+        }
+    }
+}
+
+/// Aggregated results of one bench run.
+pub struct BenchReport {
+    /// Requests completed.
+    pub ops: u64,
+    /// Error replies received.
+    pub errors: u64,
+    /// Wall time for the whole run.
+    pub wall: Duration,
+    /// Per-request latency in nanoseconds.
+    pub hist: Histogram,
+}
+
+impl BenchReport {
+    /// Requests per second over the wall time.
+    pub fn rps(&self) -> f64 {
+        self.ops as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Human-readable summary, redis-benchmark style.
+    pub fn render(&self) -> String {
+        format!(
+            "{} requests completed in {:.2} seconds\n\
+             {} errors\n\
+             throughput: {:.0} requests per second\n\
+             latency p50: {:.1} us  p99: {:.1} us  p999: {:.1} us",
+            self.ops,
+            self.wall.as_secs_f64(),
+            self.errors,
+            self.rps(),
+            self.hist.p50() as f64 / 1000.0,
+            self.hist.p99() as f64 / 1000.0,
+            self.hist.p999() as f64 / 1000.0,
+        )
+    }
+}
+
+/// Runs the closed-loop SET benchmark and returns the merged report.
+pub fn run(opts: &BenchOpts) -> std::io::Result<BenchReport> {
+    let clients = opts.clients.max(1);
+    let base = opts.requests / clients as u64;
+    let extra = opts.requests % clients as u64;
+    let started = Instant::now();
+
+    let mut handles = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let n = base + u64::from((i as u64) < extra);
+        let opts = opts.clone();
+        handles.push(std::thread::spawn(move || {
+            client_thread(&opts, i as u64, n)
+        }));
+    }
+
+    let mut hist = Histogram::new();
+    let mut ops = 0u64;
+    let mut errors = 0u64;
+    let mut first_err: Option<std::io::Error> = None;
+    for h in handles {
+        match h.join().expect("bench client panicked") {
+            Ok((local, errs)) => {
+                ops += local.count();
+                errors += errs;
+                hist.merge(&local);
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(BenchReport {
+        ops,
+        errors,
+        wall: started.elapsed(),
+        hist,
+    })
+}
+
+fn client_thread(opts: &BenchOpts, id: u64, n: u64) -> std::io::Result<(Histogram, u64)> {
+    let mut stream = TcpStream::connect((opts.host.as_str(), opts.port))?;
+    stream.set_nodelay(true)?;
+    let mut rng = Xoshiro256::new(opts.seed.wrapping_add(id).wrapping_add(1));
+    let zipf = opts.zipf.then(|| Zipfian::new(opts.keyspace.max(1)));
+    let value = vec![b'x'; opts.value_len];
+    let mut parser = Parser::new();
+    let mut rbuf = vec![0u8; 16 << 10];
+    let mut cmd = Vec::with_capacity(64 + opts.value_len);
+    let mut hist = Histogram::new();
+    let mut errors = 0u64;
+
+    for _ in 0..n {
+        let key_id = match &zipf {
+            Some(z) => z.sample(&mut rng),
+            None => rng.gen_range(opts.keyspace.max(1)),
+        };
+        let key = format!("key:{key_id:012}");
+        cmd.clear();
+        resp::encode_command(
+            &[b"SET".to_vec(), key.into_bytes(), value.clone()],
+            &mut cmd,
+        );
+        let t0 = Instant::now();
+        stream.write_all(&cmd)?;
+        let reply = read_value(&mut stream, &mut parser, &mut rbuf)?;
+        hist.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        if reply.is_error() {
+            errors += 1;
+        }
+    }
+    Ok((hist, errors))
+}
+
+/// Connects, sends one command, and returns the reply.
+pub fn oneshot(host: &str, port: u16, args: &[Vec<u8>]) -> std::io::Result<Value> {
+    let mut stream = TcpStream::connect((host, port))?;
+    stream.set_nodelay(true)?;
+    let mut cmd = Vec::new();
+    resp::encode_command(args, &mut cmd);
+    stream.write_all(&cmd)?;
+    let mut parser = Parser::new();
+    let mut rbuf = vec![0u8; 16 << 10];
+    read_value(&mut stream, &mut parser, &mut rbuf)
+}
+
+/// Reads bytes until the parser yields one complete RESP value.
+pub fn read_value(
+    stream: &mut TcpStream,
+    parser: &mut Parser,
+    rbuf: &mut [u8],
+) -> std::io::Result<Value> {
+    loop {
+        if let Some(v) = parser
+            .next_value()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?
+        {
+            return Ok(v);
+        }
+        let n = stream.read(rbuf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-reply",
+            ));
+        }
+        parser.feed(&rbuf[..n]);
+    }
+}
+
+/// Renders a reply for terminal output, `redis-cli` style.
+pub fn format_value(v: &Value) -> String {
+    match v {
+        Value::Simple(s) => s.clone(),
+        Value::Error(e) => format!("(error) {e}"),
+        Value::Int(i) => format!("(integer) {i}"),
+        Value::Bulk(b) => String::from_utf8_lossy(b).into_owned(),
+        Value::Null => "(nil)".to_string(),
+        Value::Array(items) => {
+            if items.is_empty() {
+                "(empty array)".to_string()
+            } else {
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| format!("{}) {}", i + 1, format_value(item)))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }
+        }
+    }
+}

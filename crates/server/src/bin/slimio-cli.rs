@@ -1,0 +1,118 @@
+//! `slimio-cli` — bench client and one-shot command tool for
+//! `slimio-server`.
+//!
+//! ```text
+//! slimio-cli [-h host] [-p port] bench [-c clients] [-n requests]
+//!            [-d value-bytes] [-r keyspace] [--seed s] [--zipf]
+//! slimio-cli [-h host] [-p port] <COMMAND> [args...]
+//! ```
+
+use slimio_server::bench::{self, BenchOpts};
+use slimio_server::resp::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: slimio-cli [-h host] [-p port] bench [-c n] [-n n] [-d bytes] [-r keys]\n\
+         \x20                 [--seed s] [--zipf]\n\
+         \x20      slimio-cli [-h host] [-p port] <command> [args...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut host = "127.0.0.1".to_string();
+    let mut port = 6400u16;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-h" => {
+                host = argv.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "-p" => {
+                port = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--help" => usage(),
+            _ => break,
+        }
+    }
+    let rest = &argv[i..];
+    if rest.is_empty() {
+        usage();
+    }
+
+    if rest[0] == "bench" {
+        run_bench(host, port, &rest[1..]);
+        return;
+    }
+
+    // One-shot command mode: everything after the connection flags is the
+    // command and its arguments.
+    let args: Vec<Vec<u8>> = rest.iter().map(|s| s.clone().into_bytes()).collect();
+    match bench::oneshot(&host, port, &args) {
+        Ok(v) => {
+            println!("{}", bench::format_value(&v));
+            if matches!(v, Value::Error(_)) {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("slimio-cli: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_bench(host: String, port: u16, rest: &[String]) {
+    let mut opts = BenchOpts {
+        host,
+        port,
+        ..BenchOpts::default()
+    };
+    let mut i = 0;
+    let num = |i: &mut usize| -> u64 {
+        *i += 2;
+        rest.get(*i - 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "-c" => opts.clients = num(&mut i) as usize,
+            "-n" => opts.requests = num(&mut i),
+            "-d" => opts.value_len = num(&mut i) as usize,
+            "-r" => opts.keyspace = num(&mut i),
+            "--seed" => opts.seed = num(&mut i),
+            "--zipf" => {
+                opts.zipf = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    println!(
+        "bench: {} clients, {} requests, {}B values, {} keys{}",
+        opts.clients,
+        opts.requests,
+        opts.value_len,
+        opts.keyspace,
+        if opts.zipf { ", zipfian" } else { "" }
+    );
+    match bench::run(&opts) {
+        Ok(report) => {
+            println!("{}", report.render());
+            if report.errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("slimio-cli: bench failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

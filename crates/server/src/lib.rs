@@ -1,0 +1,25 @@
+//! Live mode: a wall-clock RESP2 server and bench client over the SlimIO
+//! storage stack.
+//!
+//! Everything below the socket is the simulated stack from the rest of
+//! the workspace — the same `Db` engine, kernel-path and passthru
+//! backends, io_uring model, and emulated FDP NVMe device — but driven by
+//! a wall [`slimio_uring::SharedClock`] instead of discrete-event time,
+//! so real clients can talk to it over TCP:
+//!
+//! - [`resp`] — RESP2 framing: encoder plus an incremental parser.
+//! - [`store`] — backend selection and the restartable device state.
+//! - [`server`] — the accept/connection/writer thread architecture.
+//! - [`bench`] — a redis-benchmark-style closed-loop load generator.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod resp;
+pub mod server;
+pub mod store;
+
+pub use bench::{oneshot, BenchOpts, BenchReport};
+pub use resp::{Parser, Value};
+pub use server::{Server, ServerHandle, ServerOpts};
+pub use store::{AnyBackend, BackendKind, Store, StoreConfig};

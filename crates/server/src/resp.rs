@@ -1,0 +1,545 @@
+//! RESP2 wire protocol: values, encoding, and an incremental parser.
+//!
+//! The server speaks the Redis Serialization Protocol version 2 — the
+//! protocol redis-benchmark and every Redis client library emit. Two
+//! framings reach a server: *inline commands* (a plain text line, split on
+//! whitespace) and *arrays of bulk strings* (`*N\r\n$len\r\narg\r\n…`),
+//! which are binary-safe. Replies are [`Value`]s.
+//!
+//! [`Parser`] is incremental: feed it whatever bytes arrived on the
+//! socket, ask for the next complete command/value, and it returns
+//! `Ok(None)` until one is fully buffered. Nothing is consumed until a
+//! frame is complete, so a byte stream split at *any* point parses to the
+//! same result — the property test below proves it.
+
+use std::fmt;
+
+/// Longest accepted bulk string: Redis's 512 MB proto limit.
+const MAX_BULK: i64 = 512 * 1024 * 1024;
+/// Most elements accepted in one array frame.
+const MAX_ARRAY: i64 = 1024 * 1024;
+/// Longest accepted inline command / header line.
+const MAX_INLINE: usize = 64 * 1024;
+
+/// A RESP2 value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Simple string: `+OK\r\n`.
+    Simple(String),
+    /// Error string: `-ERR …\r\n`.
+    Error(String),
+    /// Integer: `:42\r\n`.
+    Int(i64),
+    /// Bulk string (binary-safe): `$3\r\nfoo\r\n`.
+    Bulk(Vec<u8>),
+    /// Null bulk/array: `$-1\r\n`.
+    Null,
+    /// Array of values: `*2\r\n…`.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The canonical `+OK` reply.
+    pub fn ok() -> Value {
+        Value::Simple("OK".into())
+    }
+
+    /// A bulk string from anything byte-like.
+    pub fn bulk(bytes: impl Into<Vec<u8>>) -> Value {
+        Value::Bulk(bytes.into())
+    }
+
+    /// An `-ERR`-prefixed error reply.
+    pub fn err(msg: impl fmt::Display) -> Value {
+        Value::Error(format!("ERR {msg}"))
+    }
+
+    /// True for [`Value::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, Value::Error(_))
+    }
+}
+
+/// Protocol violation found while parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RespError(pub String);
+
+impl fmt::Display for RespError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RespError {}
+
+fn proto(msg: impl Into<String>) -> RespError {
+    RespError(msg.into())
+}
+
+/// Serializes a value in RESP2 framing.
+pub fn encode(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Simple(s) => {
+            out.push(b'+');
+            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        Value::Error(s) => {
+            out.push(b'-');
+            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        Value::Int(i) => {
+            out.push(b':');
+            out.extend_from_slice(i.to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        Value::Bulk(b) => {
+            out.push(b'$');
+            out.extend_from_slice(b.len().to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+            out.extend_from_slice(b);
+            out.extend_from_slice(b"\r\n");
+        }
+        Value::Null => out.extend_from_slice(b"$-1\r\n"),
+        Value::Array(items) => {
+            out.push(b'*');
+            out.extend_from_slice(items.len().to_string().as_bytes());
+            out.extend_from_slice(b"\r\n");
+            for it in items {
+                encode(it, out);
+            }
+        }
+    }
+}
+
+/// Serializes a command as an array of bulk strings — the client→server
+/// framing every Redis client uses.
+pub fn encode_command(args: &[Vec<u8>], out: &mut Vec<u8>) {
+    out.push(b'*');
+    out.extend_from_slice(args.len().to_string().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    for a in args {
+        out.push(b'$');
+        out.extend_from_slice(a.len().to_string().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(a);
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
+/// Takes one CRLF-terminated line: returns `(content, consumed)` with the
+/// CRLF stripped from the content but counted in `consumed`.
+fn take_line(b: &[u8]) -> Result<Option<(&[u8], usize)>, RespError> {
+    match b.iter().position(|&c| c == b'\n') {
+        Some(i) => {
+            if i == 0 || b[i - 1] != b'\r' {
+                return Err(proto("expected CRLF line terminator"));
+            }
+            Ok(Some((&b[..i - 1], i + 1)))
+        }
+        None if b.len() > MAX_INLINE => Err(proto("line exceeds 64 KiB")),
+        None => Ok(None),
+    }
+}
+
+fn parse_int(line: &[u8]) -> Result<i64, RespError> {
+    let s = std::str::from_utf8(line).map_err(|_| proto("non-ASCII integer"))?;
+    s.parse().map_err(|_| proto(format!("bad integer {s:?}")))
+}
+
+/// Parses one complete value from the head of `b`, returning it and the
+/// bytes consumed, or `None` if the frame is not yet fully buffered.
+/// Nothing is consumed until the whole frame (arrays included) is present.
+fn parse_value(b: &[u8]) -> Result<Option<(Value, usize)>, RespError> {
+    let Some(&tag) = b.first() else {
+        return Ok(None);
+    };
+    match tag {
+        b'+' | b'-' | b':' => {
+            let Some((line, used)) = take_line(&b[1..])? else {
+                return Ok(None);
+            };
+            let v = match tag {
+                b'+' => Value::Simple(String::from_utf8_lossy(line).into_owned()),
+                b'-' => Value::Error(String::from_utf8_lossy(line).into_owned()),
+                _ => Value::Int(parse_int(line)?),
+            };
+            Ok(Some((v, 1 + used)))
+        }
+        b'$' => {
+            let Some((line, used)) = take_line(&b[1..])? else {
+                return Ok(None);
+            };
+            let header = 1 + used;
+            let len = parse_int(line)?;
+            if len == -1 {
+                return Ok(Some((Value::Null, header)));
+            }
+            if !(0..=MAX_BULK).contains(&len) {
+                return Err(proto(format!("invalid bulk length {len}")));
+            }
+            let len = len as usize;
+            let need = header + len + 2;
+            if b.len() < need {
+                return Ok(None);
+            }
+            if &b[header + len..need] != b"\r\n" {
+                return Err(proto("bulk string not CRLF-terminated"));
+            }
+            Ok(Some((Value::Bulk(b[header..header + len].to_vec()), need)))
+        }
+        b'*' => {
+            let Some((line, used)) = take_line(&b[1..])? else {
+                return Ok(None);
+            };
+            let mut at = 1 + used;
+            let n = parse_int(line)?;
+            if n == -1 {
+                return Ok(Some((Value::Null, at)));
+            }
+            if !(0..=MAX_ARRAY).contains(&n) {
+                return Err(proto(format!("invalid array length {n}")));
+            }
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                match parse_value(&b[at..])? {
+                    None => return Ok(None),
+                    Some((v, used)) => {
+                        items.push(v);
+                        at += used;
+                    }
+                }
+            }
+            Ok(Some((Value::Array(items), at)))
+        }
+        other => Err(proto(format!("unexpected byte 0x{other:02x}"))),
+    }
+}
+
+/// Incremental RESP2 parser over a growing byte buffer.
+#[derive(Default)]
+pub struct Parser {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reclaims consumed prefix space.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 64 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Next complete *command*: an array of bulk strings, or an inline
+    /// whitespace-split line. Returns `Ok(None)` until one is complete.
+    pub fn next_command(&mut self) -> Result<Option<Vec<Vec<u8>>>, RespError> {
+        loop {
+            // Skip blank separator lines (permitted between inline
+            // commands; never occur inside a frame because frames are
+            // consumed atomically).
+            while self
+                .buf
+                .get(self.pos)
+                .is_some_and(|&c| c == b'\r' || c == b'\n')
+            {
+                self.pos += 1;
+            }
+            let b = &self.buf[self.pos..];
+            if b.is_empty() {
+                self.compact();
+                return Ok(None);
+            }
+            if b[0] == b'*' {
+                match parse_value(b)? {
+                    None => return Ok(None),
+                    Some((Value::Array(items), used)) => {
+                        self.pos += used;
+                        self.compact();
+                        let mut args = Vec::with_capacity(items.len());
+                        for it in items {
+                            match it {
+                                Value::Bulk(x) => args.push(x),
+                                _ => return Err(proto("command array must hold bulk strings")),
+                            }
+                        }
+                        if args.is_empty() {
+                            continue; // "*0\r\n" — nothing to run
+                        }
+                        return Ok(Some(args));
+                    }
+                    Some(_) => return Err(proto("null array is not a command")),
+                }
+            }
+            // Inline command.
+            match b.iter().position(|&c| c == b'\n') {
+                None if b.len() > MAX_INLINE => return Err(proto("inline command too long")),
+                None => return Ok(None),
+                Some(i) => {
+                    let line = if i > 0 && b[i - 1] == b'\r' {
+                        &b[..i - 1]
+                    } else {
+                        &b[..i]
+                    };
+                    let args: Vec<Vec<u8>> = line
+                        .split(|&c| c == b' ' || c == b'\t')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.to_vec())
+                        .collect();
+                    self.pos += i + 1;
+                    self.compact();
+                    if args.is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(args));
+                }
+            }
+        }
+    }
+
+    /// Next complete *value* (the client side: server replies).
+    pub fn next_value(&mut self) -> Result<Option<Value>, RespError> {
+        match parse_value(&self.buf[self.pos..])? {
+            None => {
+                self.compact();
+                Ok(None)
+            }
+            Some((v, used)) => {
+                self.pos += used;
+                self.compact();
+                Ok(Some(v))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimio_des::Xoshiro256;
+
+    fn drain_commands(p: &mut Parser) -> Vec<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(c) = p.next_command().expect("valid stream") {
+            out.push(c);
+        }
+        out
+    }
+
+    #[test]
+    fn encode_decode_basic_values() {
+        for v in [
+            Value::ok(),
+            Value::Error("ERR boom".into()),
+            Value::Int(-42),
+            Value::Bulk(b"hello\r\nworld".to_vec()),
+            Value::Bulk(Vec::new()),
+            Value::Null,
+            Value::Array(vec![Value::Int(1), Value::Bulk(b"x".to_vec()), Value::Null]),
+            Value::Array(Vec::new()),
+        ] {
+            let mut bytes = Vec::new();
+            encode(&v, &mut bytes);
+            let mut p = Parser::new();
+            p.feed(&bytes);
+            assert_eq!(p.next_value().unwrap(), Some(v));
+            assert_eq!(p.next_value().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn inline_commands_parse() {
+        let mut p = Parser::new();
+        p.feed(b"PING\r\nSET  foo\tbar\r\n\r\nGET foo\n");
+        let cmds = drain_commands(&mut p);
+        assert_eq!(
+            cmds,
+            vec![
+                vec![b"PING".to_vec()],
+                vec![b"SET".to_vec(), b"foo".to_vec(), b"bar".to_vec()],
+                vec![b"GET".to_vec(), b"foo".to_vec()],
+            ]
+        );
+    }
+
+    #[test]
+    fn inline_command_split_across_feeds() {
+        let mut p = Parser::new();
+        p.feed(b"SET fo");
+        assert_eq!(p.next_command().unwrap(), None);
+        p.feed(b"o bar\r");
+        assert_eq!(p.next_command().unwrap(), None);
+        p.feed(b"\n");
+        assert_eq!(
+            p.next_command().unwrap().unwrap(),
+            vec![b"SET".to_vec(), b"foo".to_vec(), b"bar".to_vec()]
+        );
+    }
+
+    #[test]
+    fn empty_bulk_string_roundtrips() {
+        let cmd = vec![b"SET".to_vec(), b"k".to_vec(), Vec::new()];
+        let mut bytes = Vec::new();
+        encode_command(&cmd, &mut bytes);
+        assert_eq!(bytes, b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$0\r\n\r\n");
+        let mut p = Parser::new();
+        p.feed(&bytes);
+        assert_eq!(p.next_command().unwrap().unwrap(), cmd);
+    }
+
+    #[test]
+    fn protocol_errors_are_reported() {
+        let mut p = Parser::new();
+        p.feed(b"*1\r\n:5\r\n"); // integers are not command arguments
+        assert!(p.next_command().is_err());
+
+        let mut p = Parser::new();
+        p.feed(b"$5\r\nhello!x"); // bad terminator
+        assert!(p.next_value().is_err());
+
+        let mut p = Parser::new();
+        p.feed(b"?what\r\n");
+        assert!(p.next_value().is_err());
+    }
+
+    fn random_command(rng: &mut Xoshiro256, big: bool) -> Vec<Vec<u8>> {
+        let nargs = 1 + rng.gen_range(4) as usize;
+        (0..nargs)
+            .map(|i| {
+                let len = if big && i == nargs - 1 {
+                    65_536 + rng.gen_range(8192) as usize // > 64 KiB
+                } else {
+                    [0usize, 1, 2, 7, 17, 64][rng.gen_range(6) as usize]
+                };
+                // Arbitrary binary content, deliberately including CR, LF,
+                // '*', and '$' so framing cannot rely on payload bytes.
+                (0..len).map(|_| rng.gen_range(256) as u8).collect()
+            })
+            .collect()
+    }
+
+    /// Satellite property test, part 1: random command arrays (binary-safe
+    /// bulk strings, empty included) encode→decode identically, and the
+    /// incremental parser yields the same result across *every* split
+    /// point of the byte stream.
+    #[test]
+    fn command_roundtrip_across_all_split_points() {
+        let mut rng = Xoshiro256::new(0xC0FFEE);
+        for _ in 0..8 {
+            let cmds: Vec<_> = (0..2).map(|_| random_command(&mut rng, false)).collect();
+            let mut stream = Vec::new();
+            for c in &cmds {
+                encode_command(c, &mut stream);
+            }
+            for split in 0..=stream.len() {
+                let mut p = Parser::new();
+                p.feed(&stream[..split]);
+                let mut got = drain_commands(&mut p);
+                p.feed(&stream[split..]);
+                got.extend(drain_commands(&mut p));
+                assert_eq!(got, cmds, "split at {split}");
+            }
+        }
+    }
+
+    /// Satellite property test, part 2: >64 KiB values. Exhaustive splits
+    /// would be O(n²) here, so check every frame-boundary-adjacent split
+    /// plus a uniform sample, and chunked feeding at several chunk sizes.
+    #[test]
+    fn large_bulk_roundtrip_sampled_splits() {
+        let mut rng = Xoshiro256::new(99);
+        let cmds: Vec<_> = (0..2).map(|_| random_command(&mut rng, true)).collect();
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for c in &cmds {
+            encode_command(c, &mut stream);
+            boundaries.push(stream.len());
+        }
+        let mut splits: Vec<usize> = Vec::new();
+        for &b in &boundaries {
+            for d in -2i64..=2 {
+                let s = b as i64 + d;
+                if (0..=stream.len() as i64).contains(&s) {
+                    splits.push(s as usize);
+                }
+            }
+        }
+        for _ in 0..64 {
+            splits.push(rng.gen_range(stream.len() as u64 + 1) as usize);
+        }
+        for split in splits {
+            let mut p = Parser::new();
+            p.feed(&stream[..split]);
+            let mut got = drain_commands(&mut p);
+            p.feed(&stream[split..]);
+            got.extend(drain_commands(&mut p));
+            assert_eq!(got, cmds, "split at {split}");
+        }
+        for chunk in [1usize, 7, 1024, 65_536] {
+            let mut p = Parser::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                p.feed(piece);
+                got.extend(drain_commands(&mut p));
+            }
+            assert_eq!(got, cmds, "chunk size {chunk}");
+        }
+    }
+
+    fn random_value(rng: &mut Xoshiro256, depth: usize) -> Value {
+        match rng.gen_range(if depth == 0 { 5 } else { 6 }) {
+            0 => Value::Simple(format!("s{}", rng.gen_range(1000))),
+            1 => Value::Error(format!("ERR e{}", rng.gen_range(1000))),
+            2 => Value::Int(rng.gen_range(u64::MAX) as i64),
+            3 => {
+                let len = [0usize, 3, 300][rng.gen_range(3) as usize];
+                Value::Bulk((0..len).map(|_| rng.gen_range(256) as u8).collect())
+            }
+            4 => Value::Null,
+            _ => {
+                let n = rng.gen_range(4) as usize;
+                Value::Array((0..n).map(|_| random_value(rng, depth - 1)).collect())
+            }
+        }
+    }
+
+    #[test]
+    fn value_roundtrip_across_split_points() {
+        let mut rng = Xoshiro256::new(7);
+        for _ in 0..16 {
+            let vals: Vec<_> = (0..3).map(|_| random_value(&mut rng, 2)).collect();
+            let mut stream = Vec::new();
+            for v in &vals {
+                encode(v, &mut stream);
+            }
+            for split in 0..=stream.len() {
+                let mut p = Parser::new();
+                p.feed(&stream[..split]);
+                let mut got = Vec::new();
+                while let Some(v) = p.next_value().unwrap() {
+                    got.push(v);
+                }
+                p.feed(&stream[split..]);
+                while let Some(v) = p.next_value().unwrap() {
+                    got.push(v);
+                }
+                assert_eq!(got, vals, "split at {split}");
+            }
+        }
+    }
+}

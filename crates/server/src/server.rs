@@ -1,0 +1,681 @@
+//! The live server: a multi-threaded RESP2 front end over a
+//! single-writer engine thread.
+//!
+//! Architecture (mirrors Redis' single-threaded command semantics):
+//! per-connection reader threads parse RESP2 off the socket and forward
+//! whole commands over an MPSC channel to one writer thread that owns the
+//! `Db<AnyBackend>`. Replies travel back on a per-request channel, so each
+//! connection observes strict request/response ordering while writes are
+//! serialized globally. The writer pumps background snapshots between
+//! commands and triggers WAL-threshold snapshots exactly like the
+//! simulated pipeline does.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use slimio_des::SimTime;
+use slimio_imdb::backend::{PersistBackend, SnapshotKind};
+use slimio_imdb::engine::DbError;
+use slimio_imdb::{Db, DbConfig, LogPolicy};
+use slimio_metrics::Histogram;
+use slimio_uring::SharedClock;
+
+use crate::resp::{self, Value};
+use crate::store::{AnyBackend, Store};
+
+/// How many index entries one background snapshot step serializes while
+/// the command queue is drained.
+const IDLE_STEP_ENTRIES: usize = 512;
+/// Step size interleaved with command processing under load.
+const BUSY_STEP_ENTRIES: usize = 64;
+/// A busy step runs once per this many commands while a snapshot is live.
+const BUSY_STEP_EVERY: u32 = 4;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerOpts {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// WAL durability policy (`Always` = every acked write is synced).
+    pub policy: LogPolicy,
+    /// WAL bytes that trigger a background WAL snapshot.
+    pub wal_snapshot_threshold: u64,
+    /// Snapshot serialization chunk size in bytes.
+    pub snapshot_chunk: usize,
+}
+
+impl Default for ServerOpts {
+    fn default() -> Self {
+        ServerOpts {
+            addr: "127.0.0.1:0".to_string(),
+            policy: LogPolicy::Always,
+            wal_snapshot_threshold: 256 << 20,
+            snapshot_chunk: 256 << 10,
+        }
+    }
+}
+
+/// Server start-up failure.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket setup failed.
+    Io(std::io::Error),
+    /// Backend open failed.
+    Backend(slimio_imdb::backend::BackendError),
+    /// Engine recovery failed.
+    Db(DbError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "io: {e}"),
+            ServerError::Backend(e) => write!(f, "backend: {e}"),
+            ServerError::Db(e) => write!(f, "db: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// State shared between the accept loop, connection threads, the writer,
+/// and the handle.
+struct Shared {
+    /// Clean-stop request: stop accepting, drain, flush, exit.
+    stop: AtomicBool,
+    /// Crash request: abandon everything unsynced (kill -9 equivalent).
+    kill: AtomicBool,
+    /// Command latency in nanoseconds, merged from connection threads.
+    hist: Mutex<Histogram>,
+    /// Commands processed.
+    ops: AtomicU64,
+    /// Currently connected clients.
+    connections: AtomicU64,
+    /// Connections accepted since start.
+    total_connections: AtomicU64,
+    /// Server start, for uptime and throughput.
+    start: Instant,
+}
+
+/// One parsed command in flight from a connection thread to the writer.
+struct Request {
+    args: Vec<Vec<u8>>,
+    reply: mpsc::Sender<Value>,
+}
+
+/// A running server. Tear down with [`ServerHandle::shutdown`] (clean),
+/// [`ServerHandle::kill`] (simulated crash), or [`ServerHandle::join`]
+/// (wait for a client-issued `SHUTDOWN`). All three give the [`Store`]
+/// back so the caller can restart on the same device.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<AnyBackend>>,
+    tx: Option<mpsc::Sender<Request>>,
+    store: Option<Store>,
+    recovered_keys: u64,
+    wal_records_replayed: u64,
+}
+
+impl ServerHandle {
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Keys present after start-up recovery.
+    pub fn recovered_keys(&self) -> u64 {
+        self.recovered_keys
+    }
+
+    /// WAL records replayed during start-up recovery.
+    pub fn wal_records_replayed(&self) -> u64 {
+        self.wal_records_replayed
+    }
+
+    /// Stops cleanly: finishes any active snapshot, flushes and syncs the
+    /// WAL, and returns the store for a later restart.
+    pub fn shutdown(mut self) -> Store {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.teardown(false)
+    }
+
+    /// Kills the server as if the process died mid-run: no flush, no
+    /// sync, no snapshot completion. The store comes back with only the
+    /// durable (synced) state, exactly like power loss.
+    pub fn kill(mut self) -> Store {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.teardown(true)
+    }
+
+    /// Blocks until a client issues `SHUTDOWN`, then tears down cleanly.
+    pub fn join(mut self) -> Store {
+        let backend = self
+            .writer
+            .take()
+            .expect("writer joined twice")
+            .join()
+            .expect("writer thread panicked");
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        drop(self.tx.take());
+        let mut store = self.store.take().expect("store taken twice");
+        store.close(backend);
+        store
+    }
+
+    fn teardown(&mut self, crash: bool) -> Store {
+        drop(self.tx.take());
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        let backend = self
+            .writer
+            .take()
+            .expect("writer joined twice")
+            .join()
+            .expect("writer thread panicked");
+        let mut store = self.store.take().expect("store taken twice");
+        if crash {
+            store.crash(backend);
+        } else {
+            store.close(backend);
+        }
+        store
+    }
+}
+
+/// The listening server factory.
+pub struct Server;
+
+impl Server {
+    /// Opens (or recovers) the store's backend, recovers the keyspace,
+    /// binds the listener, and spawns the accept + writer threads.
+    pub fn start(mut store: Store, opts: ServerOpts) -> Result<ServerHandle, ServerError> {
+        let clock = store.clock();
+        let backend = store.open().map_err(ServerError::Backend)?;
+        let cfg = DbConfig {
+            policy: opts.policy,
+            wal_snapshot_threshold: opts.wal_snapshot_threshold,
+            snapshot_chunk: opts.snapshot_chunk,
+            ..DbConfig::default()
+        };
+        let (db, replayed) = Db::recover(backend, cfg, sim_now(&clock)).map_err(ServerError::Db)?;
+        let recovered_keys = db.len() as u64;
+
+        let listener = TcpListener::bind(&opts.addr).map_err(ServerError::Io)?;
+        listener.set_nonblocking(true).map_err(ServerError::Io)?;
+        let addr = listener.local_addr().map_err(ServerError::Io)?;
+
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+            hist: Mutex::new(Histogram::new()),
+            ops: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            total_connections: AtomicU64::new(0),
+            start: Instant::now(),
+        });
+
+        let (tx, rx) = mpsc::channel::<Request>();
+
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let backend_name = store.kind().name();
+            let fdp = store.fdp();
+            let clock = clock.clone();
+            std::thread::Builder::new()
+                .name("slimio-writer".to_string())
+                .spawn(move || {
+                    Writer {
+                        db,
+                        rx,
+                        shared,
+                        clock,
+                        backend_name,
+                        fdp,
+                        recovered_keys,
+                        wal_records_replayed: replayed,
+                        snap_started: None,
+                        last_snapshot_ms: None,
+                        nosave: false,
+                        cmds_since_step: 0,
+                    }
+                    .run()
+                })
+                .map_err(ServerError::Io)?
+        };
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name("slimio-accept".to_string())
+                .spawn(move || accept_loop(listener, tx, shared))
+                .map_err(ServerError::Io)?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            writer: Some(writer),
+            tx: Some(tx),
+            store: Some(store),
+            recovered_keys,
+            wal_records_replayed: replayed,
+        })
+    }
+}
+
+fn sim_now(clock: &SharedClock) -> SimTime {
+    clock.now()
+}
+
+fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Request>, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) && !shared.kill.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                shared.total_connections.fetch_add(1, Ordering::SeqCst);
+                let tx = tx.clone();
+                let shared = Arc::clone(&shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("slimio-conn".to_string())
+                    .spawn(move || connection_loop(stream, tx, shared))
+                {
+                    conns.push(h);
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut parser = resp::Parser::new();
+    let mut rbuf = vec![0u8; 64 << 10];
+    let mut out = Vec::new();
+    let mut local = Histogram::new();
+    let mut since_merge: u32 = 0;
+
+    'conn: loop {
+        if shared.stop.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match stream.read(&mut rbuf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        parser.feed(&rbuf[..n]);
+        out.clear();
+        loop {
+            match parser.next_command() {
+                Ok(Some(args)) => {
+                    let t0 = Instant::now();
+                    let (rtx, rrx) = mpsc::channel();
+                    if tx.send(Request { args, reply: rtx }).is_err() {
+                        break 'conn;
+                    }
+                    let Ok(reply) = rrx.recv() else { break 'conn };
+                    local.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    shared.ops.fetch_add(1, Ordering::Relaxed);
+                    since_merge += 1;
+                    resp::encode(&reply, &mut out);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    resp::encode(&Value::Error(format!("ERR Protocol error: {e}")), &mut out);
+                    let _ = stream.write_all(&out);
+                    break 'conn;
+                }
+            }
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            break;
+        }
+        if since_merge >= 1024 {
+            shared.hist.lock().unwrap().merge(&local);
+            local.clear();
+            since_merge = 0;
+        }
+    }
+
+    if local.count() > 0 {
+        shared.hist.lock().unwrap().merge(&local);
+    }
+    shared.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// The single writer thread: owns the engine, serializes all commands,
+/// pumps background snapshots, and performs the final flush on clean
+/// shutdown. Returns the backend so the store can be reassembled.
+struct Writer {
+    db: Db<AnyBackend>,
+    rx: mpsc::Receiver<Request>,
+    shared: Arc<Shared>,
+    clock: SharedClock,
+    backend_name: &'static str,
+    fdp: bool,
+    recovered_keys: u64,
+    wal_records_replayed: u64,
+    snap_started: Option<Instant>,
+    last_snapshot_ms: Option<u64>,
+    nosave: bool,
+    cmds_since_step: u32,
+}
+
+impl Writer {
+    fn now(&self) -> SimTime {
+        sim_now(&self.clock)
+    }
+
+    fn run(mut self) -> AnyBackend {
+        loop {
+            if self.shared.kill.load(Ordering::SeqCst) {
+                return self.db.into_backend();
+            }
+            let req = if self.db.snapshot_active() {
+                match self.rx.try_recv() {
+                    Ok(r) => Some(r),
+                    Err(mpsc::TryRecvError::Empty) => {
+                        self.step_snapshot(IDLE_STEP_ENTRIES);
+                        continue;
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => None,
+                }
+            } else {
+                match self.rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(r) => Some(r),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if self.shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let now = self.now();
+                        let _ = self.db.tick(now);
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                }
+            };
+            let Some(req) = req else { break };
+
+            let reply = self.dispatch(&req.args);
+            let shutting_down = self.shared.stop.load(Ordering::SeqCst);
+            let _ = req.reply.send(reply);
+
+            if self.db.snapshot_active() {
+                self.cmds_since_step += 1;
+                if self.cmds_since_step >= BUSY_STEP_EVERY {
+                    self.cmds_since_step = 0;
+                    self.step_snapshot(BUSY_STEP_ENTRIES);
+                }
+            }
+            if shutting_down {
+                break;
+            }
+        }
+
+        // Clean exit: finish any in-flight snapshot, then make the WAL
+        // durable — unless the client asked for SHUTDOWN NOSAVE.
+        if !self.nosave {
+            while self.db.snapshot_active() {
+                let now = self.now();
+                if self.db.snapshot_step(IDLE_STEP_ENTRIES, now).is_err() {
+                    break;
+                }
+            }
+            let now = self.now();
+            let _ = self.db.flush_wal(now);
+            let _ = self.db.sync_wal(now);
+        }
+        self.db.into_backend()
+    }
+
+    fn step_snapshot(&mut self, entries: usize) {
+        let now = self.now();
+        match self.db.snapshot_step(entries, now) {
+            Ok(true) => {
+                if let Some(t0) = self.snap_started.take() {
+                    self.last_snapshot_ms =
+                        Some(t0.elapsed().as_millis().min(u64::MAX as u128) as u64);
+                }
+            }
+            Ok(false) => {}
+            Err(_) => {
+                self.snap_started = None;
+            }
+        }
+    }
+
+    fn begin_snapshot(&mut self, kind: SnapshotKind) -> Result<(), DbError> {
+        let now = self.now();
+        self.db.snapshot_begin(kind, now)?;
+        self.snap_started = Some(Instant::now());
+        Ok(())
+    }
+
+    fn dispatch(&mut self, args: &[Vec<u8>]) -> Value {
+        let Some(cmd) = args.first() else {
+            return Value::err("empty command");
+        };
+        let cmd = cmd.to_ascii_uppercase();
+        match cmd.as_slice() {
+            b"PING" => match args.len() {
+                1 => Value::Simple("PONG".to_string()),
+                2 => Value::Bulk(args[1].clone()),
+                _ => Value::err("wrong number of arguments for 'ping' command"),
+            },
+            b"SET" => {
+                if args.len() != 3 {
+                    return Value::err("wrong number of arguments for 'set' command");
+                }
+                let now = self.now();
+                match self.db.set(&args[1], &args[2], now) {
+                    Ok(_) => {
+                        self.after_write();
+                        Value::ok()
+                    }
+                    Err(e) => Value::err(format!("set failed: {e}")),
+                }
+            }
+            b"GET" => {
+                if args.len() != 2 {
+                    return Value::err("wrong number of arguments for 'get' command");
+                }
+                match self.db.get(&args[1]) {
+                    Some(v) => Value::Bulk(v.to_vec()),
+                    None => Value::Null,
+                }
+            }
+            b"DEL" => {
+                if args.len() < 2 {
+                    return Value::err("wrong number of arguments for 'del' command");
+                }
+                let mut removed = 0i64;
+                for key in &args[1..] {
+                    let before = self.db.len();
+                    let now = self.now();
+                    match self.db.del(key, now) {
+                        Ok(_) => {
+                            if self.db.len() < before {
+                                removed += 1;
+                            }
+                        }
+                        Err(e) => return Value::err(format!("del failed: {e}")),
+                    }
+                }
+                self.after_write();
+                Value::Int(removed)
+            }
+            b"EXISTS" => {
+                if args.len() < 2 {
+                    return Value::err("wrong number of arguments for 'exists' command");
+                }
+                let mut found = 0i64;
+                for key in &args[1..] {
+                    if self.db.get(key).is_some() {
+                        found += 1;
+                    }
+                }
+                Value::Int(found)
+            }
+            b"DBSIZE" => Value::Int(self.db.len() as i64),
+            b"BGSAVE" => match self.begin_snapshot(SnapshotKind::OnDemand) {
+                Ok(()) => Value::Simple("Background saving started".to_string()),
+                Err(_) => Value::err("Background save already in progress"),
+            },
+            b"BGREWRITEAOF" => match self.begin_snapshot(SnapshotKind::WalSnapshot) {
+                Ok(()) => Value::Simple("Background WAL snapshot started".to_string()),
+                Err(_) => Value::err("Background save already in progress"),
+            },
+            b"INFO" => Value::Bulk(self.info_text().into_bytes()),
+            b"CONFIG" => self.config_cmd(args),
+            b"COMMAND" => Value::Array(Vec::new()),
+            b"SHUTDOWN" => {
+                let nosave = args
+                    .get(1)
+                    .map(|a| a.eq_ignore_ascii_case(b"NOSAVE"))
+                    .unwrap_or(false);
+                self.nosave = nosave;
+                self.shared.stop.store(true, Ordering::SeqCst);
+                Value::ok()
+            }
+            _ => Value::err(format!(
+                "unknown command '{}'",
+                String::from_utf8_lossy(&cmd)
+            )),
+        }
+    }
+
+    /// Post-write bookkeeping: start a WAL-threshold snapshot if the log
+    /// has grown past the configured bound.
+    fn after_write(&mut self) {
+        if self.db.snapshot_active() {
+            return;
+        }
+        let now = self.now();
+        if let Ok(true) = self.db.maybe_wal_snapshot(now) {
+            self.snap_started = Some(Instant::now());
+        }
+    }
+
+    fn config_cmd(&self, args: &[Vec<u8>]) -> Value {
+        if args.len() != 3 || !args[1].eq_ignore_ascii_case(b"GET") {
+            return Value::err("wrong number of arguments for 'config' command");
+        }
+        let pattern = String::from_utf8_lossy(&args[2]).to_ascii_lowercase();
+        let appendfsync = match self.db.config().policy {
+            LogPolicy::Always => "always",
+            LogPolicy::Periodical { .. } => "everysec",
+        };
+        let threshold = self.db.config().wal_snapshot_threshold.to_string();
+        let entries: [(&str, &str); 6] = [
+            ("appendfsync", appendfsync),
+            ("save", ""),
+            ("maxmemory", "0"),
+            ("backend", self.backend_name),
+            ("fdp", if self.fdp { "yes" } else { "no" }),
+            ("wal-snapshot-threshold", &threshold),
+        ];
+        let mut out = Vec::new();
+        for (k, v) in entries {
+            if pattern == "*" || pattern == k {
+                out.push(Value::bulk(k.as_bytes()));
+                out.push(Value::bulk(v.as_bytes()));
+            }
+        }
+        Value::Array(out)
+    }
+
+    fn info_text(&self) -> String {
+        let stats = self.db.stats();
+        let uptime = self.shared.start.elapsed();
+        let ops = self.shared.ops.load(Ordering::Relaxed);
+        let rps = ops as f64 / uptime.as_secs_f64().max(1e-9);
+        let (p50, p99, p999) = {
+            let h = self.shared.hist.lock().unwrap();
+            (h.p50(), h.p99(), h.p999())
+        };
+        let device = self.db.backend().device();
+        let (waf, capacity) = {
+            let d = device.lock().unwrap();
+            (d.waf(), d.capacity_bytes())
+        };
+        let mut s = String::new();
+        s.push_str("# Server\r\n");
+        s.push_str(&format!("backend:{}\r\n", self.backend_name));
+        s.push_str(&format!("fdp:{}\r\n", if self.fdp { 1 } else { 0 }));
+        s.push_str(&format!("uptime_in_seconds:{}\r\n", uptime.as_secs()));
+        s.push_str("\r\n# Clients\r\n");
+        s.push_str(&format!(
+            "connected_clients:{}\r\n",
+            self.shared.connections.load(Ordering::SeqCst)
+        ));
+        s.push_str("\r\n# Stats\r\n");
+        s.push_str(&format!(
+            "total_connections_received:{}\r\n",
+            self.shared.total_connections.load(Ordering::SeqCst)
+        ));
+        s.push_str(&format!("total_commands_processed:{ops}\r\n"));
+        s.push_str(&format!("avg_ops_per_sec:{rps:.1}\r\n"));
+        s.push_str(&format!("latency_p50_us:{:.1}\r\n", p50 as f64 / 1000.0));
+        s.push_str(&format!("latency_p99_us:{:.1}\r\n", p99 as f64 / 1000.0));
+        s.push_str(&format!("latency_p999_us:{:.1}\r\n", p999 as f64 / 1000.0));
+        s.push_str("\r\n# Persistence\r\n");
+        s.push_str(&format!("keys:{}\r\n", self.db.len()));
+        s.push_str(&format!("mem_used_bytes:{}\r\n", self.db.mem_used()));
+        s.push_str(&format!("wal_len:{}\r\n", self.db.backend().wal_len()));
+        s.push_str(&format!("wal_snapshots:{}\r\n", stats.wal_snapshots));
+        s.push_str(&format!("od_snapshots:{}\r\n", stats.od_snapshots));
+        s.push_str(&format!(
+            "snapshot_in_progress:{}\r\n",
+            if self.db.snapshot_active() { 1 } else { 0 }
+        ));
+        s.push_str(&format!(
+            "last_snapshot_ms:{}\r\n",
+            self.last_snapshot_ms
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_string())
+        ));
+        s.push_str(&format!("recovered_keys:{}\r\n", self.recovered_keys));
+        s.push_str(&format!(
+            "wal_records_replayed:{}\r\n",
+            self.wal_records_replayed
+        ));
+        s.push_str("\r\n# Device\r\n");
+        s.push_str(&format!("waf:{waf:.2}\r\n"));
+        s.push_str(&format!("device_capacity_bytes:{capacity}\r\n"));
+        s
+    }
+}

@@ -1,0 +1,331 @@
+//! Backend selection and restartable backing storage.
+//!
+//! A [`Store`] owns what survives a server restart: the emulated NVMe
+//! device (NAND is non-volatile) and, for the kernel path, the simulated
+//! file system. [`Store::open`] hands out an [`AnyBackend`] — fresh on
+//! first open, recovered from on-device state afterwards — and the server
+//! returns it via [`Store::close`] (clean shutdown) or [`Store::crash`]
+//! (kill -9 equivalent: the kernel path loses its page cache, the
+//! passthru path loses staged ring state; only synced bytes survive).
+
+use std::sync::{Arc, Mutex};
+
+use slimio::{PassthruBackend, PassthruConfig};
+use slimio_des::SimTime;
+use slimio_imdb::backend::{BackendError, FileBackend, IoTiming, PersistBackend, SnapshotKind};
+use slimio_kpath::{FsProfile, KernelCosts, SimFs};
+use slimio_nvme::{DeviceConfig, NvmeDevice};
+use slimio_uring::SharedClock;
+
+/// Which I/O path serves the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Baseline: WAL + snapshot files on F2FS through the kernel path.
+    Kernel,
+    /// SlimIO: raw LBA regions through per-path io_uring rings.
+    Passthru,
+}
+
+impl BackendKind {
+    /// Lower-case name, as shown in `INFO` and accepted by `--backend`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Kernel => "kernel",
+            BackendKind::Passthru => "passthru",
+        }
+    }
+}
+
+/// Store construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// I/O path.
+    pub kind: BackendKind,
+    /// FDP device (placement IDs honored) vs conventional.
+    pub fdp: bool,
+    /// Device scale relative to the paper's 180 GiB FEMU geometry.
+    pub ratio: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            kind: BackendKind::Passthru,
+            fdp: true,
+            ratio: 1.0 / 16.0,
+        }
+    }
+}
+
+/// Either persistence backend behind one concrete type, so the engine
+/// (`Db<B>`) can be monomorphic in the server.
+pub enum AnyBackend {
+    /// Kernel path (boxed: it carries the whole file-system model).
+    Kernel(Box<FileBackend>),
+    /// SlimIO passthru path (boxed: it carries two rings).
+    Passthru(Box<PassthruBackend>),
+}
+
+impl AnyBackend {
+    /// Current device write amplification.
+    pub fn waf(&self) -> f64 {
+        self.device().lock().unwrap().waf()
+    }
+
+    /// The underlying emulated device.
+    pub fn device(&self) -> &Arc<Mutex<NvmeDevice>> {
+        match self {
+            AnyBackend::Kernel(b) => b.fs().device(),
+            AnyBackend::Passthru(b) => b.device(),
+        }
+    }
+}
+
+impl PersistBackend for AnyBackend {
+    fn wal_append(&mut self, data: &[u8], now: SimTime) -> Result<IoTiming, BackendError> {
+        match self {
+            AnyBackend::Kernel(b) => b.wal_append(data, now),
+            AnyBackend::Passthru(b) => b.wal_append(data, now),
+        }
+    }
+
+    fn wal_sync(&mut self, now: SimTime) -> Result<IoTiming, BackendError> {
+        match self {
+            AnyBackend::Kernel(b) => b.wal_sync(now),
+            AnyBackend::Passthru(b) => b.wal_sync(now),
+        }
+    }
+
+    fn wal_len(&self) -> u64 {
+        match self {
+            AnyBackend::Kernel(b) => b.wal_len(),
+            AnyBackend::Passthru(b) => b.wal_len(),
+        }
+    }
+
+    fn snapshot_begin(
+        &mut self,
+        kind: SnapshotKind,
+        now: SimTime,
+    ) -> Result<IoTiming, BackendError> {
+        match self {
+            AnyBackend::Kernel(b) => b.snapshot_begin(kind, now),
+            AnyBackend::Passthru(b) => b.snapshot_begin(kind, now),
+        }
+    }
+
+    fn snapshot_chunk(&mut self, data: &[u8], now: SimTime) -> Result<IoTiming, BackendError> {
+        match self {
+            AnyBackend::Kernel(b) => b.snapshot_chunk(data, now),
+            AnyBackend::Passthru(b) => b.snapshot_chunk(data, now),
+        }
+    }
+
+    fn snapshot_commit(&mut self, now: SimTime) -> Result<IoTiming, BackendError> {
+        match self {
+            AnyBackend::Kernel(b) => b.snapshot_commit(now),
+            AnyBackend::Passthru(b) => b.snapshot_commit(now),
+        }
+    }
+
+    fn snapshot_abort(&mut self, now: SimTime) -> Result<IoTiming, BackendError> {
+        match self {
+            AnyBackend::Kernel(b) => b.snapshot_abort(now),
+            AnyBackend::Passthru(b) => b.snapshot_abort(now),
+        }
+    }
+
+    fn load_snapshot(
+        &mut self,
+        kind: SnapshotKind,
+        now: SimTime,
+    ) -> Result<(Option<Vec<u8>>, IoTiming), BackendError> {
+        match self {
+            AnyBackend::Kernel(b) => b.load_snapshot(kind, now),
+            AnyBackend::Passthru(b) => b.load_snapshot(kind, now),
+        }
+    }
+
+    fn load_wal(&mut self, now: SimTime) -> Result<(Vec<u8>, IoTiming), BackendError> {
+        match self {
+            AnyBackend::Kernel(b) => b.load_wal(now),
+            AnyBackend::Passthru(b) => b.load_wal(now),
+        }
+    }
+}
+
+/// Restartable backing storage: the device (and, for the kernel path, the
+/// file system) that persists across server lifetimes.
+pub struct Store {
+    cfg: StoreConfig,
+    device: Arc<Mutex<NvmeDevice>>,
+    clock: SharedClock,
+    /// Kernel path only: the mounted file system between runs.
+    fs: Option<SimFs>,
+    /// False until the first [`Store::open`] — first open formats,
+    /// subsequent opens recover.
+    opened: bool,
+}
+
+impl Store {
+    /// Builds a store over a fresh live-mode device and a wall clock.
+    pub fn new(cfg: StoreConfig) -> Self {
+        let device = Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::live(
+            cfg.fdp, cfg.ratio,
+        ))));
+        Store {
+            cfg,
+            device,
+            clock: SharedClock::new_wall(),
+            fs: None,
+            opened: false,
+        }
+    }
+
+    /// The store's wall clock (shared with rings and the server).
+    pub fn clock(&self) -> SharedClock {
+        self.clock.clone()
+    }
+
+    /// Configured I/O path.
+    pub fn kind(&self) -> BackendKind {
+        self.cfg.kind
+    }
+
+    /// True when the device honors placement IDs.
+    pub fn fdp(&self) -> bool {
+        self.cfg.fdp
+    }
+
+    /// The emulated device.
+    pub fn device(&self) -> &Arc<Mutex<NvmeDevice>> {
+        &self.device
+    }
+
+    /// Opens a backend: formats on first open, recovers from on-device
+    /// state on every later open.
+    pub fn open(&mut self) -> Result<AnyBackend, BackendError> {
+        let backend = match self.cfg.kind {
+            BackendKind::Kernel => {
+                let fs = self.fs.take().unwrap_or_else(|| {
+                    SimFs::new(
+                        Arc::clone(&self.device),
+                        KernelCosts::default(),
+                        FsProfile::f2fs(),
+                    )
+                });
+                let b = if self.opened {
+                    FileBackend::remount(fs)?
+                } else {
+                    FileBackend::new(fs)?
+                };
+                AnyBackend::Kernel(Box::new(b))
+            }
+            BackendKind::Passthru => {
+                let b = if self.opened {
+                    PassthruBackend::recover(
+                        Arc::clone(&self.device),
+                        self.clock.clone(),
+                        PassthruConfig::default(),
+                    )?
+                } else {
+                    PassthruBackend::new(
+                        Arc::clone(&self.device),
+                        self.clock.clone(),
+                        PassthruConfig::default(),
+                    )
+                };
+                AnyBackend::Passthru(Box::new(b))
+            }
+        };
+        self.opened = true;
+        Ok(backend)
+    }
+
+    /// Returns a cleanly shut-down backend to the store.
+    pub fn close(&mut self, backend: AnyBackend) {
+        if let AnyBackend::Kernel(b) = backend {
+            self.fs = Some(b.into_fs());
+        }
+        // Passthru: dropping the backend drains its rings; durable state
+        // already lives on the device.
+    }
+
+    /// Returns a backend after a crash (kill -9 equivalent): the kernel
+    /// path drops its page cache, the passthru path loses staged ring
+    /// state. Only synced bytes survive to the next [`Store::open`].
+    pub fn crash(&mut self, backend: AnyBackend) {
+        match backend {
+            AnyBackend::Kernel(b) => {
+                let mut fs = b.into_fs();
+                fs.crash();
+                self.fs = Some(fs);
+            }
+            AnyBackend::Passthru(b) => drop(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimio_imdb::{Db, DbConfig, LogPolicy};
+
+    fn tiny_store(kind: BackendKind) -> Store {
+        Store::new(StoreConfig {
+            kind,
+            fdp: kind == BackendKind::Passthru,
+            ratio: 1.0 / 128.0,
+        })
+    }
+
+    fn db_cfg() -> DbConfig {
+        DbConfig {
+            policy: LogPolicy::Always,
+            ..DbConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_crash_reopen_recovers_synced_writes() {
+        for kind in [BackendKind::Kernel, BackendKind::Passthru] {
+            let mut store = tiny_store(kind);
+            let backend = store.open().unwrap();
+            let mut db = Db::new(backend, db_cfg());
+            db.set(b"alpha", b"1", SimTime::ZERO).unwrap();
+            db.set(b"beta", b"2", SimTime::ZERO).unwrap();
+            store.crash(db.into_backend());
+
+            let backend = store.open().unwrap();
+            let (mut db, replayed) = Db::recover(backend, db_cfg(), SimTime::ZERO).unwrap();
+            assert_eq!(replayed, 2, "{kind:?}");
+            assert_eq!(&*db.get(b"alpha").unwrap(), b"1", "{kind:?}");
+            assert_eq!(&*db.get(b"beta").unwrap(), b"2", "{kind:?}");
+            store.close(db.into_backend());
+        }
+    }
+
+    #[test]
+    fn clean_close_reopen_preserves_state() {
+        for kind in [BackendKind::Kernel, BackendKind::Passthru] {
+            let mut store = tiny_store(kind);
+            let backend = store.open().unwrap();
+            let mut db = Db::new(backend, db_cfg());
+            db.set(b"k", b"v", SimTime::ZERO).unwrap();
+            store.close(db.into_backend());
+
+            let backend = store.open().unwrap();
+            let (mut db, _) = Db::recover(backend, db_cfg(), SimTime::ZERO).unwrap();
+            assert_eq!(&*db.get(b"k").unwrap(), b"v", "{kind:?}");
+            store.close(db.into_backend());
+        }
+    }
+
+    #[test]
+    fn waf_accessor_reports_device_waf() {
+        let mut store = tiny_store(BackendKind::Passthru);
+        let backend = store.open().unwrap();
+        assert!((backend.waf() - 1.0).abs() < f64::EPSILON || backend.waf() == 0.0);
+        store.close(backend);
+    }
+}

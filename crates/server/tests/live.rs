@@ -1,0 +1,286 @@
+//! End-to-end tests for live mode: a real server on an ephemeral port,
+//! driven over TCP, killed without warning, and restarted on the same
+//! backing store.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use slimio_imdb::LogPolicy;
+use slimio_server::bench::{self, BenchOpts};
+use slimio_server::resp::{self, Parser, Value};
+use slimio_server::{BackendKind, Server, ServerHandle, ServerOpts, Store, StoreConfig};
+
+const RATIO: f64 = 1.0 / 64.0;
+
+fn store_for(kind: BackendKind) -> Store {
+    Store::new(StoreConfig {
+        kind,
+        fdp: kind == BackendKind::Passthru,
+        ratio: RATIO,
+    })
+}
+
+/// Every acked write must be durable, so a kill at any command boundary
+/// loses nothing that was acknowledged.
+fn opts_always() -> ServerOpts {
+    ServerOpts {
+        policy: LogPolicy::Always,
+        wal_snapshot_threshold: 1 << 20,
+        snapshot_chunk: 64 << 10,
+        ..ServerOpts::default()
+    }
+}
+
+fn cmd(parts: &[&[u8]]) -> Vec<Vec<u8>> {
+    parts.iter().map(|p| p.to_vec()).collect()
+}
+
+fn send(port: u16, parts: &[&[u8]]) -> Value {
+    bench::oneshot("127.0.0.1", port, &cmd(parts)).expect("oneshot failed")
+}
+
+fn info_field(port: u16, field: &str) -> Option<String> {
+    let Value::Bulk(text) = send(port, &[b"INFO"]) else {
+        panic!("INFO did not return bulk");
+    };
+    let text = String::from_utf8_lossy(&text).into_owned();
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{field}:")).map(|v| v.to_string()))
+}
+
+fn wait_snapshot_done(port: u16) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if info_field(port, "snapshot_in_progress").as_deref() == Some("0") {
+            return;
+        }
+        assert!(Instant::now() < deadline, "snapshot never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn roundtrip_kill_recover(kind: BackendKind) {
+    let handle = Server::start(store_for(kind), opts_always()).expect("start");
+    let port = handle.port();
+
+    assert_eq!(send(port, &[b"PING"]), Value::Simple("PONG".into()));
+    for i in 0..200u32 {
+        let key = format!("key:{i:04}");
+        let val = format!("value-{i}");
+        assert_eq!(
+            send(port, &[b"SET", key.as_bytes(), val.as_bytes()]),
+            Value::ok(),
+            "{kind:?} SET {i}"
+        );
+    }
+    assert_eq!(send(port, &[b"GET", b"key:0042"]), Value::bulk(b"value-42"));
+    assert_eq!(
+        send(port, &[b"DEL", b"key:0000", b"key:0001"]),
+        Value::Int(2)
+    );
+    assert_eq!(send(port, &[b"DEL", b"key:0000"]), Value::Int(0));
+    assert_eq!(
+        send(port, &[b"EXISTS", b"key:0002", b"key:0000"]),
+        Value::Int(1)
+    );
+    assert_eq!(send(port, &[b"DBSIZE"]), Value::Int(198));
+
+    assert_eq!(
+        send(port, &[b"BGSAVE"]),
+        Value::Simple("Background saving started".into())
+    );
+    wait_snapshot_done(port);
+
+    for i in 200..250u32 {
+        let key = format!("key:{i:04}");
+        assert_eq!(
+            send(port, &[b"SET", key.as_bytes(), b"post-save"]),
+            Value::ok()
+        );
+    }
+
+    // Kill without shutdown: only synced state survives. Under Always,
+    // that is every acknowledged write.
+    let store = handle.kill();
+    let handle = Server::start(store, opts_always()).expect("restart");
+    let port = handle.port();
+
+    assert_eq!(handle.recovered_keys(), 248, "{kind:?}");
+    assert_eq!(send(port, &[b"DBSIZE"]), Value::Int(248));
+    assert_eq!(send(port, &[b"GET", b"key:0042"]), Value::bulk(b"value-42"));
+    assert_eq!(
+        send(port, &[b"GET", b"key:0249"]),
+        Value::bulk(b"post-save")
+    );
+    assert_eq!(send(port, &[b"GET", b"key:0000"]), Value::Null);
+
+    handle.shutdown();
+}
+
+#[test]
+fn kernel_roundtrip_kill_recover() {
+    roundtrip_kill_recover(BackendKind::Kernel);
+}
+
+#[test]
+fn passthru_fdp_roundtrip_kill_recover() {
+    roundtrip_kill_recover(BackendKind::Passthru);
+}
+
+/// Clean shutdown then restart must preserve the keyspace too, including
+/// via a client-issued SHUTDOWN handled by `join()`.
+#[test]
+fn clean_shutdown_preserves_keyspace() {
+    let handle = Server::start(store_for(BackendKind::Passthru), opts_always()).expect("start");
+    let port = handle.port();
+    for i in 0..50u32 {
+        let key = format!("clean:{i}");
+        assert_eq!(send(port, &[b"SET", key.as_bytes(), b"v"]), Value::ok());
+    }
+    assert_eq!(send(port, &[b"SHUTDOWN"]), Value::ok());
+    let store = handle.join();
+
+    let handle = Server::start(store, opts_always()).expect("restart");
+    let port = handle.port();
+    assert_eq!(send(port, &[b"DBSIZE"]), Value::Int(50));
+    handle.shutdown();
+}
+
+/// Kill the server while a client is mid-burst. Every write the client
+/// saw `+OK` for must be present after restart (Always = acked ⇒ synced);
+/// unacked writes may or may not survive.
+#[test]
+fn mid_load_kill_recovers_all_acked_writes() {
+    let handle = Server::start(store_for(BackendKind::Passthru), opts_always()).expect("start");
+    let port = handle.port();
+
+    let acked = Arc::new(Mutex::new(Vec::<u32>::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let client = {
+        let acked = Arc::clone(&acked);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) else {
+                return;
+            };
+            let _ = stream.set_nodelay(true);
+            let mut parser = Parser::new();
+            let mut rbuf = vec![0u8; 4096];
+            let mut out = Vec::new();
+            for i in 0..u32::MAX {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let key = format!("load:{i:08}");
+                out.clear();
+                resp::encode_command(
+                    &[b"SET".to_vec(), key.into_bytes(), vec![b'v'; 128]],
+                    &mut out,
+                );
+                if stream.write_all(&out).is_err() {
+                    break;
+                }
+                match bench::read_value(&mut stream, &mut parser, &mut rbuf) {
+                    Ok(v) if v == Value::ok() => acked.lock().unwrap().push(i),
+                    _ => break,
+                }
+            }
+        })
+    };
+
+    // Let it push writes, then pull the plug mid-stream.
+    std::thread::sleep(Duration::from_millis(400));
+    let store = handle.kill();
+    stop.store(true, Ordering::SeqCst);
+    client.join().unwrap();
+
+    let acked = acked.lock().unwrap();
+    assert!(!acked.is_empty(), "client never got an ack");
+
+    let handle = Server::start(store, opts_always()).expect("restart");
+    let port = handle.port();
+    for &i in acked.iter() {
+        let key = format!("load:{i:08}");
+        assert_eq!(
+            send(port, &[b"GET", key.as_bytes()]),
+            Value::bulk(vec![b'v'; 128]),
+            "acked write load:{i:08} lost after kill"
+        );
+    }
+    handle.shutdown();
+}
+
+/// The headline SlimIO result: after at least one full WAL-snapshot cycle
+/// on the passthru+FDP path, device write amplification is exactly 1.00.
+#[test]
+fn passthru_fdp_waf_stays_one() {
+    let opts = ServerOpts {
+        policy: LogPolicy::Always,
+        wal_snapshot_threshold: 64 << 10,
+        snapshot_chunk: 16 << 10,
+        ..ServerOpts::default()
+    };
+    let handle = Server::start(store_for(BackendKind::Passthru), opts).expect("start");
+    let port = handle.port();
+
+    let value = vec![b'w'; 4096];
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut i = 0u32;
+    loop {
+        let key = format!("waf:{i:06}");
+        assert_eq!(send(port, &[b"SET", key.as_bytes(), &value]), Value::ok());
+        i += 1;
+        if i.is_multiple_of(16)
+            && info_field(port, "wal_snapshots")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+                >= 1
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "WAL snapshot never triggered");
+    }
+    wait_snapshot_done(port);
+
+    assert_eq!(
+        info_field(port, "waf").as_deref(),
+        Some("1.00"),
+        "passthru+FDP must keep device WAF at exactly 1.00"
+    );
+    handle.shutdown();
+}
+
+/// The bundled load generator completes, counts every request, and
+/// reports sane latency percentiles.
+#[test]
+fn bench_smoke_reports_throughput() {
+    fn run_against(handle: &ServerHandle) -> bench::BenchReport {
+        let opts = BenchOpts {
+            port: handle.port(),
+            clients: 4,
+            requests: 2000,
+            value_len: 64,
+            keyspace: 500,
+            ..BenchOpts::default()
+        };
+        bench::run(&opts).expect("bench run")
+    }
+
+    for kind in [BackendKind::Kernel, BackendKind::Passthru] {
+        let handle = Server::start(store_for(kind), opts_always()).expect("start");
+        let report = run_against(&handle);
+        assert_eq!(report.ops, 2000, "{kind:?}");
+        assert_eq!(report.errors, 0, "{kind:?}");
+        assert!(report.rps() > 0.0, "{kind:?}");
+        assert!(report.hist.p99() >= report.hist.p50(), "{kind:?}");
+        let dbsize = send(handle.port(), &[b"DBSIZE"]);
+        match dbsize {
+            Value::Int(n) => assert!(n > 0 && n <= 500, "{kind:?}: {n}"),
+            other => panic!("{kind:?}: DBSIZE returned {other:?}"),
+        }
+        handle.shutdown();
+    }
+}

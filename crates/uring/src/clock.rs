@@ -1,39 +1,78 @@
-//! A virtual clock shareable across threads.
+//! A clock shareable across threads: virtual (DES-driven) or wall-clock.
+//!
+//! Every layer of the workspace timestamps device commands with a
+//! [`SimTime`]. In the discrete-event experiments those timestamps come
+//! from the DES scheduler; in the *live* stack (`slimio-server`) they must
+//! track real elapsed time instead. [`SharedClock`] covers both: a virtual
+//! clock is advanced explicitly by its users, a wall clock ratchets itself
+//! forward from a `std::time::Instant` base on every read. Either way the
+//! clock is monotonically non-decreasing and safe to share across threads,
+//! and device completion timestamps computed by the NVMe timing model may
+//! run ahead of it (they are predictions of when the NAND finishes).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use slimio_des::SimTime;
 
-/// An atomic, monotonically non-decreasing virtual clock.
+/// An atomic, monotonically non-decreasing clock.
 ///
-/// The functional stack (real threads pushing real bytes) still timestamps
-/// device commands in virtual time, so experiments stay deterministic. The
-/// submitting side advances the clock; poller threads read it.
+/// Two modes:
+///
+/// * **virtual** ([`SharedClock::new`]) — time moves only when a user calls
+///   [`SharedClock::advance`]/[`SharedClock::advance_to`]. The functional
+///   test stack (real threads pushing real bytes) still timestamps device
+///   commands in virtual time, so experiments stay deterministic.
+/// * **wall** ([`SharedClock::new_wall`]) — [`SharedClock::now`] returns
+///   nanoseconds elapsed since construction, ratcheted against any later
+///   timestamp recorded via `advance_to` (device completion predictions),
+///   so reads never go backwards.
 #[derive(Clone, Debug, Default)]
 pub struct SharedClock {
     ns: Arc<AtomicU64>,
+    wall_base: Option<Instant>,
 }
 
 impl SharedClock {
-    /// Creates a clock at time zero.
+    /// Creates a virtual clock at time zero.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates a clock at the given start time.
+    /// Creates a virtual clock at the given start time.
     pub fn starting_at(t: SimTime) -> Self {
         let c = Self::new();
         c.ns.store(t.as_nanos(), Ordering::Relaxed);
         c
     }
 
-    /// Current virtual time.
+    /// Creates a wall clock whose zero is "now" (construction time).
+    pub fn new_wall() -> Self {
+        SharedClock {
+            ns: Arc::new(AtomicU64::new(0)),
+            wall_base: Some(Instant::now()),
+        }
+    }
+
+    /// True when this clock tracks wall time.
+    pub fn is_wall(&self) -> bool {
+        self.wall_base.is_some()
+    }
+
+    /// Current time. Wall clocks ratchet to elapsed real time first, so
+    /// two reads never go backwards even across threads.
     pub fn now(&self) -> SimTime {
+        if let Some(base) = self.wall_base {
+            let elapsed = base.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.ratchet(elapsed);
+        }
         SimTime::from_nanos(self.ns.load(Ordering::Acquire))
     }
 
-    /// Advances the clock by `delta`, returning the new time.
+    /// Advances the clock by `delta`, returning the new time. On a wall
+    /// clock this moves the ratchet (useful for injecting skew in tests);
+    /// real elapsed time still dominates once it catches up.
     pub fn advance(&self, delta: SimTime) -> SimTime {
         let new = self
             .ns
@@ -44,18 +83,22 @@ impl SharedClock {
 
     /// Moves the clock forward to `t` if `t` is later (never backwards).
     pub fn advance_to(&self, t: SimTime) -> SimTime {
-        let target = t.as_nanos();
+        SimTime::from_nanos(self.ratchet(t.as_nanos()))
+    }
+
+    /// Lock-free max-update; returns the resulting stored value.
+    fn ratchet(&self, target: u64) -> u64 {
         let mut cur = self.ns.load(Ordering::Relaxed);
         while cur < target {
             match self
                 .ns
                 .compare_exchange_weak(cur, target, Ordering::AcqRel, Ordering::Relaxed)
             {
-                Ok(_) => return t,
+                Ok(_) => return target,
                 Err(actual) => cur = actual,
             }
         }
-        SimTime::from_nanos(cur)
+        cur
     }
 }
 
@@ -91,5 +134,43 @@ mod tests {
         let b = a.clone();
         a.advance(SimTime::from_millis(3));
         assert_eq!(b.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn virtual_clock_is_not_wall() {
+        assert!(!SharedClock::new().is_wall());
+        assert!(SharedClock::new_wall().is_wall());
+    }
+
+    #[test]
+    fn wall_clock_tracks_elapsed_time() {
+        let c = SharedClock::new_wall();
+        let t0 = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let t1 = c.now();
+        assert!(t1 > t0, "{t1:?} <= {t0:?}");
+        assert!(t1 >= SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_under_future_completions() {
+        // A device completion predicted in the future ratchets the clock;
+        // reads return that prediction until real time catches up.
+        let c = SharedClock::new_wall();
+        let future = c.now() + SimTime::from_secs(3600);
+        c.advance_to(future);
+        assert_eq!(c.now(), future);
+        let earlier = SimTime::from_nanos(1);
+        c.advance_to(earlier);
+        assert_eq!(c.now(), future);
+    }
+
+    #[test]
+    fn wall_clones_share_ratchet() {
+        let a = SharedClock::new_wall();
+        let b = a.clone();
+        let future = a.now() + SimTime::from_secs(100);
+        a.advance_to(future);
+        assert_eq!(b.now(), future);
     }
 }
