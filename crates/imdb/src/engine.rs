@@ -250,25 +250,39 @@ impl<B: PersistBackend> Db<B> {
         })
     }
 
-    /// `DEL key`.
-    pub fn del(&mut self, key: &[u8], now: SimTime) -> Result<WriteReply, DbError> {
+    /// `DEL key`. Returns the reply and whether a key was actually
+    /// removed. Only effective deletes consume a sequence number and log a
+    /// WAL record (Redis semantics: no-op deletes are not propagated), so
+    /// missing-key DELs cost no WAL bytes and no fsync.
+    pub fn del(&mut self, key: &[u8], now: SimTime) -> Result<(WriteReply, bool), DbError> {
         self.stats.dels += 1;
-        self.seq += 1;
-        self.wal_buf.push_del(self.seq, key);
         let mut cow_retained = 0u64;
-        if let Some(old) = self.map.remove(key) {
-            if self.snapshot.is_some() {
-                cow_retained = old.len() as u64;
-                self.retained_mem += cow_retained;
+        let removed = match self.map.remove(key) {
+            Some(old) => {
+                self.seq += 1;
+                self.wal_buf.push_del(self.seq, key);
+                if self.snapshot.is_some() {
+                    cow_retained = old.len() as u64;
+                    self.retained_mem += cow_retained;
+                }
+                self.base_mem -= (key.len() + old.len()) as u64 + self.cfg.entry_overhead;
+                true
             }
-            self.base_mem -= (key.len() + old.len()) as u64 + self.cfg.entry_overhead;
-        }
+            None => false,
+        };
         self.bump_peak();
-        let done_at = self.log_per_policy(now)?;
-        Ok(WriteReply {
-            done_at,
-            cow_retained,
-        })
+        let done_at = if removed {
+            self.log_per_policy(now)?
+        } else {
+            now
+        };
+        Ok((
+            WriteReply {
+                done_at,
+                cow_retained,
+            },
+            removed,
+        ))
     }
 
     fn log_per_policy(&mut self, now: SimTime) -> Result<SimTime, DbError> {
@@ -464,6 +478,30 @@ mod tests {
         assert_eq!(db.stats().dels, 1);
         assert_eq!(db.stats().gets, 3);
         assert_eq!(db.stats().hits, 1);
+    }
+
+    #[test]
+    fn noop_del_leaves_wal_untouched() {
+        let mut db = file_db(LogPolicy::Always);
+        db.set(b"present", b"v", SimTime::ZERO).unwrap();
+        let wal_before = db.backend().wal_len();
+        // Deleting keys that were never set must not write WAL records:
+        // Redis only propagates effective deletes.
+        for i in 0..32u32 {
+            let (_, removed) = db
+                .del(format!("ghost{i}").as_bytes(), SimTime::ZERO)
+                .unwrap();
+            assert!(!removed, "ghost key reported as removed");
+        }
+        assert_eq!(
+            db.backend().wal_len(),
+            wal_before,
+            "no-op DELs must not grow the WAL"
+        );
+        // An effective delete still logs.
+        let (_, removed) = db.del(b"present", SimTime::ZERO).unwrap();
+        assert!(removed);
+        assert!(db.backend().wal_len() > wal_before);
     }
 
     #[test]

@@ -93,6 +93,26 @@ const WRITEBACK_BATCH: usize = 256;
 const WB_CHUNK: usize = 64;
 /// LBAs reserved at the top of the device for journal/node blocks.
 const JOURNAL_LBAS: u64 = 64;
+/// Bounded in-place retries of transiently failed page writes — the block
+/// layer's requeue behaviour. Exhaustion (or any other device error)
+/// surfaces to the caller.
+const WRITE_RETRIES: usize = 64;
+
+/// Writes one page, retrying injected transient failures in place.
+fn write_page_retrying(
+    dev: &mut NvmeDevice,
+    lba: u64,
+    data: Option<&[u8]>,
+    now: SimTime,
+) -> Result<slimio_nvme::Completion, DeviceError> {
+    let mut attempts = 0;
+    loop {
+        match dev.write(lba, 1, 0, data, now) {
+            Err(DeviceError::Injected) if attempts < WRITE_RETRIES => attempts += 1,
+            other => return other,
+        }
+    }
+}
 
 /// The simulated file system.
 pub struct SimFs {
@@ -330,24 +350,40 @@ impl SimFs {
     }
 
     /// Writes one batch of dirty pages to the device in paced chunks;
-    /// returns completion of the batch.
+    /// returns completion of the batch. On a persistent device error the
+    /// pages that never reached media go back into the dirty set — the
+    /// cache must not lose data it already took responsibility for.
     fn writeback_batch(&mut self, now: SimTime) -> Result<SimTime, FsError> {
         let batch = self.cache.take_dirty(WRITEBACK_BATCH);
         if batch.is_empty() {
             return Ok(now);
         }
-        let mut dev = self.device.lock().unwrap();
         let mut cursor = now;
-        for chunk in batch.chunks(WB_CHUNK) {
-            let mut chunk_done = cursor;
-            for ((file, page), data) in chunk {
-                let Some(lba) = self.lba_of(*file, *page) else {
-                    continue; // file deleted while dirty
-                };
-                let c = dev.write(lba, 1, 0, data.as_deref(), cursor)?;
-                chunk_done = chunk_done.max(c.done_at);
+        let mut failed: Option<(usize, DeviceError)> = None;
+        {
+            let mut dev = self.device.lock().unwrap();
+            'batch: for (ci, chunk) in batch.chunks(WB_CHUNK).enumerate() {
+                let mut chunk_done = cursor;
+                for (i, ((file, page), data)) in chunk.iter().enumerate() {
+                    let Some(lba) = self.lba_of(*file, *page) else {
+                        continue; // file deleted while dirty
+                    };
+                    match write_page_retrying(&mut dev, lba, data.as_deref(), cursor) {
+                        Ok(c) => chunk_done = chunk_done.max(c.done_at),
+                        Err(e) => {
+                            failed = Some((ci * WB_CHUNK + i, e));
+                            break 'batch;
+                        }
+                    }
+                }
+                cursor = chunk_done;
             }
-            cursor = chunk_done;
+        }
+        if let Some((idx, e)) = failed {
+            for ((file, page), data) in &batch[idx..] {
+                self.cache.write_page((*file, *page), data.as_deref());
+            }
+            return Err(FsError::Device(e));
         }
         Ok(cursor)
     }
@@ -370,30 +406,51 @@ impl SimFs {
         let journal_wait = start - t;
         let dirty = self.cache.take_dirty_of_file(id);
         let mut done;
+        let mut failed: Option<(usize, DeviceError)> = None;
         {
             let mut dev = self.device.lock().unwrap();
             // Data writeback, paced per chunk.
             let mut cursor = end;
-            for chunk in dirty.chunks(WB_CHUNK) {
+            'data: for (ci, chunk) in dirty.chunks(WB_CHUNK).enumerate() {
                 let mut chunk_done = cursor;
-                for ((_, page), data) in chunk {
+                for (i, ((_, page), data)) in chunk.iter().enumerate() {
                     let Some(lba) = self.lba_of(id, *page) else {
                         continue;
                     };
-                    let c = dev.write(lba, 1, 0, data.as_deref(), cursor)?;
-                    chunk_done = chunk_done.max(c.done_at);
+                    match write_page_retrying(&mut dev, lba, data.as_deref(), cursor) {
+                        Ok(c) => chunk_done = chunk_done.max(c.done_at),
+                        Err(e) => {
+                            failed = Some((ci * WB_CHUNK + i, e));
+                            break 'data;
+                        }
+                    }
                 }
                 cursor = chunk_done;
             }
             done = cursor;
-            // Serial journal/node writes: each depends on the previous.
-            let journal_base = self.capacity_pages;
-            for _ in 0..self.profile.fsync_journal_pages {
-                let lba = journal_base + (self.journal_cursor % JOURNAL_LBAS);
-                self.journal_cursor += 1;
-                let c = dev.write(lba, 1, 0, None, done)?;
-                done = c.done_at;
+            if failed.is_none() {
+                // Serial journal/node writes: each depends on the previous.
+                let journal_base = self.capacity_pages;
+                for _ in 0..self.profile.fsync_journal_pages {
+                    let lba = journal_base + (self.journal_cursor % JOURNAL_LBAS);
+                    self.journal_cursor += 1;
+                    match write_page_retrying(&mut dev, lba, None, done) {
+                        Ok(c) => done = c.done_at,
+                        // Data pages all reached media; only the journal
+                        // commit failed, so nothing needs re-dirtying.
+                        Err(e) => {
+                            failed = Some((dirty.len(), e));
+                            break;
+                        }
+                    }
+                }
             }
+        }
+        if let Some((idx, e)) = failed {
+            for ((_, page), data) in &dirty[idx..] {
+                self.cache.write_page((id, *page), data.as_deref());
+            }
+            return Err(FsError::Device(e));
         }
         Ok(WriteOutcome {
             done_at: done,

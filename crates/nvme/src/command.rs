@@ -83,6 +83,9 @@ pub enum DeviceError {
     },
     /// Device is powered off (crash injection).
     PoweredOff,
+    /// A transient failure injected by an armed fault plan. Nothing was
+    /// persisted; the host may retry the command.
+    Injected,
 }
 
 impl From<FtlError> for DeviceError {
@@ -100,6 +103,7 @@ impl std::fmt::Display for DeviceError {
                 write!(f, "payload size {got} != expected {expected}")
             }
             DeviceError::PoweredOff => write!(f, "device is powered off"),
+            DeviceError::Injected => write!(f, "injected transient write failure"),
         }
     }
 }

@@ -7,6 +7,7 @@ use slimio_ftl::{Ftl, FtlConfig, Lpn, Pid, PlacementMode};
 use slimio_nand::{Latencies, NandTimer};
 
 use crate::command::{Completion, DeviceError};
+use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::LBA_BYTES;
 
 /// Device construction parameters.
@@ -96,6 +97,11 @@ pub struct NvmeDevice {
     powered: bool,
     /// Completion time of the latest write, for `Flush` barriers.
     last_write_done: SimTime,
+    /// Armed fault schedule; `None` (the default) costs one branch per write.
+    fault: Option<FaultState>,
+    /// Write commands accepted since construction (fault-armed or not),
+    /// so harnesses can enumerate crash points of a recorded workload.
+    write_cmds: u64,
 }
 
 impl NvmeDevice {
@@ -107,6 +113,8 @@ impl NvmeDevice {
             store: cfg.store_data.then(HashMap::new),
             powered: true,
             last_write_done: SimTime::ZERO,
+            fault: None,
+            write_cmds: 0,
             cfg,
         }
     }
@@ -167,6 +175,63 @@ impl NvmeDevice {
         self.powered = true;
     }
 
+    /// Arms a fault plan with a fresh write counter, replacing any armed
+    /// plan. Power-cut and torn plans disarm themselves when they fire, so
+    /// a post-crash power-on does not re-trigger them.
+    pub fn arm_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// Disarms the current fault plan, if any.
+    pub fn disarm_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// True while a fault plan is armed. Upper layers use this to decide
+    /// whether to keep retry bookkeeping, so the unarmed path stays free.
+    pub fn fault_armed(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan())
+    }
+
+    /// Write commands accepted since construction.
+    pub fn write_commands(&self) -> u64 {
+        self.write_cmds
+    }
+
+    /// A torn write: program only the first `keep` payload bytes (boundary
+    /// page zero-padded), then cut power. The host never sees a completion
+    /// — from its side this is a power cut mid-transfer — so no NAND time
+    /// is charged and no `Completion` is produced.
+    fn torn_write(
+        &mut self,
+        lba: Lpn,
+        blocks: u64,
+        pid: Pid,
+        data: Option<&[u8]>,
+        keep: usize,
+    ) -> Result<Completion, DeviceError> {
+        let keep = keep.min(blocks as usize * LBA_BYTES);
+        let pages = keep.div_ceil(LBA_BYTES) as u64;
+        for i in 0..pages {
+            let lpn = lba + i;
+            self.ftl.write(lpn, pid)?;
+            if let (Some(store), Some(d)) = (self.store.as_mut(), data) {
+                let start = i as usize * LBA_BYTES;
+                let end = ((i as usize + 1) * LBA_BYTES).min(keep);
+                let mut page = vec![0u8; LBA_BYTES];
+                page[..end - start].copy_from_slice(&d[start..end]);
+                store.insert(lpn, page.into_boxed_slice());
+            }
+        }
+        self.powered = false;
+        Err(DeviceError::PoweredOff)
+    }
+
     /// Writes `blocks` logical blocks at `lba` with placement hint `pid`.
     ///
     /// `data`, when provided, must be exactly `blocks * 4096` bytes and is
@@ -189,6 +254,22 @@ impl NvmeDevice {
                     expected,
                     got: d.len(),
                 });
+            }
+        }
+        self.write_cmds += 1;
+        if let Some(fault) = self.fault.as_mut() {
+            match fault.on_write() {
+                FaultAction::Proceed => {}
+                FaultAction::Fail => return Err(DeviceError::Injected),
+                FaultAction::PowerCut => {
+                    self.fault = None;
+                    self.powered = false;
+                    return Err(DeviceError::PoweredOff);
+                }
+                FaultAction::Torn { keep_bytes } => {
+                    self.fault = None;
+                    return self.torn_write(lba, blocks, pid, data, keep_bytes);
+                }
             }
         }
         let mut done = now;
@@ -414,6 +495,60 @@ mod tests {
         dev.power_on();
         let (_, out) = dev.read(0, 1, SimTime::ZERO).unwrap();
         assert_eq!(out.unwrap(), page(5));
+    }
+
+    #[test]
+    fn power_cut_plan_drops_triggering_write_and_powers_off() {
+        let mut dev = tiny();
+        dev.arm_fault("pc@2".parse().unwrap());
+        dev.write(0, 1, 0, Some(&page(1)), SimTime::ZERO).unwrap();
+        assert!(matches!(
+            dev.write(1, 1, 0, Some(&page(2)), SimTime::ZERO),
+            Err(DeviceError::PoweredOff)
+        ));
+        // The plan consumed itself: power-on does not re-trigger it.
+        assert!(!dev.fault_armed());
+        dev.power_on();
+        let (_, out) = dev.read(0, 2, SimTime::ZERO).unwrap();
+        let mut expect = page(1);
+        expect.extend_from_slice(&page(0)); // write 2 never persisted
+        assert_eq!(out.unwrap(), expect);
+    }
+
+    #[test]
+    fn torn_plan_persists_prefix_only() {
+        let mut dev = tiny();
+        // Keep one full page plus 100 bytes of a 3-page write.
+        dev.arm_fault(format!("torn@1:{}", LBA_BYTES + 100).parse().unwrap());
+        let data: Vec<u8> = (0..3 * LBA_BYTES).map(|i| (i % 251) as u8 + 1).collect();
+        assert!(matches!(
+            dev.write(0, 3, 0, Some(&data), SimTime::ZERO),
+            Err(DeviceError::PoweredOff)
+        ));
+        dev.power_on();
+        let (_, out) = dev.read(0, 3, SimTime::ZERO).unwrap();
+        let out = out.unwrap();
+        assert_eq!(&out[..LBA_BYTES + 100], &data[..LBA_BYTES + 100]);
+        assert!(out[LBA_BYTES + 100..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn transient_plan_fails_window_then_recovers() {
+        let mut dev = tiny();
+        dev.arm_fault("fail@2x2".parse().unwrap());
+        dev.write(0, 1, 0, Some(&page(1)), SimTime::ZERO).unwrap();
+        for _ in 0..2 {
+            assert!(matches!(
+                dev.write(1, 1, 0, Some(&page(2)), SimTime::ZERO),
+                Err(DeviceError::Injected)
+            ));
+        }
+        // Third retry lands past the window; nothing from the failed
+        // attempts persisted in the meantime.
+        dev.write(1, 1, 0, Some(&page(2)), SimTime::ZERO).unwrap();
+        let (_, out) = dev.read(1, 1, SimTime::ZERO).unwrap();
+        assert_eq!(out.unwrap(), page(2));
+        assert_eq!(dev.write_commands(), 4);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Deterministic fault injection for the emulated device.
+//!
+//! A [`FaultPlan`] is a serializable schedule armed on an
+//! [`NvmeDevice`](crate::NvmeDevice). The device counts *write commands*
+//! (one per `write` call, retries included, so retried commands consume
+//! plan budget exactly like real resubmissions) and fires the configured
+//! fault when the count reaches the plan's trigger point:
+//!
+//! * **power cut** (`pc@N`) — the Nth write persists nothing and the
+//!   device powers off; every later command fails with
+//!   [`DeviceError::PoweredOff`](crate::DeviceError::PoweredOff) until
+//!   the next power-on (= process restart in live mode).
+//! * **torn write** (`torn@N:B`) — the first `B` bytes of the Nth write's
+//!   payload persist (the boundary page zero-padded past the prefix), the
+//!   rest are lost, and the device powers off: a power loss mid-DMA.
+//! * **transient failures** (`fail@N` / `fail@NxK`) — writes N through
+//!   N+K-1 fail with [`DeviceError::Injected`](crate::DeviceError::Injected)
+//!   and persist nothing; the device stays up. Models a correctable
+//!   controller hiccup the host is expected to retry through.
+//!
+//! Determinism comes from the schedule itself: a crash matrix enumerates
+//! `N` over the write positions of a deterministic workload, so every
+//! crash state is reproducible from the `(workload, spec)` pair alone.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// What a [`FaultPlan`] injects once its trigger point is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Power cut: the triggering write persists nothing, device goes down.
+    PowerCut,
+    /// Torn write: only the first `keep_bytes` of the triggering write's
+    /// payload persist, then the device goes down.
+    Torn {
+        /// Payload prefix length, in bytes, that reaches media.
+        keep_bytes: usize,
+    },
+    /// The next `count` writes fail transiently; the device stays up.
+    Transient {
+        /// Number of consecutive write commands that fail.
+        count: u64,
+    },
+}
+
+/// A deterministic fault schedule: fire `kind` at the `at_write`-th write
+/// command (1-based). Round-trips through its spec string (`pc@N`,
+/// `torn@N:B`, `fail@N`, `fail@NxK`) via [`FromStr`] and [`fmt::Display`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 1-based index of the write command the fault first applies to.
+    pub at_write: u64,
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+/// A fault-plan spec string failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError(String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (expected pc@N, torn@N:B, or fail@N[xK], N >= 1)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl FromStr for FaultPlan {
+    type Err = FaultSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || FaultSpecError(format!("bad fault spec {s:?}"));
+        let (kind, rest) = s.split_once('@').ok_or_else(bad)?;
+        let parse_at = |t: &str| -> Result<u64, FaultSpecError> {
+            match t.parse::<u64>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(bad()),
+            }
+        };
+        let plan = match kind {
+            "pc" => FaultPlan {
+                at_write: parse_at(rest)?,
+                kind: FaultKind::PowerCut,
+            },
+            "torn" => {
+                let (at, keep) = rest.split_once(':').ok_or_else(bad)?;
+                FaultPlan {
+                    at_write: parse_at(at)?,
+                    kind: FaultKind::Torn {
+                        keep_bytes: keep.parse().map_err(|_| bad())?,
+                    },
+                }
+            }
+            "fail" => {
+                let (at, count) = match rest.split_once('x') {
+                    Some((at, k)) => {
+                        let k = k.parse::<u64>().map_err(|_| bad())?;
+                        if k < 1 {
+                            return Err(bad());
+                        }
+                        (at, k)
+                    }
+                    None => (rest, 1),
+                };
+                FaultPlan {
+                    at_write: parse_at(at)?,
+                    kind: FaultKind::Transient { count },
+                }
+            }
+            _ => return Err(bad()),
+        };
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::PowerCut => write!(f, "pc@{}", self.at_write),
+            FaultKind::Torn { keep_bytes } => write!(f, "torn@{}:{keep_bytes}", self.at_write),
+            FaultKind::Transient { count: 1 } => write!(f, "fail@{}", self.at_write),
+            FaultKind::Transient { count } => write!(f, "fail@{}x{count}", self.at_write),
+        }
+    }
+}
+
+/// What the device must do with the current write command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault at this point: execute normally.
+    Proceed,
+    /// Cut power before anything persists.
+    PowerCut,
+    /// Persist only the payload prefix, then cut power.
+    Torn {
+        /// Payload prefix length in bytes.
+        keep_bytes: usize,
+    },
+    /// Fail the command transiently; nothing persists, device stays up.
+    Fail,
+}
+
+/// An armed plan plus its progress counter.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    seen: u64,
+}
+
+impl FaultState {
+    /// Arms `plan` with a fresh write counter.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState { plan, seen: 0 }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Write commands observed since the plan was armed.
+    pub fn writes_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Accounts one write command and says what to do with it.
+    pub fn on_write(&mut self) -> FaultAction {
+        self.seen += 1;
+        let at = self.plan.at_write;
+        match self.plan.kind {
+            FaultKind::PowerCut if self.seen == at => FaultAction::PowerCut,
+            FaultKind::Torn { keep_bytes } if self.seen == at => FaultAction::Torn { keep_bytes },
+            FaultKind::Transient { count } if self.seen >= at && self.seen - at < count => {
+                FaultAction::Fail
+            }
+            _ => FaultAction::Proceed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        for spec in ["pc@1", "pc@120", "torn@7:1000", "fail@3", "fail@5x8"] {
+            let plan: FaultPlan = spec.parse().unwrap();
+            assert_eq!(plan.to_string(), spec);
+        }
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        for spec in [
+            "", "pc", "pc@", "pc@0", "pc@x", "torn@5", "torn@0:9", "torn@5:", "fail@0", "fail@2x0",
+            "fail@2x", "nuke@3", "pc@-1",
+        ] {
+            assert!(spec.parse::<FaultPlan>().is_err(), "{spec:?} parsed");
+        }
+    }
+
+    #[test]
+    fn power_cut_fires_once_at_its_index() {
+        let mut st = FaultState::new("pc@3".parse().unwrap());
+        assert_eq!(st.on_write(), FaultAction::Proceed);
+        assert_eq!(st.on_write(), FaultAction::Proceed);
+        assert_eq!(st.on_write(), FaultAction::PowerCut);
+        assert_eq!(st.on_write(), FaultAction::Proceed);
+        assert_eq!(st.writes_seen(), 4);
+    }
+
+    #[test]
+    fn transient_window_covers_count_writes() {
+        let mut st = FaultState::new("fail@2x2".parse().unwrap());
+        assert_eq!(st.on_write(), FaultAction::Proceed);
+        assert_eq!(st.on_write(), FaultAction::Fail);
+        assert_eq!(st.on_write(), FaultAction::Fail);
+        assert_eq!(st.on_write(), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn torn_reports_prefix() {
+        let mut st = FaultState::new("torn@1:4097".parse().unwrap());
+        assert_eq!(st.on_write(), FaultAction::Torn { keep_bytes: 4097 });
+    }
+}

@@ -22,9 +22,11 @@
 
 pub mod command;
 pub mod device;
+pub mod fault;
 
 pub use command::{Command, Completion, DeviceError};
 pub use device::{DeviceConfig, NvmeDevice};
+pub use fault::{FaultKind, FaultPlan, FaultSpecError};
 
 /// Logical block size in bytes (equal to the NAND page size).
 pub const LBA_BYTES: usize = 4096;

@@ -4,9 +4,17 @@
 //! slimio-server [--addr HOST] [--port N] [--backend kernel|passthru]
 //!               [--fdp] [--ratio F] [--appendfsync always|everysec]
 //!               [--wal-snapshot-mb N] [--snapshot-chunk-kb N]
+//!               [--fault-plan SPEC]
 //! ```
+//!
+//! `--fault-plan` arms a deterministic device fault before the server
+//! starts: `pc@N` (power cut at the Nth write command), `torn@N:B` (the
+//! Nth write persists only its first B bytes, then power cuts), or
+//! `fail@N[xK]` (writes N..N+K fail transiently). See `DEBUG FAULT` for
+//! arming plans at runtime.
 
 use slimio_imdb::LogPolicy;
+use slimio_nvme::FaultPlan;
 use slimio_server::{BackendKind, Server, ServerOpts, Store, StoreConfig};
 
 struct Args {
@@ -16,13 +24,15 @@ struct Args {
     opts_policy: LogPolicy,
     wal_snapshot_mb: u64,
     snapshot_chunk_kb: usize,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: slimio-server [--addr host] [--port n] [--backend kernel|passthru] [--fdp]\n\
          \x20                    [--ratio f] [--appendfsync always|everysec]\n\
-         \x20                    [--wal-snapshot-mb n] [--snapshot-chunk-kb n]"
+         \x20                    [--wal-snapshot-mb n] [--snapshot-chunk-kb n]\n\
+         \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]]"
     );
     std::process::exit(2);
 }
@@ -35,6 +45,7 @@ fn parse_args() -> Args {
         opts_policy: LogPolicy::periodical_default(),
         wal_snapshot_mb: 256,
         snapshot_chunk_kb: 256,
+        fault_plan: None,
     };
     let mut fdp_flag = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -71,6 +82,13 @@ fn parse_args() -> Args {
             "--snapshot-chunk-kb" => {
                 args.snapshot_chunk_kb = next(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--fault-plan" => {
+                let spec = next(&mut i);
+                args.fault_plan = Some(spec.parse().unwrap_or_else(|e| {
+                    eprintln!("slimio-server: bad --fault-plan '{spec}': {e}");
+                    usage()
+                }))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -84,6 +102,10 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let store = Store::new(args.store);
+    if let Some(plan) = args.fault_plan {
+        println!("slimio-server: fault plan armed: {plan}");
+        store.device().lock().unwrap().arm_fault(plan);
+    }
     let opts = ServerOpts {
         addr: format!("{}:{}", args.addr, args.port),
         policy: args.opts_policy,

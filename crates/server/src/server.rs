@@ -34,6 +34,17 @@ const IDLE_STEP_ENTRIES: usize = 512;
 const BUSY_STEP_ENTRIES: usize = 64;
 /// A busy step runs once per this many commands while a snapshot is live.
 const BUSY_STEP_EVERY: u32 = 4;
+/// A connection merges its local latency histogram into the shared one
+/// after this many commands…
+const HIST_MERGE_EVERY: u32 = 1024;
+/// …or after this much time with unmerged samples, whichever comes first,
+/// so INFO percentiles stay fresh even under a trickle of traffic.
+const HIST_MERGE_INTERVAL: Duration = Duration::from_millis(250);
+/// How long the writer keeps draining queued requests with an error reply
+/// after shutdown begins. Connection threads notice `stop` within their
+/// 100 ms read timeout, so one idle window this long means the queue is
+/// truly dry.
+const SHUTDOWN_DRAIN_IDLE: Duration = Duration::from_millis(150);
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -321,11 +332,9 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
     let mut out = Vec::new();
     let mut local = Histogram::new();
     let mut since_merge: u32 = 0;
+    let mut last_merge = Instant::now();
 
     'conn: loop {
-        if shared.stop.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst) {
-            break;
-        }
         let n = match stream.read(&mut rbuf) {
             Ok(0) => break,
             Ok(n) => n,
@@ -333,6 +342,10 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                maybe_merge_hist(&shared, &mut local, &mut since_merge, &mut last_merge);
+                if shared.stop.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst) {
+                    break;
+                }
                 continue;
             }
             Err(_) => break,
@@ -364,10 +377,12 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
         if !out.is_empty() && stream.write_all(&out).is_err() {
             break;
         }
-        if since_merge >= 1024 {
-            shared.hist.lock().unwrap().merge(&local);
-            local.clear();
-            since_merge = 0;
+        maybe_merge_hist(&shared, &mut local, &mut since_merge, &mut last_merge);
+        // The stop check sits *after* the batch is processed and written,
+        // so a pipelined batch that contains SHUTDOWN still gets every
+        // reply onto the wire before the connection winds down.
+        if shared.stop.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst) {
+            break;
         }
     }
 
@@ -375,6 +390,25 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
         shared.hist.lock().unwrap().merge(&local);
     }
     shared.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Merges the connection-local latency histogram into the shared one once
+/// enough samples accumulate *or* enough time passes — INFO percentiles
+/// must not sit stale behind the 1024-command count bound on quiet links.
+fn maybe_merge_hist(
+    shared: &Shared,
+    local: &mut Histogram,
+    since_merge: &mut u32,
+    last_merge: &mut Instant,
+) {
+    if *since_merge > 0
+        && (*since_merge >= HIST_MERGE_EVERY || last_merge.elapsed() >= HIST_MERGE_INTERVAL)
+    {
+        shared.hist.lock().unwrap().merge(local);
+        local.clear();
+        *since_merge = 0;
+        *last_merge = Instant::now();
+    }
 }
 
 /// The single writer thread: owns the engine, serializes all commands,
@@ -444,6 +478,16 @@ impl Writer {
             if shutting_down {
                 break;
             }
+        }
+
+        // Shutting down cleanly: requests still queued on the channel —
+        // pipelined behind the command that initiated shutdown, or raced
+        // in from other connections — must not be dropped on the floor.
+        // Every forwarded command gets a reply, even if it is an error.
+        while let Ok(req) = self.rx.recv_timeout(SHUTDOWN_DRAIN_IDLE) {
+            let _ = req
+                .reply
+                .send(Value::Error("ERR server shutting down".to_string()));
         }
 
         // Clean exit: finish any in-flight snapshot, then make the WAL
@@ -524,18 +568,27 @@ impl Writer {
                 }
                 let mut removed = 0i64;
                 for key in &args[1..] {
-                    let before = self.db.len();
                     let now = self.now();
                     match self.db.del(key, now) {
-                        Ok(_) => {
-                            if self.db.len() < before {
+                        Ok((_, was_removed)) => {
+                            if was_removed {
                                 removed += 1;
                             }
                         }
-                        Err(e) => return Value::err(format!("del failed: {e}")),
+                        Err(e) => {
+                            // Earlier keys in this multi-key DEL may
+                            // already have logged WAL records; run the
+                            // post-write bookkeeping before bailing.
+                            if removed > 0 {
+                                self.after_write();
+                            }
+                            return Value::err(format!("del failed: {e}"));
+                        }
                     }
                 }
-                self.after_write();
+                if removed > 0 {
+                    self.after_write();
+                }
                 Value::Int(removed)
             }
             b"EXISTS" => {
@@ -560,6 +613,7 @@ impl Writer {
                 Err(_) => Value::err("Background save already in progress"),
             },
             b"INFO" => Value::Bulk(self.info_text().into_bytes()),
+            b"DEBUG" => self.debug_cmd(args),
             b"CONFIG" => self.config_cmd(args),
             b"COMMAND" => Value::Array(Vec::new()),
             b"SHUTDOWN" => {
@@ -575,6 +629,42 @@ impl Writer {
                 "unknown command '{}'",
                 String::from_utf8_lossy(&cmd)
             )),
+        }
+    }
+
+    /// `DEBUG FAULT <spec>` arms a deterministic fault plan on the device
+    /// (`pc@N`, `torn@N:B`, `fail@N[xK]`); `DEBUG FAULT OFF` disarms it;
+    /// `DEBUG FAULT` reports the armed plan and the write-command count.
+    fn debug_cmd(&mut self, args: &[Vec<u8>]) -> Value {
+        if args.len() < 2 || !args[1].eq_ignore_ascii_case(b"FAULT") {
+            return Value::err("unknown DEBUG subcommand; try DEBUG FAULT <spec>|OFF");
+        }
+        let device = self.db.backend().device();
+        match args.len() {
+            2 => {
+                let dev = device.lock().unwrap();
+                let plan = dev
+                    .fault_plan()
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "off".to_string());
+                Value::Bulk(
+                    format!("plan:{plan} writes_seen:{}", dev.write_commands()).into_bytes(),
+                )
+            }
+            3 => {
+                if args[2].eq_ignore_ascii_case(b"OFF") {
+                    device.lock().unwrap().disarm_fault();
+                    return Value::ok();
+                }
+                match String::from_utf8_lossy(&args[2]).parse::<slimio_nvme::FaultPlan>() {
+                    Ok(plan) => {
+                        device.lock().unwrap().arm_fault(plan);
+                        Value::ok()
+                    }
+                    Err(e) => Value::err(format!("bad fault spec: {e}")),
+                }
+            }
+            _ => Value::err("wrong number of arguments for 'debug fault'"),
         }
     }
 

@@ -205,6 +205,9 @@ impl Store {
     /// Opens a backend: formats on first open, recovers from on-device
     /// state on every later open.
     pub fn open(&mut self) -> Result<AnyBackend, BackendError> {
+        // An injected power-cut (or torn write) leaves the device powered
+        // off; restarting the server on the same store is the power cycle.
+        self.device.lock().unwrap().power_on();
         let backend = match self.cfg.kind {
             BackendKind::Kernel => {
                 let fs = self.fs.take().unwrap_or_else(|| {

@@ -1,0 +1,131 @@
+//! Exhaustive crash-point property: for *every* device-write boundary a
+//! workload crosses, a power cut at exactly that write leaves recovery
+//! with a clean prefix of the record sequence — at least everything
+//! acked under `appendfsync always`, at most everything issued, and
+//! never a value outside {pre-op, post-op}.
+//!
+//! This drives the engine directly over a [`Store`] (no TCP), so the
+//! enumeration over `pc@n` for n = 1..=W is cheap enough to be complete.
+
+use slimio_des::SimTime;
+use slimio_imdb::{Db, DbConfig, LogPolicy};
+use slimio_nvme::FaultPlan;
+use slimio_server::{BackendKind, Store, StoreConfig};
+
+const OPS: usize = 12;
+const RATIO: f64 = 1.0 / 128.0;
+
+fn store_for(kind: BackendKind) -> Store {
+    Store::new(StoreConfig {
+        kind,
+        fdp: kind == BackendKind::Passthru,
+        ratio: RATIO,
+    })
+}
+
+fn cfg() -> DbConfig {
+    DbConfig {
+        policy: LogPolicy::Always,
+        ..DbConfig::default()
+    }
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("prop:{i:03}").into_bytes()
+}
+
+fn val(i: usize) -> Vec<u8> {
+    format!("value-{i}").into_bytes()
+}
+
+/// Runs the fixed workload with no faults and reports how many device
+/// write commands it issues after the backend is open.
+fn fault_free_write_count(kind: BackendKind) -> u64 {
+    let mut store = store_for(kind);
+    let backend = store.open().expect("open");
+    let mut db = Db::new(backend, cfg());
+    let before = store.device().lock().unwrap().write_commands();
+    for i in 0..OPS {
+        db.set(&key(i), &val(i), SimTime::ZERO).expect("set");
+    }
+    let after = store.device().lock().unwrap().write_commands();
+    store.close(db.into_backend());
+    after - before
+}
+
+fn wal_boundary_prefix(kind: BackendKind) {
+    let writes = fault_free_write_count(kind);
+    assert!(
+        writes >= OPS as u64,
+        "{kind:?}: Always must issue at least one device write per op"
+    );
+
+    for n in 1..=writes {
+        let mut store = store_for(kind);
+        let backend = store.open().expect("open");
+        let mut db = Db::new(backend, cfg());
+        let plan: FaultPlan = format!("pc@{n}").parse().unwrap();
+        store.device().lock().unwrap().arm_fault(plan);
+
+        // Run until the power cut surfaces; every op before it acked.
+        let mut acked = 0usize;
+        let mut issued = 0usize;
+        for i in 0..OPS {
+            issued = i + 1;
+            match db.set(&key(i), &val(i), SimTime::ZERO) {
+                Ok(_) => acked = i + 1,
+                Err(_) => break,
+            }
+        }
+        assert!(
+            acked < issued || issued == OPS,
+            "{kind:?} pc@{n}: plan never fired mid-workload"
+        );
+
+        // The crash: drop volatile state, power the device back on, and
+        // recover from what made it to NAND.
+        store.crash(db.into_backend());
+        let backend = store.open().expect("reopen");
+        let (mut rec, _) = Db::recover(backend, cfg(), SimTime::ZERO).expect("recover");
+
+        // Recovered state must be exactly the synced prefix: some m with
+        // acked <= m <= issued, every key below m intact, none above it.
+        let mut m = 0usize;
+        while m < OPS && rec.get(&key(m)).is_some() {
+            m += 1;
+        }
+        for i in m..OPS {
+            assert!(
+                rec.get(&key(i)).is_none(),
+                "{kind:?} pc@{n}: key {i} present past the recovered prefix {m}"
+            );
+        }
+        for i in 0..m {
+            assert_eq!(
+                &*rec.get(&key(i)).unwrap(),
+                &val(i)[..],
+                "{kind:?} pc@{n}: key {i} recovered with a foreign value"
+            );
+        }
+        assert!(
+            m >= acked,
+            "{kind:?} pc@{n}: acked prefix {acked} shrank to {m} after recovery"
+        );
+        assert!(
+            m <= issued,
+            "{kind:?} pc@{n}: recovery invented records ({m} > issued {issued})"
+        );
+        assert_eq!(rec.len(), m, "{kind:?} pc@{n}: stray keys in recovery");
+        store.close(rec.into_backend());
+    }
+}
+
+#[test]
+fn kernel_every_write_boundary_recovers_the_synced_prefix() {
+    wal_boundary_prefix(BackendKind::Kernel);
+}
+
+#[test]
+fn passthru_every_write_boundary_recovers_the_synced_prefix() {
+    wal_boundary_prefix(BackendKind::Passthru);
+}

@@ -149,6 +149,66 @@ fn clean_shutdown_preserves_keyspace() {
     handle.shutdown();
 }
 
+/// A pipelined client writes a burst with SHUTDOWN in the middle. Every
+/// command in the burst — including the ones queued behind SHUTDOWN —
+/// must receive a reply; pre-SHUTDOWN writes succeed, post-SHUTDOWN
+/// commands are refused, and none are silently dropped on a dead channel.
+#[test]
+fn shutdown_replies_to_all_pipelined_commands() {
+    const BEFORE: usize = 16;
+    const AFTER: usize = 16;
+    let handle = Server::start(store_for(BackendKind::Passthru), opts_always()).expect("start");
+    let port = handle.port();
+
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut burst = Vec::new();
+    for i in 0..BEFORE {
+        let key = format!("pre:{i}");
+        resp::encode_command(
+            &[b"SET".to_vec(), key.into_bytes(), b"v".to_vec()],
+            &mut burst,
+        );
+    }
+    resp::encode_command(&[b"SHUTDOWN".to_vec()], &mut burst);
+    for i in 0..AFTER {
+        let key = format!("post:{i}");
+        resp::encode_command(
+            &[b"SET".to_vec(), key.into_bytes(), b"v".to_vec()],
+            &mut burst,
+        );
+    }
+    stream.write_all(&burst).unwrap();
+
+    let mut parser = Parser::new();
+    let mut rbuf = vec![0u8; 4096];
+    let total = BEFORE + 1 + AFTER;
+    let mut replies = Vec::new();
+    while replies.len() < total {
+        match bench::read_value(&mut stream, &mut parser, &mut rbuf) {
+            Ok(v) => replies.push(v),
+            Err(e) => panic!(
+                "connection died after {} of {total} replies: {e}",
+                replies.len()
+            ),
+        }
+    }
+    for (i, r) in replies.iter().take(BEFORE).enumerate() {
+        assert_eq!(*r, Value::ok(), "pre-SHUTDOWN SET {i}");
+    }
+    assert_eq!(replies[BEFORE], Value::ok(), "SHUTDOWN reply");
+    for (i, r) in replies.iter().skip(BEFORE + 1).enumerate() {
+        assert!(
+            matches!(r, Value::Error(msg) if msg.contains("shutting down")),
+            "post-SHUTDOWN command {i} got {r:?}"
+        );
+    }
+    handle.join();
+}
+
 /// Kill the server while a client is mid-burst. Every write the client
 /// saw `+OK` for must be present after restart (Always = acked ⇒ synced);
 /// unacked writes may or may not survive.

@@ -13,13 +13,14 @@
 //! with zero syscalls. Both rings target the same emulated NVMe device;
 //! every write carries its stream's Placement ID (§4.3).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use slimio_des::SimTime;
 use slimio_ftl::Pid;
 use slimio_imdb::backend::{BackendError, IoTiming, PersistBackend, SnapshotKind};
 use slimio_imdb::wal as walcodec;
-use slimio_nvme::{NvmeDevice, LBA_BYTES};
+use slimio_nvme::{DeviceError, NvmeDevice, LBA_BYTES};
 use slimio_uring::{Cqe, CqeResult, IoUring, PassthruCosts, RingError, SharedClock, Sqe, SqeOp};
 use std::sync::Mutex;
 
@@ -77,6 +78,13 @@ pub struct PassthruBackend {
     epoch: u64,
     next_ud: u64,
     snap: Option<SnapState>,
+    /// Retry bookkeeping for submitted page writes; populated only while a
+    /// device fault plan is armed (`track_faults`), so the common path
+    /// stays allocation- and lookup-free.
+    inflight: Inflight,
+    /// Snapshot of `device.fault_armed()`, refreshed at each backend entry
+    /// point that writes.
+    track_faults: bool,
 }
 
 fn role_of(kind: SnapshotKind) -> SlotRole {
@@ -93,11 +101,42 @@ fn pid_of(kind: SnapshotKind) -> Pid {
     }
 }
 
-fn cqe_error(cqe: &Cqe) -> Option<BackendError> {
-    match &cqe.result {
-        CqeResult::Error(e) => Some(BackendError::Device(e.clone())),
-        _ => None,
+/// Bounded re-drives of a transiently failed page write — the completion
+/// handler's requeue. Mirrors the kernel path's block-layer retry bound.
+const WRITE_RETRIES: usize = 64;
+
+/// In-flight page writes kept for retry while a fault plan is armed,
+/// keyed by SQE user_data. Never populated on the unarmed path.
+type Inflight = HashMap<u64, (PageWrite, Pid)>;
+
+/// Handles one CQE: success clears any retry bookkeeping; an injected
+/// transient failure of a tracked write is re-driven synchronously on the
+/// device (bounded); every other error surfaces.
+fn absorb_cqe(
+    device: &Arc<Mutex<NvmeDevice>>,
+    inflight: &mut Inflight,
+    cqe: Cqe,
+) -> Result<SimTime, BackendError> {
+    if let CqeResult::Error(e) = &cqe.result {
+        if *e == DeviceError::Injected {
+            if let Some((pw, pid)) = inflight.remove(&cqe.user_data) {
+                let mut dev = device.lock().unwrap();
+                for _ in 0..WRITE_RETRIES {
+                    match dev.write(pw.lba, 1, pid, Some(&pw.data), cqe.completed_at) {
+                        Ok(c) => return Ok(c.done_at),
+                        Err(DeviceError::Injected) => continue,
+                        Err(e) => return Err(BackendError::Device(e)),
+                    }
+                }
+                return Err(BackendError::Device(DeviceError::Injected));
+            }
+        }
+        return Err(BackendError::Device(e.clone()));
     }
+    if !inflight.is_empty() {
+        inflight.remove(&cqe.user_data);
+    }
+    Ok(cqe.completed_at)
 }
 
 impl PassthruBackend {
@@ -131,6 +170,8 @@ impl PassthruBackend {
             epoch: 0,
             next_ud: 0,
             snap: None,
+            inflight: Inflight::new(),
+            track_faults: false,
         }
     }
 
@@ -225,6 +266,8 @@ impl PassthruBackend {
             epoch: meta.epoch,
             next_ud: 0,
             snap: None,
+            inflight: Inflight::new(),
+            track_faults: false,
         })
     }
 
@@ -253,8 +296,19 @@ impl PassthruBackend {
         self.next_ud
     }
 
+    /// Refreshes `track_faults` from the device; called at each backend
+    /// entry point that writes, before any submissions.
+    fn refresh_fault_tracking(&mut self) {
+        self.track_faults = self.device.lock().unwrap().fault_armed();
+    }
+
     /// Submits to a ring, draining it on backpressure.
-    fn submit(ring: &mut IoUring, mut sqe: Sqe) -> Result<(), BackendError> {
+    fn submit(
+        ring: &mut IoUring,
+        device: &Arc<Mutex<NvmeDevice>>,
+        inflight: &mut Inflight,
+        mut sqe: Sqe,
+    ) -> Result<(), BackendError> {
         loop {
             match ring.submit(sqe) {
                 Ok(()) => return Ok(()),
@@ -262,9 +316,7 @@ impl PassthruBackend {
                     sqe = *back;
                     ring.enter();
                     while let Some(cqe) = ring.reap() {
-                        if let Some(e) = cqe_error(&cqe) {
-                            return Err(e);
-                        }
+                        absorb_cqe(device, inflight, cqe)?;
                     }
                     std::thread::yield_now();
                 }
@@ -272,15 +324,24 @@ impl PassthruBackend {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit_page(
         ring: &mut IoUring,
+        device: &Arc<Mutex<NvmeDevice>>,
+        inflight: &mut Inflight,
+        track: bool,
         ud: u64,
         pw: PageWrite,
         pid: Pid,
         now: SimTime,
     ) -> Result<(), BackendError> {
+        if track {
+            inflight.insert(ud, (pw.clone(), pid));
+        }
         Self::submit(
             ring,
+            device,
+            inflight,
             Sqe {
                 user_data: ud,
                 op: SqeOp::Write {
@@ -296,13 +357,15 @@ impl PassthruBackend {
 
     /// Waits out a ring, surfacing the first device error and returning
     /// the latest completion time.
-    fn drain(ring: &mut IoUring, now: SimTime) -> Result<SimTime, BackendError> {
+    fn drain(
+        ring: &mut IoUring,
+        device: &Arc<Mutex<NvmeDevice>>,
+        inflight: &mut Inflight,
+        now: SimTime,
+    ) -> Result<SimTime, BackendError> {
         let mut t = now;
         for cqe in ring.wait_all() {
-            if let Some(e) = cqe_error(&cqe) {
-                return Err(e);
-            }
-            t = t.max(cqe.completed_at);
+            t = t.max(absorb_cqe(device, inflight, cqe)?);
         }
         Ok(t)
     }
@@ -313,6 +376,9 @@ impl PassthruBackend {
         let ud = self.ud();
         Self::submit_page(
             &mut self.wal_ring,
+            &self.device,
+            &mut self.inflight,
+            self.track_faults,
             ud,
             PageWrite {
                 lba: self.layout.meta_lba + record.target_lba(),
@@ -324,13 +390,15 @@ impl PassthruBackend {
         let ud = self.ud();
         Self::submit(
             &mut self.wal_ring,
+            &self.device,
+            &mut self.inflight,
             Sqe {
                 user_data: ud,
                 op: SqeOp::Flush,
                 submitted_at: now,
             },
         )?;
-        Self::drain(&mut self.wal_ring, now)
+        Self::drain(&mut self.wal_ring, &self.device, &mut self.inflight, now)
     }
 
     fn deallocate(&mut self, ranges: &[(u64, u64)], now: SimTime) -> Result<SimTime, BackendError> {
@@ -341,6 +409,8 @@ impl PassthruBackend {
             let ud = self.ud();
             Self::submit(
                 &mut self.wal_ring,
+                &self.device,
+                &mut self.inflight,
                 Sqe {
                     user_data: ud,
                     op: SqeOp::Deallocate { lba, blocks },
@@ -348,13 +418,14 @@ impl PassthruBackend {
                 },
             )?;
         }
-        Self::drain(&mut self.wal_ring, now)
+        Self::drain(&mut self.wal_ring, &self.device, &mut self.inflight, now)
     }
 }
 
 impl PersistBackend for PassthruBackend {
     fn wal_append(&mut self, data: &[u8], now: SimTime) -> Result<IoTiming, BackendError> {
         self.clock.advance_to(now);
+        self.refresh_fault_tracking();
         let pages = self
             .wal
             .append(data)
@@ -362,16 +433,23 @@ impl PersistBackend for PassthruBackend {
         let n = pages.len() as u64;
         for pw in pages {
             let ud = self.ud();
-            Self::submit_page(&mut self.wal_ring, ud, pw, pids::WAL, now)?;
+            Self::submit_page(
+                &mut self.wal_ring,
+                &self.device,
+                &mut self.inflight,
+                self.track_faults,
+                ud,
+                pw,
+                pids::WAL,
+                now,
+            )?;
         }
         // Submission-side cost only: the dedicated completion handler (the
         // paper's CQ thread) reaps off the hot path.
         let cpu = self.cfg.costs.submit_sqpoll(n.max(1));
         // Opportunistic reap so completions don't pile up.
         while let Some(cqe) = self.wal_ring.reap() {
-            if let Some(e) = cqe_error(&cqe) {
-                return Err(e);
-            }
+            absorb_cqe(&self.device, &mut self.inflight, cqe)?;
         }
         Ok(IoTiming {
             done_at: now + cpu,
@@ -381,13 +459,25 @@ impl PersistBackend for PassthruBackend {
 
     fn wal_sync(&mut self, now: SimTime) -> Result<IoTiming, BackendError> {
         self.clock.advance_to(now);
+        self.refresh_fault_tracking();
         if let Some(pw) = self.wal.sync_page() {
             let ud = self.ud();
-            Self::submit_page(&mut self.wal_ring, ud, pw, pids::WAL, now)?;
+            Self::submit_page(
+                &mut self.wal_ring,
+                &self.device,
+                &mut self.inflight,
+                self.track_faults,
+                ud,
+                pw,
+                pids::WAL,
+                now,
+            )?;
         }
         let ud = self.ud();
         Self::submit(
             &mut self.wal_ring,
+            &self.device,
+            &mut self.inflight,
             Sqe {
                 user_data: ud,
                 op: SqeOp::Flush,
@@ -395,7 +485,12 @@ impl PersistBackend for PassthruBackend {
             },
         )?;
         let cpu = self.cfg.costs.submit_enter(1) + self.cfg.costs.cqe_reap;
-        let done = Self::drain(&mut self.wal_ring, now + cpu)?;
+        let done = Self::drain(
+            &mut self.wal_ring,
+            &self.device,
+            &mut self.inflight,
+            now + cpu,
+        )?;
         Ok(IoTiming { done_at: done, cpu })
     }
 
@@ -426,6 +521,7 @@ impl PersistBackend for PassthruBackend {
 
     fn snapshot_chunk(&mut self, data: &[u8], now: SimTime) -> Result<IoTiming, BackendError> {
         self.clock.advance_to(now);
+        self.refresh_fault_tracking();
         let slot_lbas = self.layout.slot_lbas;
         let slot_lba = {
             let st = self
@@ -458,14 +554,21 @@ impl PersistBackend for PassthruBackend {
         let pid = pid_of(st.kind);
         for pw in to_submit {
             let ud = self.ud();
-            Self::submit_page(&mut self.snap_ring, ud, pw, pid, now)?;
+            Self::submit_page(
+                &mut self.snap_ring,
+                &self.device,
+                &mut self.inflight,
+                self.track_faults,
+                ud,
+                pw,
+                pid,
+                now,
+            )?;
         }
         // SQPOLL: pure ring pushes, no syscall.
         let cpu = self.cfg.costs.submit_sqpoll(submitted.max(1));
         while let Some(cqe) = self.snap_ring.reap() {
-            if let Some(e) = cqe_error(&cqe) {
-                return Err(e);
-            }
+            absorb_cqe(&self.device, &mut self.inflight, cqe)?;
         }
         Ok(IoTiming {
             done_at: now + cpu,
@@ -475,6 +578,7 @@ impl PersistBackend for PassthruBackend {
 
     fn snapshot_commit(&mut self, now: SimTime) -> Result<IoTiming, BackendError> {
         self.clock.advance_to(now);
+        self.refresh_fault_tracking();
         let mut st = self
             .snap
             .take()
@@ -493,6 +597,9 @@ impl PersistBackend for PassthruBackend {
             let pid = pid_of(st.kind);
             Self::submit_page(
                 &mut self.snap_ring,
+                &self.device,
+                &mut self.inflight,
+                self.track_faults,
                 ud,
                 PageWrite {
                     lba: slot_lba + st.written_pages,
@@ -507,13 +614,15 @@ impl PersistBackend for PassthruBackend {
         let ud = self.ud();
         Self::submit(
             &mut self.snap_ring,
+            &self.device,
+            &mut self.inflight,
             Sqe {
                 user_data: ud,
                 op: SqeOp::Flush,
                 submitted_at: now,
             },
         )?;
-        let t_data = Self::drain(&mut self.snap_ring, now)?;
+        let t_data = Self::drain(&mut self.snap_ring, &self.device, &mut self.inflight, now)?;
 
         // 2. Promote the reserve slot; advance the WAL tail for
         //    WAL-snapshots; commit metadata atomically.
@@ -547,7 +656,7 @@ impl PersistBackend for PassthruBackend {
     fn snapshot_abort(&mut self, now: SimTime) -> Result<IoTiming, BackendError> {
         if let Some(st) = self.snap.take() {
             // Drain in-flight writes, then discard the reserve slot pages.
-            let t = Self::drain(&mut self.snap_ring, now)?;
+            let t = Self::drain(&mut self.snap_ring, &self.device, &mut self.inflight, now)?;
             let slot_lba = self.layout.slot_lba(st.slot);
             if st.written_pages > 0 {
                 self.deallocate(&[(slot_lba, st.written_pages)], t)?;
@@ -578,7 +687,7 @@ impl PersistBackend for PassthruBackend {
 
     fn load_wal(&mut self, now: SimTime) -> Result<(Vec<u8>, IoTiming), BackendError> {
         // Make sure every accepted append has executed.
-        let t0 = Self::drain(&mut self.wal_ring, now)?;
+        let t0 = Self::drain(&mut self.wal_ring, &self.device, &mut self.inflight, now)?;
         let page = LBA_BYTES as u64;
         let tail = self.wal.tail();
         let head = self.wal.head();
@@ -821,6 +930,50 @@ mod tests {
             .load_snapshot(SnapshotKind::OnDemand, SimTime::ZERO)
             .unwrap();
         assert_eq!(snap.unwrap(), b"epoch-2");
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_through_the_rings() {
+        let dev = device();
+        let mut b = backend(&dev);
+        b.wal_append(&wal_record(1, 3000), SimTime::ZERO).unwrap();
+        b.wal_sync(SimTime::ZERO).unwrap();
+        // Fail a window of writes: the completion handler re-drives each
+        // failed page, so the append/sync still succeed and no WAL hole
+        // (which replay would truncate at) is left behind.
+        dev.lock().unwrap().arm_fault("fail@1x3".parse().unwrap());
+        b.wal_append(&wal_record(2, 3000), SimTime::ZERO).unwrap();
+        b.wal_sync(SimTime::ZERO).unwrap();
+        dev.lock().unwrap().disarm_fault();
+        let (wal, _) = b.load_wal(SimTime::ZERO).unwrap();
+        assert_eq!(walcodec::replay(&wal).len(), 2);
+    }
+
+    #[test]
+    fn power_cut_surfaces_and_recovery_sees_synced_prefix() {
+        let dev = device();
+        {
+            let mut b = backend(&dev);
+            b.wal_append(&wal_record(1, 1000), SimTime::ZERO).unwrap();
+            b.wal_sync(SimTime::ZERO).unwrap();
+            dev.lock().unwrap().arm_fault("pc@1".parse().unwrap());
+            b.wal_append(&wal_record(2, 1000), SimTime::ZERO).unwrap();
+            assert!(
+                b.wal_sync(SimTime::ZERO).is_err(),
+                "sync must surface the cut"
+            );
+        }
+        dev.lock().unwrap().power_on();
+        let mut r = PassthruBackend::recover(
+            Arc::clone(&dev),
+            SharedClock::new(),
+            PassthruConfig::default(),
+        )
+        .unwrap();
+        let (wal, _) = r.load_wal(SimTime::ZERO).unwrap();
+        let recs = walcodec::replay(&wal);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq(), 1);
     }
 
     #[test]
