@@ -10,16 +10,19 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use slimio::{PassthruBackend, PassthruConfig};
 use slimio_des::{Scheduler, SimTime, Xoshiro256};
 use slimio_ftl::{Ftl, FtlConfig, PlacementMode};
 use slimio_imdb::compress;
 use slimio_imdb::rdb::RdbWriter;
 use slimio_imdb::wal::{decode, encode, WalRecord};
+use slimio_imdb::{Db, DbConfig, LogPolicy};
 use slimio_metrics::Histogram;
 use slimio_nvme::{DeviceConfig, NvmeDevice};
-use slimio_uring::spsc;
+use slimio_uring::{spsc, SharedClock};
 use slimio_workload::Zipfian;
 
 struct Harness {
@@ -262,6 +265,46 @@ fn bench_metrics(h: &Harness) {
     });
 }
 
+/// Group-commit batch-size sweep over the passthru path under
+/// Always-Log: each op queues `batch` SETs in the engine and then pays
+/// one WAL flush + one device sync for the whole batch — the live
+/// writer's commit shape. The per-SET cost should fall steeply from b1
+/// (one sync per SET, the unbatched live path) to b64.
+fn bench_group_commit(h: &Harness) {
+    let value = vec![b'v'; 64];
+    for batch in [1u64, 4, 16, 64] {
+        let device = Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::live(
+            true,
+            1.0 / 128.0,
+        ))));
+        let mut db = Db::new(
+            PassthruBackend::new(device, SharedClock::new(), PassthruConfig::default()),
+            DbConfig {
+                policy: LogPolicy::Always,
+                ..DbConfig::default()
+            },
+        );
+        let mut k = 0u64;
+        let per_op = h.bench(
+            &format!("group_commit/passthru_always_b{batch}"),
+            6_400 / batch,
+            |_| {
+                for _ in 0..batch {
+                    k = (k + 1) % 512;
+                    db.set_queued(format!("key:{k:06}").as_bytes(), &value);
+                }
+                let t = db.flush_wal(SimTime::ZERO).unwrap();
+                db.sync_wal(t.done_at).unwrap();
+            },
+        );
+        println!(
+            "{:<40} {:>12.1} ns/SET",
+            format!("group_commit/per_set_b{batch}"),
+            per_op * 1e9 / batch as f64
+        );
+    }
+}
+
 fn bench_zipf(h: &Harness) {
     let z = Zipfian::new(9_000_000);
     let mut rng = Xoshiro256::new(7);
@@ -286,5 +329,6 @@ fn main() {
     bench_compress(&h);
     bench_codecs(&h);
     bench_metrics(&h);
+    bench_group_commit(&h);
     bench_zipf(&h);
 }

@@ -1,0 +1,133 @@
+//! `live_rps` — live-mode throughput roll-up: a real `slimio-server`
+//! instance on an ephemeral port, driven by the closed-loop bench client,
+//! for both backends × both fsync policies × pipeline depth {1, 16}.
+//!
+//! Unlike the `table*`/`fig*` binaries these numbers are wall-clock, not
+//! discrete-event simulation: they measure the server's batched write
+//! path (group commit + vectored submission) end to end. The headline
+//! acceptance ratio — pipelined Always-Log throughput over unbatched —
+//! is printed at the end.
+
+use std::time::Instant;
+
+use slimio_bench::{maybe_write_perf, Cli, PerfCell};
+use slimio_des::SimTime;
+use slimio_imdb::LogPolicy;
+use slimio_server::bench::{self, BenchOpts};
+use slimio_server::{BackendKind, Server, ServerOpts, Store, StoreConfig};
+
+struct Cell {
+    label: String,
+    policy: LogPolicy,
+    kind: BackendKind,
+    pipeline: usize,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let total_start = Instant::now();
+    // Default scale (1/16) drives 20k requests per cell; --quick clamps
+    // the scale to 1/64 (5k requests) for CI smoke runs.
+    let requests = ((320_000.0 * cli.scale) as u64).max(1_000);
+
+    let policies = [
+        ("always", LogPolicy::Always),
+        (
+            "everysec",
+            LogPolicy::Periodical {
+                flush_interval: SimTime::from_secs(1),
+            },
+        ),
+    ];
+    let mut cells: Vec<Cell> = Vec::new();
+    for (pname, policy) in policies {
+        for kind in [BackendKind::Kernel, BackendKind::Passthru] {
+            for pipeline in [1usize, 16] {
+                cells.push(Cell {
+                    label: format!("{}/{pname}/P{pipeline}", kind.name()),
+                    policy,
+                    kind,
+                    pipeline,
+                });
+            }
+        }
+    }
+
+    println!("live-mode RPS ({} requests per cell, 4 clients)", requests);
+    println!(
+        "{:<28} {:>12} {:>12} {:>10}",
+        "cell", "rps", "p999_us", "waf"
+    );
+
+    let mut perf: Vec<PerfCell> = Vec::new();
+    let mut rps_by_label: Vec<(String, f64)> = Vec::new();
+    for cell in &cells {
+        let store = Store::new(StoreConfig {
+            kind: cell.kind,
+            fdp: cell.kind == BackendKind::Passthru,
+            ratio: 1.0 / 64.0,
+        });
+        let handle = Server::start(
+            store,
+            ServerOpts {
+                policy: cell.policy,
+                ..ServerOpts::default()
+            },
+        )
+        .expect("server start");
+        let opts = BenchOpts {
+            port: handle.port(),
+            clients: 4,
+            requests,
+            value_len: 128,
+            keyspace: 10_000,
+            seed: cli.seed,
+            pipeline: cell.pipeline,
+            ..BenchOpts::default()
+        };
+        let started = Instant::now();
+        let report = bench::run(&opts).expect("bench run");
+        let wall = started.elapsed().as_secs_f64();
+        let store = handle.shutdown();
+        let waf = store.device().lock().unwrap().waf();
+        assert_eq!(report.errors, 0, "{}: bench saw error replies", cell.label);
+        println!(
+            "{:<28} {:>12.0} {:>12.1} {:>10.2}",
+            cell.label,
+            report.rps(),
+            report.hist.p999() as f64 / 1000.0,
+            waf
+        );
+        perf.push(PerfCell {
+            label: cell.label.clone(),
+            wall_secs: wall,
+            events: report.ops,
+            avg_rps: report.rps(),
+            p999_ms: report.hist.p999() as f64 / 1e6,
+            waf,
+        });
+        rps_by_label.push((cell.label.clone(), report.rps()));
+    }
+
+    // Headline: group commit must make pipelined Always-Log at least as
+    // fast as the unbatched loop (in practice far faster).
+    let rps = |label: &str| {
+        rps_by_label
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, r)| *r)
+            .expect("cell ran")
+    };
+    for kind in ["kernel", "passthru"] {
+        let base = rps(&format!("{kind}/always/P1"));
+        let piped = rps(&format!("{kind}/always/P16"));
+        println!(
+            "group-commit speedup ({kind}, always): {:.2}x (P16 {:.0} rps vs P1 {:.0} rps)",
+            piped / base.max(1e-9),
+            piped,
+            base
+        );
+    }
+
+    maybe_write_perf(&cli, "live_rps", total_start.elapsed().as_secs_f64(), &perf);
+}

@@ -219,6 +219,20 @@ impl<B: PersistBackend> Db<B> {
 
     /// `SET key value`: applies to the keyspace and logs per policy.
     pub fn set(&mut self, key: &[u8], value: &[u8], now: SimTime) -> Result<WriteReply, DbError> {
+        let cow_retained = self.set_queued(key, value);
+        let done_at = self.log_per_policy(now)?;
+        Ok(WriteReply {
+            done_at,
+            cow_retained,
+        })
+    }
+
+    /// Batched `SET`: applies to the keyspace and queues the WAL record in
+    /// the user-level buffer, but defers the policy's flush/sync to
+    /// [`Db::batch_commit`] — the group-commit half of a SET. Returns the
+    /// CoW bytes newly retained. The write is NOT durable (and under
+    /// `Always` must not be acked) until the batch commits.
+    pub fn set_queued(&mut self, key: &[u8], value: &[u8]) -> u64 {
         self.stats.sets += 1;
         self.seq += 1;
         self.wal_buf.push_set(self.seq, key, value);
@@ -242,12 +256,7 @@ impl<B: PersistBackend> Db<B> {
             }
         }
         self.bump_peak();
-
-        let done_at = self.log_per_policy(now)?;
-        Ok(WriteReply {
-            done_at,
-            cow_retained,
-        })
+        cow_retained
     }
 
     /// `DEL key`. Returns the reply and whether a key was actually
@@ -255,6 +264,25 @@ impl<B: PersistBackend> Db<B> {
     /// WAL record (Redis semantics: no-op deletes are not propagated), so
     /// missing-key DELs cost no WAL bytes and no fsync.
     pub fn del(&mut self, key: &[u8], now: SimTime) -> Result<(WriteReply, bool), DbError> {
+        let (cow_retained, removed) = self.del_queued(key);
+        let done_at = if removed {
+            self.log_per_policy(now)?
+        } else {
+            now
+        };
+        Ok((
+            WriteReply {
+                done_at,
+                cow_retained,
+            },
+            removed,
+        ))
+    }
+
+    /// Batched `DEL`: like [`Db::set_queued`] but for a delete. Returns
+    /// the CoW bytes retained and whether a key was actually removed (only
+    /// effective deletes log a record and so need a commit).
+    pub fn del_queued(&mut self, key: &[u8]) -> (u64, bool) {
         self.stats.dels += 1;
         let mut cow_retained = 0u64;
         let removed = match self.map.remove(key) {
@@ -271,18 +299,27 @@ impl<B: PersistBackend> Db<B> {
             None => false,
         };
         self.bump_peak();
-        let done_at = if removed {
-            self.log_per_policy(now)?
-        } else {
-            now
-        };
-        Ok((
-            WriteReply {
-                done_at,
-                cow_retained,
-            },
-            removed,
-        ))
+        (cow_retained, removed)
+    }
+
+    /// Group commit: runs the logging policy once for every record queued
+    /// by `*_queued` calls since the last flush. Under `Always` this is
+    /// ONE backend append (the whole batch's records in one buffer) and
+    /// ONE device sync; under `Periodical` the flush-interval gate applies
+    /// to the batch as a whole. A no-op when nothing is queued, so
+    /// read-only batches cost no I/O.
+    pub fn batch_commit(&mut self, now: SimTime) -> Result<SimTime, DbError> {
+        if self.wal_buf.is_empty() {
+            return Ok(now);
+        }
+        self.log_per_policy(now)
+    }
+
+    /// Bytes sitting in the user-level WAL buffer, not yet handed to the
+    /// backend. Nonzero means a flush timer (Periodical) or a batch
+    /// commit (Always) still owes the buffer a flush.
+    pub fn wal_buffered_bytes(&self) -> usize {
+        self.wal_buf.len()
     }
 
     fn log_per_policy(&mut self, now: SimTime) -> Result<SimTime, DbError> {
@@ -525,6 +562,55 @@ mod tests {
         // …until the interval elapses.
         db.set(b"b", b"2", SimTime::from_millis(1500)).unwrap();
         assert_eq!(db.stats().wal_flushes, 1);
+    }
+
+    #[test]
+    fn batch_commit_flushes_once_for_many_queued_writes() {
+        let mut db = file_db(LogPolicy::Always);
+        for i in 0..16u32 {
+            db.set_queued(format!("b{i}").as_bytes(), b"v");
+        }
+        // Queued writes buffer in user space: no backend traffic yet.
+        assert!(db.wal_buffered_bytes() > 0);
+        assert_eq!(db.stats().wal_flushes, 0);
+        db.batch_commit(SimTime::ZERO).unwrap();
+        assert_eq!(db.stats().wal_flushes, 1, "group commit must flush once");
+        assert_eq!(db.wal_buffered_bytes(), 0);
+        // A commit with nothing queued is free.
+        db.batch_commit(SimTime::ZERO).unwrap();
+        assert_eq!(db.stats().wal_flushes, 1);
+        // And the whole batch is durable: crash + recover sees all 16.
+        let mut fs = db.into_backend().into_fs();
+        fs.crash();
+        let backend = FileBackend::remount(fs).unwrap();
+        let (mut db2, _) = Db::recover(backend, DbConfig::default(), SimTime::ZERO).unwrap();
+        for i in 0..16u32 {
+            assert_eq!(&*db2.get(format!("b{i}").as_bytes()).unwrap(), b"v");
+        }
+    }
+
+    #[test]
+    fn queued_writes_match_unbatched_semantics() {
+        let mut batched = file_db(LogPolicy::Always);
+        let mut serial = file_db(LogPolicy::Always);
+        for i in 0..8u32 {
+            let k = format!("k{i}");
+            batched.set_queued(k.as_bytes(), b"v1");
+            serial.set(k.as_bytes(), b"v1", SimTime::ZERO).unwrap();
+        }
+        let (_, removed) = batched.del_queued(b"k3");
+        assert!(removed);
+        let (_, removed) = batched.del_queued(b"ghost");
+        assert!(!removed, "no-op DEL must not queue a record");
+        batched.batch_commit(SimTime::ZERO).unwrap();
+        serial.del(b"k3", SimTime::ZERO).unwrap();
+        serial.del(b"ghost", SimTime::ZERO).unwrap();
+        assert_eq!(batched.len(), serial.len());
+        assert_eq!(
+            batched.backend().wal_len(),
+            serial.backend().wal_len(),
+            "batched and serial paths must log identical WAL bytes"
+        );
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct BenchOpts {
     pub seed: u64,
     /// Zipfian (theta 0.99) key popularity instead of uniform.
     pub zipf: bool,
+    /// Requests kept in flight per connection (`-P`). 1 is the classic
+    /// write-one-read-one loop; larger values pipeline a burst of
+    /// commands before reading the burst's replies, which lets the
+    /// server's writer group-commit them under one sync.
+    pub pipeline: usize,
 }
 
 impl Default for BenchOpts {
@@ -48,6 +53,7 @@ impl Default for BenchOpts {
             keyspace: 10_000,
             seed: 42,
             zipf: false,
+            pipeline: 1,
         }
     }
 }
@@ -145,23 +151,31 @@ fn client_thread(opts: &BenchOpts, id: u64, n: u64) -> std::io::Result<(Histogra
     let mut hist = Histogram::new();
     let mut errors = 0u64;
 
-    for _ in 0..n {
-        let key_id = match &zipf {
-            Some(z) => z.sample(&mut rng),
-            None => rng.gen_range(opts.keyspace.max(1)),
-        };
-        let key = format!("key:{key_id:012}");
+    let pipeline = opts.pipeline.max(1) as u64;
+    let mut left = n;
+    while left > 0 {
+        let burst = pipeline.min(left);
+        left -= burst;
         cmd.clear();
-        resp::encode_command(
-            &[b"SET".to_vec(), key.into_bytes(), value.clone()],
-            &mut cmd,
-        );
+        for _ in 0..burst {
+            let key_id = match &zipf {
+                Some(z) => z.sample(&mut rng),
+                None => rng.gen_range(opts.keyspace.max(1)),
+            };
+            let key = format!("key:{key_id:012}");
+            resp::encode_command(
+                &[b"SET".to_vec(), key.into_bytes(), value.clone()],
+                &mut cmd,
+            );
+        }
         let t0 = Instant::now();
         stream.write_all(&cmd)?;
-        let reply = read_value(&mut stream, &mut parser, &mut rbuf)?;
-        hist.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-        if reply.is_error() {
-            errors += 1;
+        for _ in 0..burst {
+            let reply = read_value(&mut stream, &mut parser, &mut rbuf)?;
+            hist.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            if reply.is_error() {
+                errors += 1;
+            }
         }
     }
     Ok((hist, errors))

@@ -4,6 +4,7 @@
 //! ```text
 //! slimio-cli [-h host] [-p port] bench [-c clients] [-n requests]
 //!            [-d value-bytes] [-r keyspace] [--seed s] [--zipf]
+//!            [-P pipeline]
 //! slimio-cli [-h host] [-p port] <COMMAND> [args...]
 //! ```
 
@@ -13,7 +14,7 @@ use slimio_server::resp::Value;
 fn usage() -> ! {
     eprintln!(
         "usage: slimio-cli [-h host] [-p port] bench [-c n] [-n n] [-d bytes] [-r keys]\n\
-         \x20                 [--seed s] [--zipf]\n\
+         \x20                 [--seed s] [--zipf] [-P|--pipeline n]\n\
          \x20      slimio-cli [-h host] [-p port] <command> [args...]"
     );
     std::process::exit(2);
@@ -88,6 +89,7 @@ fn run_bench(host: String, port: u16, rest: &[String]) {
             "-d" => opts.value_len = num(&mut i) as usize,
             "-r" => opts.keyspace = num(&mut i),
             "--seed" => opts.seed = num(&mut i),
+            "-P" | "--pipeline" => opts.pipeline = (num(&mut i) as usize).max(1),
             "--zipf" => {
                 opts.zipf = true;
                 i += 1;
@@ -96,11 +98,12 @@ fn run_bench(host: String, port: u16, rest: &[String]) {
         }
     }
     println!(
-        "bench: {} clients, {} requests, {}B values, {} keys{}",
+        "bench: {} clients, {} requests, {}B values, {} keys, pipeline {}{}",
         opts.clients,
         opts.requests,
         opts.value_len,
         opts.keyspace,
+        opts.pipeline,
         if opts.zipf { ", zipfian" } else { "" }
     );
     match bench::run(&opts) {

@@ -4,11 +4,16 @@
 //! Architecture (mirrors Redis' single-threaded command semantics):
 //! per-connection reader threads parse RESP2 off the socket and forward
 //! whole commands over an MPSC channel to one writer thread that owns the
-//! `Db<AnyBackend>`. Replies travel back on a per-request channel, so each
-//! connection observes strict request/response ordering while writes are
-//! serialized globally. The writer pumps background snapshots between
-//! commands and triggers WAL-threshold snapshots exactly like the
-//! simulated pipeline does.
+//! `Db<AnyBackend>`. Replies travel back on one channel per connection,
+//! so each connection observes strict request/response ordering while
+//! writes are serialized globally. The writer drains the queue into
+//! bounded batches and group-commits each batch: commands execute against
+//! the engine with their WAL records queued, then one flush (and, under
+//! `Always`, one device sync) covers the whole batch, and only after that
+//! sync are the batch's replies released — an ack still implies
+//! durability, it just shares its sync with its batch. The writer pumps
+//! background snapshots between batches and triggers WAL-threshold
+//! snapshots exactly like the simulated pipeline does.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -27,6 +32,12 @@ use slimio_uring::SharedClock;
 use crate::resp::{self, Value};
 use crate::store::{AnyBackend, Store};
 
+/// Most requests one group-committed batch drains from the queue. Bounds
+/// reply latency for the batch's first command and the size of the
+/// coalesced WAL write; only requests already queued are taken, so an
+/// undersubscribed server still commits batches of one with no added
+/// wait.
+const MAX_BATCH: usize = 128;
 /// How many index entries one background snapshot step serializes while
 /// the command queue is drained.
 const IDLE_STEP_ENTRIES: usize = 512;
@@ -333,6 +344,11 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
     let mut local = Histogram::new();
     let mut since_merge: u32 = 0;
     let mut last_merge = Instant::now();
+    // One reply channel for the whole connection: the writer sends every
+    // reply back over this pair, so a pipelined burst costs one channel
+    // allocation per connection instead of one per command.
+    let (rtx, rrx) = mpsc::channel::<Value>();
+    let mut t0s: Vec<Instant> = Vec::new();
 
     'conn: loop {
         let n = match stream.read(&mut rbuf) {
@@ -352,27 +368,60 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
         };
         parser.feed(&rbuf[..n]);
         out.clear();
+        t0s.clear();
+        // Phase 1: forward every parsed command in the read burst so the
+        // writer can drain them into one group-committed batch.
+        let mut fatal: Option<Value> = None;
         loop {
             match parser.next_command() {
                 Ok(Some(args)) => {
-                    let t0 = Instant::now();
-                    let (rtx, rrx) = mpsc::channel();
-                    if tx.send(Request { args, reply: rtx }).is_err() {
-                        break 'conn;
+                    t0s.push(Instant::now());
+                    if tx
+                        .send(Request {
+                            args,
+                            reply: rtx.clone(),
+                        })
+                        .is_err()
+                    {
+                        t0s.pop();
+                        fatal = Some(Value::Error("ERR server shutting down".to_string()));
+                        break;
                     }
-                    let Ok(reply) = rrx.recv() else { break 'conn };
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    fatal = Some(Value::Error(format!("ERR Protocol error: {e}")));
+                    break;
+                }
+            }
+        }
+        // Phase 2: collect exactly one reply per forwarded command. The
+        // writer releases a batch's replies in execution order, and the
+        // MPSC preserved this connection's send order, so replies arrive
+        // in request order.
+        let mut lost_writer = false;
+        for &t0 in &t0s {
+            match wait_reply(&rrx, &shared) {
+                Some(reply) => {
                     local.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                     shared.ops.fetch_add(1, Ordering::Relaxed);
                     since_merge += 1;
                     resp::encode(&reply, &mut out);
                 }
-                Ok(None) => break,
-                Err(e) => {
-                    resp::encode(&Value::Error(format!("ERR Protocol error: {e}")), &mut out);
-                    let _ = stream.write_all(&out);
-                    break 'conn;
+                None => {
+                    lost_writer = true;
+                    break;
                 }
             }
+        }
+        if let Some(v) = fatal {
+            resp::encode(&v, &mut out);
+            let _ = stream.write_all(&out);
+            break 'conn;
+        }
+        if lost_writer {
+            let _ = stream.write_all(&out);
+            break 'conn;
         }
         if !out.is_empty() && stream.write_all(&out).is_err() {
             break;
@@ -390,6 +439,31 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
         shared.hist.lock().unwrap().merge(&local);
     }
     shared.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Waits for one reply from the writer. The connection keeps its own
+/// sender clone alive, so a dead writer cannot be observed as a
+/// disconnect; bail out when the server is being killed, or when a
+/// cleanly stopping server has stayed silent well past its shutdown drain
+/// window (the request raced past the writer's exit and will never be
+/// answered).
+fn wait_reply(rrx: &mpsc::Receiver<Value>, shared: &Shared) -> Option<Value> {
+    let mut waited = Duration::ZERO;
+    loop {
+        match rrx.recv_timeout(Duration::from_millis(100)) {
+            Ok(v) => return Some(v),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.kill.load(Ordering::SeqCst) {
+                    return None;
+                }
+                waited += Duration::from_millis(100);
+                if shared.stop.load(Ordering::SeqCst) && waited >= Duration::from_secs(2) {
+                    return None;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+        }
+    }
 }
 
 /// Merges the connection-local latency histogram into the shared one once
@@ -435,11 +509,17 @@ impl Writer {
     }
 
     fn run(mut self) -> AnyBackend {
+        let mut pending: Vec<(mpsc::Sender<Value>, Value)> = Vec::with_capacity(MAX_BATCH);
+        let mut write_acks: Vec<usize> = Vec::with_capacity(MAX_BATCH);
         loop {
             if self.shared.kill.load(Ordering::SeqCst) {
                 return self.db.into_backend();
             }
-            let req = if self.db.snapshot_active() {
+            // First request of a batch. Pump the snapshot while the queue
+            // is empty; poll the Periodical flush timer when WAL bytes
+            // are buffered; otherwise park on the channel so an idle
+            // server burns no CPU waking every millisecond.
+            let first = if self.db.snapshot_active() {
                 match self.rx.try_recv() {
                     Ok(r) => Some(r),
                     Err(mpsc::TryRecvError::Empty) => {
@@ -448,7 +528,7 @@ impl Writer {
                     }
                     Err(mpsc::TryRecvError::Disconnected) => None,
                 }
-            } else {
+            } else if self.flush_timer_pending() {
                 match self.rx.recv_timeout(Duration::from_millis(1)) {
                     Ok(r) => Some(r),
                     Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -461,15 +541,77 @@ impl Writer {
                     }
                     Err(mpsc::RecvTimeoutError::Disconnected) => None,
                 }
+            } else {
+                // Blocking is safe: shutdown()/kill() drop the handle's
+                // sender and the accept + connection threads notice
+                // stop/kill within their own poll windows and drop
+                // theirs, so teardown always wakes this recv.
+                self.rx.recv().ok()
             };
-            let Some(req) = req else { break };
+            let Some(first) = first else { break };
 
-            let reply = self.dispatch(&req.args);
-            let shutting_down = self.shared.stop.load(Ordering::SeqCst);
-            let _ = req.reply.send(reply);
+            // Drain whatever else is already queued into one batch — no
+            // waiting, so a lone request still commits immediately.
+            let mut batch = Vec::with_capacity(8);
+            batch.push(first);
+            while batch.len() < MAX_BATCH {
+                match self.rx.try_recv() {
+                    Ok(r) => batch.push(r),
+                    Err(_) => break,
+                }
+            }
+            let batch_len = batch.len() as u32;
+
+            // Execute every command, queueing WAL records in the engine
+            // while deferring the flush; every reply is parked until the
+            // group commit lands so no ack precedes its batch's sync.
+            pending.clear();
+            write_acks.clear();
+            let mut refused = false;
+            for req in batch {
+                if refused {
+                    // SHUTDOWN landed earlier in this batch: everything
+                    // pipelined behind it is refused, matching what the
+                    // post-loop drain would tell it.
+                    pending.push((
+                        req.reply,
+                        Value::Error("ERR server shutting down".to_string()),
+                    ));
+                    continue;
+                }
+                let (reply, wrote) = self.dispatch(&req.args);
+                if wrote {
+                    write_acks.push(pending.len());
+                }
+                pending.push((req.reply, reply));
+                if self.shared.stop.load(Ordering::SeqCst) {
+                    refused = true;
+                }
+            }
+            let shutting_down = refused || self.shared.stop.load(Ordering::SeqCst);
+
+            // Group commit: one WAL flush and (under Always) one device
+            // sync cover the whole batch. If it fails, retract every ack
+            // that was contingent on this commit.
+            if !write_acks.is_empty() {
+                if let Err(e) = self.group_commit() {
+                    let err = Value::err(format!("write failed: {e}"));
+                    for &i in &write_acks {
+                        pending[i].1 = err.clone();
+                    }
+                }
+            }
+            // Release replies in execution order; each connection's
+            // replies land on its own channel in request order.
+            for (reply, value) in pending.drain(..) {
+                let _ = reply.send(value);
+            }
+            if !write_acks.is_empty() {
+                self.after_write();
+            }
 
             if self.db.snapshot_active() {
-                self.cmds_since_step += 1;
+                self.cmds_since_step += batch_len;
                 if self.cmds_since_step >= BUSY_STEP_EVERY {
                     self.cmds_since_step = 0;
                     self.step_snapshot(BUSY_STEP_ENTRIES);
@@ -478,6 +620,12 @@ impl Writer {
             if shutting_down {
                 break;
             }
+        }
+
+        // A kill can race the blocking recv above (teardown drops the
+        // sender): never run the clean-flush path once kill is set.
+        if self.shared.kill.load(Ordering::SeqCst) {
+            return self.db.into_backend();
         }
 
         // Shutting down cleanly: requests still queued on the channel —
@@ -529,12 +677,44 @@ impl Writer {
         Ok(())
     }
 
-    fn dispatch(&mut self, args: &[Vec<u8>]) -> Value {
+    /// True when the Periodical flush timer owes buffered WAL bytes a
+    /// flush, so the first-request wait must keep polling `tick` instead
+    /// of parking on the channel.
+    fn flush_timer_pending(&self) -> bool {
+        matches!(self.db.config().policy, LogPolicy::Periodical { .. })
+            && self.db.wal_buffered_bytes() > 0
+    }
+
+    /// The batch's single commit point. Under `Always` this issues the
+    /// flush and sync unconditionally — a mid-batch BGSAVE/BGREWRITEAOF
+    /// flushes the buffer as a side effect of forking, and those records
+    /// still need this sync before their acks may be released. Under
+    /// `Periodical` the flush stays interval-gated, as in the paper.
+    fn group_commit(&mut self) -> Result<(), DbError> {
+        let now = self.now();
+        match self.db.config().policy {
+            LogPolicy::Always => {
+                let t = self.db.flush_wal(now)?;
+                self.db.sync_wal(t.done_at)?;
+                Ok(())
+            }
+            LogPolicy::Periodical { .. } => {
+                self.db.batch_commit(now)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes one command. The second return value marks a reply whose
+    /// ack is contingent on the batch's group commit: the engine has only
+    /// queued its WAL records, and the writer must not release the reply
+    /// until the commit lands (or must replace it with an error).
+    fn dispatch(&mut self, args: &[Vec<u8>]) -> (Value, bool) {
         let Some(cmd) = args.first() else {
-            return Value::err("empty command");
+            return (Value::err("empty command"), false);
         };
         let cmd = cmd.to_ascii_uppercase();
-        match cmd.as_slice() {
+        let reply = match cmd.as_slice() {
             b"PING" => match args.len() {
                 1 => Value::Simple("PONG".to_string()),
                 2 => Value::Bulk(args[1].clone()),
@@ -542,20 +722,20 @@ impl Writer {
             },
             b"SET" => {
                 if args.len() != 3 {
-                    return Value::err("wrong number of arguments for 'set' command");
+                    return (
+                        Value::err("wrong number of arguments for 'set' command"),
+                        false,
+                    );
                 }
-                let now = self.now();
-                match self.db.set(&args[1], &args[2], now) {
-                    Ok(_) => {
-                        self.after_write();
-                        Value::ok()
-                    }
-                    Err(e) => Value::err(format!("set failed: {e}")),
-                }
+                self.db.set_queued(&args[1], &args[2]);
+                return (Value::ok(), true);
             }
             b"GET" => {
                 if args.len() != 2 {
-                    return Value::err("wrong number of arguments for 'get' command");
+                    return (
+                        Value::err("wrong number of arguments for 'get' command"),
+                        false,
+                    );
                 }
                 match self.db.get(&args[1]) {
                     Some(v) => Value::Bulk(v.to_vec()),
@@ -564,36 +744,27 @@ impl Writer {
             }
             b"DEL" => {
                 if args.len() < 2 {
-                    return Value::err("wrong number of arguments for 'del' command");
+                    return (
+                        Value::err("wrong number of arguments for 'del' command"),
+                        false,
+                    );
                 }
                 let mut removed = 0i64;
                 for key in &args[1..] {
-                    let now = self.now();
-                    match self.db.del(key, now) {
-                        Ok((_, was_removed)) => {
-                            if was_removed {
-                                removed += 1;
-                            }
-                        }
-                        Err(e) => {
-                            // Earlier keys in this multi-key DEL may
-                            // already have logged WAL records; run the
-                            // post-write bookkeeping before bailing.
-                            if removed > 0 {
-                                self.after_write();
-                            }
-                            return Value::err(format!("del failed: {e}"));
-                        }
+                    let (_, was_removed) = self.db.del_queued(key);
+                    if was_removed {
+                        removed += 1;
                     }
                 }
-                if removed > 0 {
-                    self.after_write();
-                }
-                Value::Int(removed)
+                // Only an effective delete queued a WAL record.
+                return (Value::Int(removed), removed > 0);
             }
             b"EXISTS" => {
                 if args.len() < 2 {
-                    return Value::err("wrong number of arguments for 'exists' command");
+                    return (
+                        Value::err("wrong number of arguments for 'exists' command"),
+                        false,
+                    );
                 }
                 let mut found = 0i64;
                 for key in &args[1..] {
@@ -629,7 +800,8 @@ impl Writer {
                 "unknown command '{}'",
                 String::from_utf8_lossy(&cmd)
             )),
-        }
+        };
+        (reply, false)
     }
 
     /// `DEBUG FAULT <spec>` arms a deterministic fault plan on the device

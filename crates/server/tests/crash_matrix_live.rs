@@ -269,6 +269,74 @@ fn crash_matrix_passthru_periodical() {
     run_matrix_cell(BackendKind::Passthru, periodical_fast(), false);
 }
 
+/// The group-commit cell: a pipelined client (`--pipeline 16` shape — 16
+/// SETs written before any reply is read) under Always-Log, killed right
+/// after the burst acks, for every crash point. The writer group-commits
+/// the burst under one sync, so every ack must still imply durability:
+/// the whole batch survives the restart with correct values, and earlier
+/// runs' keys never regress.
+fn run_pipelined_cell(kind: BackendKind) {
+    const PIPELINE: usize = 16;
+    let points = crash_points();
+    let mut durable: Vec<(String, String)> = Vec::new();
+    let mut handle = Server::start(store_for(kind), opts(LogPolicy::Always)).expect("start");
+    for k in 1..=points {
+        let port = handle.port();
+        let burst: Vec<(String, String)> = (0..PIPELINE)
+            .map(|i| (format!("pl:{k}:{i}"), format!("v{k}:{i}")))
+            .collect();
+        let cmds: Vec<Vec<Vec<u8>>> = burst.iter().map(|(key, val)| set(key, val)).collect();
+        // `batch` writes all 16 commands before reading any reply — the
+        // same wire shape as `slimio-cli bench -P 16`.
+        for (i, r) in batch(port, &cmds).iter().enumerate() {
+            assert_eq!(
+                *r,
+                Value::ok(),
+                "{kind:?} run {k}: pipelined command {i} not acked"
+            );
+        }
+
+        let store = handle.kill();
+        handle = Server::start(store, opts(LogPolicy::Always)).expect("restart");
+        let port = handle.port();
+
+        // Every acked write in the burst was group-committed before its
+        // reply was released, so all of them must survive.
+        let mut cmds: Vec<Vec<Vec<u8>>> = burst.iter().map(|(key, _)| get(key)).collect();
+        for (key, _) in &durable {
+            cmds.push(get(key));
+        }
+        let replies = batch(port, &cmds);
+        let (burst_replies, durable_replies) = replies.split_at(burst.len());
+        for ((key, val), r) in burst.iter().zip(burst_replies) {
+            assert_eq!(
+                *r,
+                Value::bulk(val.as_bytes()),
+                "{kind:?} run {k}: acked pipelined write {key} lost or corrupted"
+            );
+        }
+        for ((key, val), r) in durable.iter().zip(durable_replies) {
+            assert_eq!(
+                *r,
+                Value::bulk(val.as_bytes()),
+                "{kind:?} run {k}: durable key {key} regressed"
+            );
+        }
+        durable.extend(burst);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn crash_matrix_kernel_always_pipelined() {
+    run_pipelined_cell(BackendKind::Kernel);
+}
+
+#[test]
+fn crash_matrix_passthru_always_pipelined() {
+    run_pipelined_cell(BackendKind::Passthru);
+}
+
 /// A `pc@N` plan armed through `DEBUG FAULT` behaves like power loss at
 /// the Nth device write: the in-flight command errors, everything acked
 /// before it survives the restart, and the interrupted command lands in

@@ -313,6 +313,81 @@ fn passthru_fdp_waf_stays_one() {
     handle.shutdown();
 }
 
+/// Group commit never reorders replies within a connection: a pipelined
+/// burst that interleaves SETs and GETs over the same keys must get its
+/// replies back in request order, each GET observing the SET sent just
+/// before it — across batch boundaries too (the burst is bigger than one
+/// writer batch).
+#[test]
+fn group_commit_preserves_reply_order_within_connection() {
+    const ROUNDS: usize = 200;
+    let handle = Server::start(store_for(BackendKind::Passthru), opts_always()).expect("start");
+    let port = handle.port();
+
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut burst = Vec::new();
+    for i in 0..ROUNDS {
+        let val = format!("v{i}");
+        resp::encode_command(
+            &[b"SET".to_vec(), b"ord:key".to_vec(), val.into_bytes()],
+            &mut burst,
+        );
+        resp::encode_command(&[b"GET".to_vec(), b"ord:key".to_vec()], &mut burst);
+    }
+    stream.write_all(&burst).unwrap();
+
+    let mut parser = Parser::new();
+    let mut rbuf = vec![0u8; 64 << 10];
+    for i in 0..ROUNDS {
+        let set_reply = bench::read_value(&mut stream, &mut parser, &mut rbuf).expect("set reply");
+        assert_eq!(set_reply, Value::ok(), "round {i}: SET reply out of order");
+        let get_reply = bench::read_value(&mut stream, &mut parser, &mut rbuf).expect("get reply");
+        assert_eq!(
+            get_reply,
+            Value::bulk(format!("v{i}").as_bytes()),
+            "round {i}: GET did not observe the SET pipelined just before it"
+        );
+    }
+    handle.shutdown();
+}
+
+/// The batched path must not be slower than the unbatched one: on the
+/// same seed and workload, Always-Log throughput with pipeline 16 must
+/// beat pipeline 1 (in practice by a wide margin — one sync covers the
+/// whole batch).
+#[test]
+fn pipelined_always_rps_at_least_unbatched() {
+    fn run_with_pipeline(pipeline: usize) -> f64 {
+        let handle = Server::start(store_for(BackendKind::Passthru), opts_always()).expect("start");
+        let opts = BenchOpts {
+            port: handle.port(),
+            clients: 4,
+            requests: 4000,
+            value_len: 64,
+            keyspace: 500,
+            seed: 42,
+            pipeline,
+            ..BenchOpts::default()
+        };
+        let report = bench::run(&opts).expect("bench run");
+        assert_eq!(report.ops, 4000, "pipeline {pipeline}");
+        assert_eq!(report.errors, 0, "pipeline {pipeline}");
+        handle.shutdown();
+        report.rps()
+    }
+
+    let unbatched = run_with_pipeline(1);
+    let batched = run_with_pipeline(16);
+    assert!(
+        batched >= unbatched,
+        "group commit made the pipelined path slower: P16 {batched:.0} rps vs P1 {unbatched:.0} rps"
+    );
+}
+
 /// The bundled load generator completes, counts every request, and
 /// reports sane latency percentiles.
 #[test]
