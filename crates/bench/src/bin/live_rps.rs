@@ -4,9 +4,12 @@
 //!
 //! Unlike the `table*`/`fig*` binaries these numbers are wall-clock, not
 //! discrete-event simulation: they measure the server's batched write
-//! path (group commit + vectored submission) end to end. The headline
-//! acceptance ratio — pipelined Always-Log throughput over unbatched —
-//! is printed at the end.
+//! path (group commit + vectored submission) end to end, plus GET-heavy
+//! (90% GET / 10% SET) cells that exercise the lock-free read path both
+//! with it enabled and with every command forced through the single
+//! writer (`get90-writerpath`). Two headline acceptance ratios print at
+//! the end: pipelined Always-Log throughput over unbatched, and
+//! read-path GET-heavy throughput over the single-writer routing.
 
 use std::time::Instant;
 
@@ -21,6 +24,11 @@ struct Cell {
     policy: LogPolicy,
     kind: BackendKind,
     pipeline: usize,
+    /// Percent of bench requests issued as GETs.
+    get_ratio: u8,
+    /// Serve reads on connection threads (false = pre-read-path
+    /// single-writer routing, the A/B baseline).
+    read_path: bool,
 }
 
 fn main() {
@@ -48,8 +56,25 @@ fn main() {
                     policy,
                     kind,
                     pipeline,
+                    get_ratio: 0,
+                    read_path: true,
                 });
             }
+        }
+    }
+    // GET-heavy (90/10) pipelined cells, with the read path on and with
+    // everything forced through the writer — same seed and config, so
+    // the pair is the read-path acceptance comparison.
+    for kind in [BackendKind::Kernel, BackendKind::Passthru] {
+        for (suffix, read_path) in [("get90", true), ("get90-writerpath", false)] {
+            cells.push(Cell {
+                label: format!("{}/always/P16/{suffix}", kind.name()),
+                policy: LogPolicy::Always,
+                kind,
+                pipeline: 16,
+                get_ratio: 90,
+                read_path,
+            });
         }
     }
 
@@ -71,6 +96,7 @@ fn main() {
             store,
             ServerOpts {
                 policy: cell.policy,
+                read_path: cell.read_path,
                 ..ServerOpts::default()
             },
         )
@@ -83,6 +109,7 @@ fn main() {
             keyspace: 10_000,
             seed: cli.seed,
             pipeline: cell.pipeline,
+            get_ratio: cell.get_ratio,
             ..BenchOpts::default()
         };
         let started = Instant::now();
@@ -126,6 +153,21 @@ fn main() {
             piped / base.max(1e-9),
             piped,
             base
+        );
+    }
+    // Headline 2: the routing A/B — GET-heavy throughput with reads on
+    // the connection threads vs forced through the single writer. The
+    // gap is the cross-thread hop cost per GET, so it widens with core
+    // count; on a single-core host the closed loop is commit-latency
+    // bound and the ratio is modest.
+    for kind in ["kernel", "passthru"] {
+        let writer = rps(&format!("{kind}/always/P16/get90-writerpath"));
+        let read = rps(&format!("{kind}/always/P16/get90"));
+        println!(
+            "read-path speedup ({kind}, 90% GET): {:.2}x (read-path {:.0} rps vs writer-path {:.0} rps)",
+            read / writer.max(1e-9),
+            read,
+            writer
         );
     }
 

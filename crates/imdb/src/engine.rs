@@ -9,6 +9,7 @@ use slimio_des::SimTime;
 use crate::backend::{BackendError, IoTiming, PersistBackend, SnapshotKind};
 use crate::fxhash::FxBuildHasher;
 use crate::snapshot::SnapshotJob;
+use crate::view::{ReadView, ViewWriter};
 use crate::wal::{self, WalBuffer, WalRecord};
 
 /// WAL durability policy (§2.1, §5.1).
@@ -133,7 +134,18 @@ pub struct Db<B: PersistBackend> {
     /// High-water mark of `mem_used`.
     peak_mem: u64,
     stats: DbStats,
+    /// Writer half of the concurrent read view, when one is installed
+    /// (live server only; the simulated pipeline never installs one).
+    view: Option<ViewWriter>,
+    /// Keyspace mutations applied to `map` but not yet mirrored into the
+    /// view: `(key, Some(value))` for a set, `(key, None)` for a delete.
+    /// Drained by [`Db::publish_view`] after each group commit.
+    view_pending: Vec<PendingViewOp>,
 }
+
+/// One not-yet-mirrored view mutation: `(key, Some(value))` for a set,
+/// `(key, None)` for a delete.
+type PendingViewOp = (Arc<[u8]>, Option<Arc<[u8]>>);
 
 impl<B: PersistBackend> Db<B> {
     /// Creates an empty database over `backend`.
@@ -150,6 +162,8 @@ impl<B: PersistBackend> Db<B> {
             retained_mem: 0,
             peak_mem: 0,
             stats: DbStats::default(),
+            view: None,
+            view_pending: Vec::new(),
         }
     }
 
@@ -221,10 +235,49 @@ impl<B: PersistBackend> Db<B> {
     pub fn set(&mut self, key: &[u8], value: &[u8], now: SimTime) -> Result<WriteReply, DbError> {
         let cow_retained = self.set_queued(key, value);
         let done_at = self.log_per_policy(now)?;
+        self.publish_view();
         Ok(WriteReply {
             done_at,
             cow_retained,
         })
+    }
+
+    /// Installs a concurrent read view mirroring the current keyspace and
+    /// returns the shared half for reader registration. From here on,
+    /// every keyspace mutation is queued for the view and made visible to
+    /// readers by the next [`Db::publish_view`]. Only the live server
+    /// calls this; the simulated pipeline keeps `view` unset, so nothing
+    /// here affects DES results.
+    pub fn install_view(&mut self) -> Arc<ReadView> {
+        let (mut writer, view) = ReadView::new();
+        for (k, v) in self.map.iter() {
+            writer.set(k, v);
+        }
+        writer.publish(self.seq);
+        self.view = Some(writer);
+        self.view_pending.clear();
+        view
+    }
+
+    /// Mirrors all keyspace mutations since the last publish into the
+    /// read view and publishes the current engine sequence. The live
+    /// server calls this after each batch's group commit and *before*
+    /// releasing the batch's replies, so an acked write is always
+    /// published (read-your-writes) and always durable per policy.
+    /// Returns the published sequence; a no-op without a view.
+    pub fn publish_view(&mut self) -> u64 {
+        if let Some(writer) = self.view.as_mut() {
+            for (k, v) in self.view_pending.drain(..) {
+                match v {
+                    Some(v) => writer.set(&k, &v),
+                    None => writer.del(&k),
+                }
+            }
+            writer.publish(self.seq);
+        } else {
+            self.view_pending.clear();
+        }
+        self.seq
     }
 
     /// Batched `SET`: applies to the keyspace and queues the WAL record in
@@ -239,6 +292,9 @@ impl<B: PersistBackend> Db<B> {
 
         let k: Arc<[u8]> = key.into();
         let v: Arc<[u8]> = value.into();
+        if self.view.is_some() {
+            self.view_pending.push((k.clone(), Some(v.clone())));
+        }
         let mut cow_retained = 0u64;
         match self.map.insert(k, v) {
             Some(old) => {
@@ -266,7 +322,9 @@ impl<B: PersistBackend> Db<B> {
     pub fn del(&mut self, key: &[u8], now: SimTime) -> Result<(WriteReply, bool), DbError> {
         let (cow_retained, removed) = self.del_queued(key);
         let done_at = if removed {
-            self.log_per_policy(now)?
+            let t = self.log_per_policy(now)?;
+            self.publish_view();
+            t
         } else {
             now
         };
@@ -289,6 +347,9 @@ impl<B: PersistBackend> Db<B> {
             Some(old) => {
                 self.seq += 1;
                 self.wal_buf.push_del(self.seq, key);
+                if self.view.is_some() {
+                    self.view_pending.push((key.into(), None));
+                }
                 if self.snapshot.is_some() {
                     cow_retained = old.len() as u64;
                     self.retained_mem += cow_retained;

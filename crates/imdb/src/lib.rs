@@ -37,8 +37,10 @@ pub mod engine;
 pub mod fxhash;
 pub mod rdb;
 pub mod snapshot;
+pub mod view;
 pub mod wal;
 
 pub use backend::{FileBackend, IoTiming, PersistBackend, SnapshotKind};
 pub use engine::{Db, DbConfig, LogPolicy};
 pub use snapshot::SnapshotJob;
+pub use view::{ReadHandle, ReadView, ViewWriter};

@@ -1,0 +1,212 @@
+//! Concurrency stress tests for the seqlock/epoch read view.
+//!
+//! The writer thread mutates and publishes while reader threads hammer
+//! `get`/`contains` the whole time. The properties checked are exactly
+//! the ones the seqlock + epoch protocol promises:
+//!
+//! - **No torn reads.** A reader never observes a key paired with a
+//!   value written for a different key, and never observes a
+//!   half-initialised entry — every `get` returns a value that some
+//!   `set` stored under that exact key.
+//! - **Per-key monotonicity.** Values for a key carry a round number
+//!   that only moves forward; a reader that saw round `r` for a key
+//!   never later sees `r' < r` for the same key (slot coherence inside
+//!   a table, seqlock validation across resizes).
+//! - **Publish bound.** A round number observed in a value is never
+//!   greater than the highest round the writer has finished applying
+//!   (readers may see unpublished-but-applied values, never future
+//!   ones).
+//! - **Quiescent agreement.** After the writer finishes, every reader
+//!   agrees with the final map contents.
+//!
+//! The churn test adds deletes and reinserts so the table goes through
+//! tombstone purges and doubling resizes under concurrent readers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use slimio_imdb::ReadView;
+
+const KEYS: usize = 48;
+const READERS: usize = 4;
+
+fn key(j: usize) -> Arc<[u8]> {
+    format!("vk:{j:04}").into_bytes().into()
+}
+
+/// Value for key `j` at round `r`: both coordinates are embedded so a
+/// torn read (value from another key, or a stale/future round) is
+/// detectable from the bytes alone.
+fn val(r: u64, j: usize) -> Arc<[u8]> {
+    format!("r{r:08}:k{j:04}").into_bytes().into()
+}
+
+fn parse_val(b: &[u8]) -> (u64, usize) {
+    let s = std::str::from_utf8(b).expect("torn read: value not UTF-8");
+    let (r, k) = s.split_once(":k").expect("torn read: malformed value");
+    let r = r
+        .strip_prefix('r')
+        .and_then(|x| x.parse().ok())
+        .expect("torn read: malformed round");
+    let k = k.parse().expect("torn read: malformed key index");
+    (r, k)
+}
+
+/// Write-heavy overwrite loop: every round rewrites all keys and
+/// publishes, while readers check pairing, monotonicity, and the
+/// applied-round upper bound on every single read.
+#[test]
+fn seqlock_readers_never_observe_torn_or_stale_values() {
+    let rounds: u64 = if std::env::var("SLIMIO_STRESS").is_ok() {
+        4000
+    } else {
+        800
+    };
+    let (mut writer, view) = ReadView::new();
+
+    // Round 0 seeds every key so readers always expect a hit.
+    for j in 0..KEYS {
+        writer.set(&key(j), &val(0, j));
+    }
+    writer.publish(1);
+    // Highest round the writer has *started* applying; no value with a
+    // greater round can exist yet.
+    let applied = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let view = Arc::clone(&view);
+            let applied = Arc::clone(&applied);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let reader = view.register().expect("reader slot");
+                let mut last_seen = [0u64; KEYS];
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for (j, last) in last_seen.iter_mut().enumerate() {
+                        let k = key(j);
+                        let v = reader.get(&k).expect("seeded key vanished");
+                        let (r, kj) = parse_val(&v);
+                        assert_eq!(kj, j, "reader {t}: torn read — key {j} paired with {kj}");
+                        assert!(
+                            r >= *last,
+                            "reader {t}: key {j} went backwards ({r} after {last})"
+                        );
+                        assert!(
+                            r <= applied.load(Ordering::Acquire),
+                            "reader {t}: key {j} shows round {r} the writer never applied"
+                        );
+                        *last = r;
+                        assert!(reader.contains(&k));
+                        reads += 1;
+                    }
+                }
+                (last_seen, reads)
+            })
+        })
+        .collect();
+
+    for r in 1..=rounds {
+        applied.store(r, Ordering::Release);
+        for j in 0..KEYS {
+            writer.set(&key(j), &val(r, j));
+        }
+        writer.publish(r + 1);
+    }
+    stop.store(true, Ordering::Release);
+
+    let mut total_reads = 0;
+    for h in readers {
+        let (last_seen, reads) = h.join().expect("reader panicked");
+        total_reads += reads;
+        for (j, &r) in last_seen.iter().enumerate() {
+            assert!(r <= rounds, "key {j} ended past the final round");
+        }
+    }
+    assert!(total_reads > 0, "readers never ran");
+
+    // Quiescent check: a fresh reader sees exactly the final round.
+    let reader = view.register().expect("reader slot");
+    for j in 0..KEYS {
+        assert_eq!(reader.get(&key(j)).as_deref(), Some(&*val(rounds, j)));
+    }
+    assert_eq!(view.published(), rounds + 1);
+}
+
+/// Insert/delete churn across many more keys than the initial table
+/// capacity: the table doubles and purges tombstones repeatedly while
+/// readers probe. Deleted keys may be observed either present (old
+/// version) or absent, but a present value must always be well-formed
+/// and correctly paired.
+#[test]
+fn resize_and_tombstone_churn_under_concurrent_readers() {
+    const CHURN_KEYS: usize = 4096;
+    let (mut writer, view) = ReadView::new();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let view = Arc::clone(&view);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let reader = view.register().expect("reader slot");
+                let mut hits = 0u64;
+                let mut probes = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for j in (t..CHURN_KEYS).step_by(READERS) {
+                        if let Some(v) = reader.get(&key(j)) {
+                            let (_, kj) = parse_val(&v);
+                            assert_eq!(kj, j, "reader {t}: torn read during churn");
+                            hits += 1;
+                        }
+                        probes += 1;
+                    }
+                }
+                (hits, probes)
+            })
+        })
+        .collect();
+
+    // Three waves: fill, delete every other key (tombstones), refill at
+    // a later round. Interleaved publishes keep the epoch advancing so
+    // retired tables and entries actually get reclaimed mid-run.
+    let mut seq = 0u64;
+    for wave in 0..3u64 {
+        for j in 0..CHURN_KEYS {
+            writer.set(&key(j), &val(wave * 2, j));
+            if j % 64 == 63 {
+                seq += 1;
+                writer.publish(seq);
+            }
+        }
+        for j in (0..CHURN_KEYS).step_by(2) {
+            writer.del(&key(j));
+            if j % 64 == 62 {
+                seq += 1;
+                writer.publish(seq);
+            }
+        }
+        seq += 1;
+        writer.publish(seq);
+    }
+    stop.store(true, Ordering::Release);
+
+    let mut total_probes = 0;
+    for h in readers {
+        let (_, probes) = h.join().expect("reader panicked");
+        total_probes += probes;
+    }
+    assert!(total_probes > 0, "readers never ran");
+
+    // Quiescent: odd keys live at the final wave's round, even deleted.
+    let reader = view.register().expect("reader slot");
+    for j in 0..CHURN_KEYS {
+        if j % 2 == 1 {
+            assert_eq!(reader.get(&key(j)).as_deref(), Some(&*val(4, j)), "key {j}");
+        } else {
+            assert_eq!(reader.get(&key(j)), None, "deleted key {j} resurrected");
+            assert!(!reader.contains(&key(j)));
+        }
+    }
+}

@@ -3,8 +3,13 @@
 //! Mirrors `redis-benchmark`: `-c` concurrent connections, `-n` total
 //! requests, `-d` value size. Each client thread runs its own RNG and key
 //! pattern (uniform or Zipfian, matching `slimio-workload` defaults),
-//! issues blocking SETs, and records per-request wall latency into a
-//! private [`Histogram`]; the per-thread histograms merge into one report.
+//! issues blocking SETs (or a GET/SET mix via [`BenchOpts::get_ratio`]),
+//! and records per-request wall latency into a private [`Histogram`];
+//! the per-thread histograms merge into one report.
+//!
+//! The encode loop is allocation-free: each connection reuses one encode
+//! buffer and one stack key buffer across its entire run, so the
+//! benchmark measures the server, not its own allocator.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -40,6 +45,9 @@ pub struct BenchOpts {
     /// commands before reading the burst's replies, which lets the
     /// server's writer group-commit them under one sync.
     pub pipeline: usize,
+    /// Percent of requests issued as GETs (0–100); the rest are SETs.
+    /// 0 keeps the classic all-SET workload.
+    pub get_ratio: u8,
 }
 
 impl Default for BenchOpts {
@@ -54,6 +62,7 @@ impl Default for BenchOpts {
             seed: 42,
             zipf: false,
             pipeline: 1,
+            get_ratio: 0,
         }
     }
 }
@@ -139,6 +148,17 @@ pub fn run(opts: &BenchOpts) -> std::io::Result<BenchReport> {
     })
 }
 
+/// Writes `key:<id padded to 12 digits>` into a fixed stack buffer —
+/// same key format as the old `format!("key:{key_id:012}")`, without the
+/// per-command String.
+fn write_key(buf: &mut [u8; 16], id: u64) {
+    let mut v = id;
+    for b in buf[4..16].iter_mut().rev() {
+        *b = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+}
+
 fn client_thread(opts: &BenchOpts, id: u64, n: u64) -> std::io::Result<(Histogram, u64)> {
     let mut stream = TcpStream::connect((opts.host.as_str(), opts.port))?;
     stream.set_nodelay(true)?;
@@ -147,9 +167,13 @@ fn client_thread(opts: &BenchOpts, id: u64, n: u64) -> std::io::Result<(Histogra
     let value = vec![b'x'; opts.value_len];
     let mut parser = Parser::new();
     let mut rbuf = vec![0u8; 16 << 10];
+    // One encode buffer and one key buffer for the whole connection: the
+    // request path allocates nothing per command.
     let mut cmd = Vec::with_capacity(64 + opts.value_len);
+    let mut key = *b"key:000000000000";
     let mut hist = Histogram::new();
     let mut errors = 0u64;
+    let get_ratio = u64::from(opts.get_ratio.min(100));
 
     let pipeline = opts.pipeline.max(1) as u64;
     let mut left = n;
@@ -162,11 +186,13 @@ fn client_thread(opts: &BenchOpts, id: u64, n: u64) -> std::io::Result<(Histogra
                 Some(z) => z.sample(&mut rng),
                 None => rng.gen_range(opts.keyspace.max(1)),
             };
-            let key = format!("key:{key_id:012}");
-            resp::encode_command(
-                &[b"SET".to_vec(), key.into_bytes(), value.clone()],
-                &mut cmd,
-            );
+            write_key(&mut key, key_id);
+            let is_get = get_ratio > 0 && rng.gen_range(100) < get_ratio;
+            if is_get {
+                resp::encode_command_slices(&[b"GET", &key], &mut cmd);
+            } else {
+                resp::encode_command_slices(&[b"SET", &key, &value], &mut cmd);
+            }
         }
         let t0 = Instant::now();
         stream.write_all(&cmd)?;

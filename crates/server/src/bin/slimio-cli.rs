@@ -4,7 +4,7 @@
 //! ```text
 //! slimio-cli [-h host] [-p port] bench [-c clients] [-n requests]
 //!            [-d value-bytes] [-r keyspace] [--seed s] [--zipf]
-//!            [-P pipeline]
+//!            [-P pipeline] [-G get-percent]
 //! slimio-cli [-h host] [-p port] <COMMAND> [args...]
 //! ```
 
@@ -14,7 +14,7 @@ use slimio_server::resp::Value;
 fn usage() -> ! {
     eprintln!(
         "usage: slimio-cli [-h host] [-p port] bench [-c n] [-n n] [-d bytes] [-r keys]\n\
-         \x20                 [--seed s] [--zipf] [-P|--pipeline n]\n\
+         \x20                 [--seed s] [--zipf] [-P|--pipeline n] [-G|--get-ratio pct]\n\
          \x20      slimio-cli [-h host] [-p port] <command> [args...]"
     );
     std::process::exit(2);
@@ -90,6 +90,7 @@ fn run_bench(host: String, port: u16, rest: &[String]) {
             "-r" => opts.keyspace = num(&mut i),
             "--seed" => opts.seed = num(&mut i),
             "-P" | "--pipeline" => opts.pipeline = (num(&mut i) as usize).max(1),
+            "-G" | "--get-ratio" => opts.get_ratio = num(&mut i).min(100) as u8,
             "--zipf" => {
                 opts.zipf = true;
                 i += 1;
@@ -98,13 +99,14 @@ fn run_bench(host: String, port: u16, rest: &[String]) {
         }
     }
     println!(
-        "bench: {} clients, {} requests, {}B values, {} keys, pipeline {}{}",
+        "bench: {} clients, {} requests, {}B values, {} keys, pipeline {}{}, {}% GET",
         opts.clients,
         opts.requests,
         opts.value_len,
         opts.keyspace,
         opts.pipeline,
-        if opts.zipf { ", zipfian" } else { "" }
+        if opts.zipf { ", zipfian" } else { "" },
+        opts.get_ratio,
     );
     match bench::run(&opts) {
         Ok(report) => {

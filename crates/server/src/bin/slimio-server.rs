@@ -25,6 +25,7 @@ struct Args {
     wal_snapshot_mb: u64,
     snapshot_chunk_kb: usize,
     fault_plan: Option<FaultPlan>,
+    read_path: bool,
 }
 
 fn usage() -> ! {
@@ -32,7 +33,7 @@ fn usage() -> ! {
         "usage: slimio-server [--addr host] [--port n] [--backend kernel|passthru] [--fdp]\n\
          \x20                    [--ratio f] [--appendfsync always|everysec]\n\
          \x20                    [--wal-snapshot-mb n] [--snapshot-chunk-kb n]\n\
-         \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]]"
+         \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]] [--no-read-path]"
     );
     std::process::exit(2);
 }
@@ -46,6 +47,7 @@ fn parse_args() -> Args {
         wal_snapshot_mb: 256,
         snapshot_chunk_kb: 256,
         fault_plan: None,
+        read_path: true,
     };
     let mut fdp_flag = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -89,6 +91,7 @@ fn parse_args() -> Args {
                     usage()
                 }))
             }
+            "--no-read-path" => args.read_path = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -111,6 +114,7 @@ fn main() {
         policy: args.opts_policy,
         wal_snapshot_threshold: args.wal_snapshot_mb << 20,
         snapshot_chunk: args.snapshot_chunk_kb << 10,
+        read_path: args.read_path,
     };
     let handle = match Server::start(store, opts) {
         Ok(h) => h,

@@ -76,35 +76,88 @@ fn proto(msg: impl Into<String>) -> RespError {
     RespError(msg.into())
 }
 
+/// Appends a decimal integer without allocating (replaces
+/// `i.to_string()` on reply hot paths).
+#[inline]
+fn push_int(out: &mut Vec<u8>, v: i64) {
+    let mut buf = [0u8; 20];
+    let neg = v < 0;
+    // Build digits from the magnitude; unsigned_abs handles i64::MIN.
+    let mut m = v.unsigned_abs();
+    let mut at = buf.len();
+    loop {
+        at -= 1;
+        buf[at] = b'0' + (m % 10) as u8;
+        m /= 10;
+        if m == 0 {
+            break;
+        }
+    }
+    if neg {
+        out.push(b'-');
+    }
+    out.extend_from_slice(&buf[at..]);
+}
+
+/// Appends `+<s>\r\n`.
+#[inline]
+pub fn encode_simple(s: &str, out: &mut Vec<u8>) {
+    out.push(b'+');
+    out.extend_from_slice(s.as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends `-<msg>\r\n`.
+#[inline]
+pub fn encode_error(msg: &str, out: &mut Vec<u8>) {
+    out.push(b'-');
+    out.extend_from_slice(msg.as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends `:<i>\r\n`.
+#[inline]
+pub fn encode_int(i: i64, out: &mut Vec<u8>) {
+    out.push(b':');
+    push_int(out, i);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends the `$<len>\r\n` header of a bulk string whose payload (and
+/// trailing CRLF) the caller emits separately — the zero-copy reply path
+/// uses this to splice an `Arc`'d value in without copying it.
+#[inline]
+pub fn encode_bulk_header(len: usize, out: &mut Vec<u8>) {
+    out.push(b'$');
+    push_int(out, len as i64);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends a complete `$<len>\r\n<payload>\r\n` bulk string.
+#[inline]
+pub fn encode_bulk(payload: &[u8], out: &mut Vec<u8>) {
+    encode_bulk_header(payload.len(), out);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends the RESP2 null bulk `$-1\r\n`.
+#[inline]
+pub fn encode_null(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"$-1\r\n");
+}
+
 /// Serializes a value in RESP2 framing.
 pub fn encode(v: &Value, out: &mut Vec<u8>) {
     match v {
-        Value::Simple(s) => {
-            out.push(b'+');
-            out.extend_from_slice(s.as_bytes());
-            out.extend_from_slice(b"\r\n");
-        }
-        Value::Error(s) => {
-            out.push(b'-');
-            out.extend_from_slice(s.as_bytes());
-            out.extend_from_slice(b"\r\n");
-        }
-        Value::Int(i) => {
-            out.push(b':');
-            out.extend_from_slice(i.to_string().as_bytes());
-            out.extend_from_slice(b"\r\n");
-        }
-        Value::Bulk(b) => {
-            out.push(b'$');
-            out.extend_from_slice(b.len().to_string().as_bytes());
-            out.extend_from_slice(b"\r\n");
-            out.extend_from_slice(b);
-            out.extend_from_slice(b"\r\n");
-        }
-        Value::Null => out.extend_from_slice(b"$-1\r\n"),
+        Value::Simple(s) => encode_simple(s, out),
+        Value::Error(s) => encode_error(s, out),
+        Value::Int(i) => encode_int(*i, out),
+        Value::Bulk(b) => encode_bulk(b, out),
+        Value::Null => encode_null(out),
         Value::Array(items) => {
             out.push(b'*');
-            out.extend_from_slice(items.len().to_string().as_bytes());
+            push_int(out, items.len() as i64);
             out.extend_from_slice(b"\r\n");
             for it in items {
                 encode(it, out);
@@ -113,18 +166,25 @@ pub fn encode(v: &Value, out: &mut Vec<u8>) {
     }
 }
 
+/// Serializes a command from borrowed argument slices — the
+/// allocation-free client-side twin of [`encode_command`].
+pub fn encode_command_slices(args: &[&[u8]], out: &mut Vec<u8>) {
+    out.push(b'*');
+    push_int(out, args.len() as i64);
+    out.extend_from_slice(b"\r\n");
+    for a in args {
+        encode_bulk(a, out);
+    }
+}
+
 /// Serializes a command as an array of bulk strings — the client→server
 /// framing every Redis client uses.
 pub fn encode_command(args: &[Vec<u8>], out: &mut Vec<u8>) {
     out.push(b'*');
-    out.extend_from_slice(args.len().to_string().as_bytes());
+    push_int(out, args.len() as i64);
     out.extend_from_slice(b"\r\n");
     for a in args {
-        out.push(b'$');
-        out.extend_from_slice(a.len().to_string().as_bytes());
-        out.extend_from_slice(b"\r\n");
-        out.extend_from_slice(a);
-        out.extend_from_slice(b"\r\n");
+        encode_bulk(a, out);
     }
 }
 
@@ -217,12 +277,108 @@ fn parse_value(b: &[u8]) -> Result<Option<(Value, usize)>, RespError> {
     }
 }
 
-/// Incremental RESP2 parser over a growing byte buffer.
+/// One complete command parsed *in place*: each argument is a span into
+/// the parser's buffer, so the hot path (SET/GET bursts) never allocates
+/// a `Vec<u8>` per bulk string. The borrow ties the frame's lifetime to
+/// the parser — the next `next_command_frame`/`fill_from` call may move
+/// or overwrite the underlying bytes, and the borrow checker enforces
+/// that the frame is dead by then.
+pub struct CommandFrame<'a> {
+    buf: &'a [u8],
+    spans: &'a [(usize, usize)],
+}
+
+impl<'a> CommandFrame<'a> {
+    /// Number of arguments (command name included).
+    pub fn arg_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Argument `i` as a borrowed slice of the parser buffer.
+    pub fn arg(&self, i: usize) -> &'a [u8] {
+        let (s, e) = self.spans[i];
+        &self.buf[s..e]
+    }
+
+    /// Copies every argument out — the bridge to the writer-thread path,
+    /// which needs owned bytes that outlive the parser buffer.
+    pub fn to_owned_args(&self) -> Vec<Vec<u8>> {
+        self.spans
+            .iter()
+            .map(|&(s, e)| self.buf[s..e].to_vec())
+            .collect()
+    }
+}
+
+/// Scans one array-of-bulk-strings command starting at `b[0] == b'*'`,
+/// recording absolute argument spans (offset by `base`). Returns the
+/// bytes consumed, or `None` while the frame is incomplete.
+fn parse_command_spans(
+    b: &[u8],
+    base: usize,
+    spans: &mut Vec<(usize, usize)>,
+) -> Result<Option<usize>, RespError> {
+    let Some((line, used)) = take_line(&b[1..])? else {
+        return Ok(None);
+    };
+    let mut at = 1 + used;
+    let n = parse_int(line)?;
+    if n == -1 {
+        return Err(proto("null array is not a command"));
+    }
+    if !(0..=MAX_ARRAY).contains(&n) {
+        return Err(proto(format!("invalid array length {n}")));
+    }
+    for _ in 0..n {
+        let rb = &b[at..];
+        let Some(&tag) = rb.first() else {
+            return Ok(None);
+        };
+        if tag != b'$' {
+            return Err(proto("command array must hold bulk strings"));
+        }
+        let Some((line, used)) = take_line(&rb[1..])? else {
+            return Ok(None);
+        };
+        let header = 1 + used;
+        let len = parse_int(line)?;
+        if len == -1 {
+            return Err(proto("command array must hold bulk strings"));
+        }
+        if !(0..=MAX_BULK).contains(&len) {
+            return Err(proto(format!("invalid bulk length {len}")));
+        }
+        let len = len as usize;
+        let need = header + len + 2;
+        if rb.len() < need {
+            return Ok(None);
+        }
+        if &rb[header + len..need] != b"\r\n" {
+            return Err(proto("bulk string not CRLF-terminated"));
+        }
+        spans.push((base + at + header, base + at + header + len));
+        at += need;
+    }
+    Ok(Some(at))
+}
+
+/// Incremental RESP2 parser over a reusable byte buffer.
+///
+/// The buffer doubles as the connection's read buffer: [`Parser::fill_from`]
+/// reads from the socket straight into the spare tail (no intermediate
+/// copy), and [`Parser::next_command_frame`] yields argument spans into
+/// it (no per-argument allocation). Valid bytes live in `buf[pos..filled]`.
 #[derive(Default)]
 pub struct Parser {
     buf: Vec<u8>,
+    filled: usize,
     pos: usize,
+    /// Reused span scratch for `next_command_frame`.
+    spans: Vec<(usize, usize)>,
 }
+
+/// Spare tail capacity `fill_from` guarantees before reading.
+const READ_CHUNK: usize = 16 * 1024;
 
 impl Parser {
     /// Creates an empty parser.
@@ -230,91 +386,123 @@ impl Parser {
         Self::default()
     }
 
-    /// Appends newly received bytes.
+    /// Appends newly received bytes (copying them; socket paths should
+    /// prefer [`Parser::fill_from`]).
     pub fn feed(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+        self.reserve_tail(bytes.len());
+        self.buf[self.filled..self.filled + bytes.len()].copy_from_slice(bytes);
+        self.filled += bytes.len();
+    }
+
+    /// Reads once from `r` directly into the buffer's spare tail,
+    /// returning the byte count (0 = EOF). Compacts first, so a long-
+    /// lived connection reuses one steady-state allocation.
+    pub fn fill_from(&mut self, r: &mut impl std::io::Read) -> std::io::Result<usize> {
+        self.compact();
+        self.reserve_tail(READ_CHUNK);
+        let n = r.read(&mut self.buf[self.filled..])?;
+        self.filled += n;
+        Ok(n)
+    }
+
+    /// Ensures `buf[filled..]` has at least `extra` writable bytes. The
+    /// zeroed tail is never exposed: only `buf[pos..filled]` is read.
+    fn reserve_tail(&mut self, extra: usize) {
+        let need = self.filled + extra;
+        if need > self.buf.len() {
+            let new_len = need.max(self.buf.len() * 2).max(READ_CHUNK);
+            self.buf.resize(new_len, 0);
+        }
     }
 
     /// Reclaims consumed prefix space.
     fn compact(&mut self) {
-        if self.pos == self.buf.len() {
-            self.buf.clear();
+        if self.pos == self.filled {
             self.pos = 0;
+            self.filled = 0;
         } else if self.pos >= 64 * 1024 {
-            self.buf.drain(..self.pos);
+            self.buf.copy_within(self.pos..self.filled, 0);
+            self.filled -= self.pos;
             self.pos = 0;
         }
     }
 
-    /// Next complete *command*: an array of bulk strings, or an inline
-    /// whitespace-split line. Returns `Ok(None)` until one is complete.
-    pub fn next_command(&mut self) -> Result<Option<Vec<Vec<u8>>>, RespError> {
+    /// Next complete *command*, parsed in place: an array of bulk strings
+    /// or an inline whitespace-split line. Returns `Ok(None)` until one
+    /// is complete. The returned frame borrows the parser's buffer.
+    pub fn next_command_frame(&mut self) -> Result<Option<CommandFrame<'_>>, RespError> {
+        self.spans.clear();
         loop {
             // Skip blank separator lines (permitted between inline
             // commands; never occur inside a frame because frames are
             // consumed atomically).
-            while self
-                .buf
-                .get(self.pos)
-                .is_some_and(|&c| c == b'\r' || c == b'\n')
+            while self.pos < self.filled
+                && (self.buf[self.pos] == b'\r' || self.buf[self.pos] == b'\n')
             {
                 self.pos += 1;
             }
-            let b = &self.buf[self.pos..];
-            if b.is_empty() {
+            if self.pos == self.filled {
                 self.compact();
                 return Ok(None);
             }
+            let start = self.pos;
+            let b = &self.buf[start..self.filled];
             if b[0] == b'*' {
-                match parse_value(b)? {
+                match parse_command_spans(b, start, &mut self.spans)? {
                     None => return Ok(None),
-                    Some((Value::Array(items), used)) => {
+                    Some(used) => {
                         self.pos += used;
-                        self.compact();
-                        let mut args = Vec::with_capacity(items.len());
-                        for it in items {
-                            match it {
-                                Value::Bulk(x) => args.push(x),
-                                _ => return Err(proto("command array must hold bulk strings")),
-                            }
-                        }
-                        if args.is_empty() {
+                        if self.spans.is_empty() {
                             continue; // "*0\r\n" — nothing to run
                         }
-                        return Ok(Some(args));
+                        return Ok(Some(CommandFrame {
+                            buf: &self.buf,
+                            spans: &self.spans,
+                        }));
                     }
-                    Some(_) => return Err(proto("null array is not a command")),
                 }
             }
-            // Inline command.
+            // Inline command: split the line into whitespace-separated
+            // token spans.
             match b.iter().position(|&c| c == b'\n') {
                 None if b.len() > MAX_INLINE => return Err(proto("inline command too long")),
                 None => return Ok(None),
                 Some(i) => {
-                    let line = if i > 0 && b[i - 1] == b'\r' {
-                        &b[..i - 1]
-                    } else {
-                        &b[..i]
-                    };
-                    let args: Vec<Vec<u8>> = line
-                        .split(|&c| c == b' ' || c == b'\t')
-                        .filter(|s| !s.is_empty())
-                        .map(|s| s.to_vec())
-                        .collect();
+                    let line_end = if i > 0 && b[i - 1] == b'\r' { i - 1 } else { i };
+                    let mut t = 0;
+                    while t < line_end {
+                        if b[t] == b' ' || b[t] == b'\t' {
+                            t += 1;
+                            continue;
+                        }
+                        let s = t;
+                        while t < line_end && b[t] != b' ' && b[t] != b'\t' {
+                            t += 1;
+                        }
+                        self.spans.push((start + s, start + t));
+                    }
                     self.pos += i + 1;
-                    self.compact();
-                    if args.is_empty() {
+                    if self.spans.is_empty() {
                         continue;
                     }
-                    return Ok(Some(args));
+                    return Ok(Some(CommandFrame {
+                        buf: &self.buf,
+                        spans: &self.spans,
+                    }));
                 }
             }
         }
     }
 
+    /// Next complete *command* as owned argument vectors (compatibility
+    /// wrapper over [`Parser::next_command_frame`]).
+    pub fn next_command(&mut self) -> Result<Option<Vec<Vec<u8>>>, RespError> {
+        Ok(self.next_command_frame()?.map(|f| f.to_owned_args()))
+    }
+
     /// Next complete *value* (the client side: server replies).
     pub fn next_value(&mut self) -> Result<Option<Value>, RespError> {
-        match parse_value(&self.buf[self.pos..])? {
+        match parse_value(&self.buf[self.pos..self.filled])? {
             None => {
                 self.compact();
                 Ok(None)

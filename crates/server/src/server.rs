@@ -1,21 +1,32 @@
 //! The live server: a multi-threaded RESP2 front end over a
-//! single-writer engine thread.
+//! single-writer engine thread, with a lock-free read fast path.
 //!
-//! Architecture (mirrors Redis' single-threaded command semantics):
-//! per-connection reader threads parse RESP2 off the socket and forward
-//! whole commands over an MPSC channel to one writer thread that owns the
-//! `Db<AnyBackend>`. Replies travel back on one channel per connection,
-//! so each connection observes strict request/response ordering while
-//! writes are serialized globally. The writer drains the queue into
-//! bounded batches and group-commits each batch: commands execute against
-//! the engine with their WAL records queued, then one flush (and, under
-//! `Always`, one device sync) covers the whole batch, and only after that
-//! sync are the batch's replies released — an ack still implies
-//! durability, it just shares its sync with its batch. The writer pumps
-//! background snapshots between batches and triggers WAL-threshold
-//! snapshots exactly like the simulated pipeline does.
+//! Architecture (mirrors Redis' single-threaded *write* semantics):
+//! per-connection reader threads parse RESP2 frames in place from a
+//! reusable read buffer. Write and admin commands are forwarded over an
+//! MPSC channel to one writer thread that owns the `Db<AnyBackend>`;
+//! read-only commands (GET, EXISTS, PING) are served directly on the
+//! connection thread against the engine's published [`ReadView`] — they
+//! never enqueue to the writer and never touch the storage stack. The
+//! writer drains the queue into bounded batches and group-commits each
+//! batch: commands execute against the engine with their WAL records
+//! queued, then one flush (and, under `Always`, one device sync) covers
+//! the whole batch, the batch's keyspace mutations are *published* into
+//! the read view, and only after that are the batch's replies released —
+//! an ack still implies durability, and because the publish precedes the
+//! ack, a connection that has seen an ack can already read its own write
+//! from the view (read-your-writes). Each reply carries the publish
+//! sequence; before serving a local read, a connection waits (trivially,
+//! per the ordering above) until the view has published its newest acked
+//! sequence, and first drains any writer replies it still owes the
+//! socket so the reply stream stays in request order. Replies accumulate
+//! in a per-connection scratch encoder and go out with one vectored
+//! write per drained burst; large values are spliced in as `Arc` slices
+//! without copying. The writer pumps background snapshots between
+//! batches and triggers WAL-threshold snapshots exactly like the
+//! simulated pipeline does.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -25,7 +36,7 @@ use std::time::{Duration, Instant};
 use slimio_des::SimTime;
 use slimio_imdb::backend::{PersistBackend, SnapshotKind};
 use slimio_imdb::engine::DbError;
-use slimio_imdb::{Db, DbConfig, LogPolicy};
+use slimio_imdb::{Db, DbConfig, LogPolicy, ReadHandle, ReadView};
 use slimio_metrics::Histogram;
 use slimio_uring::SharedClock;
 
@@ -45,12 +56,12 @@ const IDLE_STEP_ENTRIES: usize = 512;
 const BUSY_STEP_ENTRIES: usize = 64;
 /// A busy step runs once per this many commands while a snapshot is live.
 const BUSY_STEP_EVERY: u32 = 4;
-/// A connection merges its local latency histogram into the shared one
-/// after this many commands…
-const HIST_MERGE_EVERY: u32 = 1024;
-/// …or after this much time with unmerged samples, whichever comes first,
-/// so INFO percentiles stay fresh even under a trickle of traffic.
-const HIST_MERGE_INTERVAL: Duration = Duration::from_millis(250);
+/// Values at least this long are vector-written straight from their
+/// `Arc` storage instead of being copied into the reply scratch buffer.
+const ZERO_COPY_THRESHOLD: usize = 4096;
+/// Most reply segments one `writev` submits (Linux caps iovecs at 1024;
+/// stay far below it).
+const MAX_IOVECS: usize = 64;
 /// How long the writer keeps draining queued requests with an error reply
 /// after shutdown begins. Connection threads notice `stop` within their
 /// 100 ms read timeout, so one idle window this long means the queue is
@@ -68,6 +79,11 @@ pub struct ServerOpts {
     pub wal_snapshot_threshold: u64,
     /// Snapshot serialization chunk size in bytes.
     pub snapshot_chunk: usize,
+    /// Serve read-only commands (GET/EXISTS/PING) directly on connection
+    /// threads against the published read view. Disable to force every
+    /// command through the single writer — the pre-read-path behavior,
+    /// kept for A/B benchmarking.
+    pub read_path: bool,
 }
 
 impl Default for ServerOpts {
@@ -77,6 +93,7 @@ impl Default for ServerOpts {
             policy: LogPolicy::Always,
             wal_snapshot_threshold: 256 << 20,
             snapshot_chunk: 256 << 10,
+            read_path: true,
         }
     }
 }
@@ -104,6 +121,51 @@ impl std::fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
+/// Per-connection latency histograms, merged on demand. Each connection
+/// records into its own slot with an uncontended lock; only INFO walks
+/// the registry and merges. This replaces the old single shared
+/// `Mutex<Histogram>` that every connection periodically contended on —
+/// read-path GETs never touch a global metrics lock.
+struct HistRegistry {
+    /// Live connections' histograms. The outer lock guards only
+    /// registry membership (connect/disconnect/INFO), never recording.
+    conns: Mutex<Vec<Arc<Mutex<Histogram>>>>,
+    /// Samples from connections that have since closed.
+    retired: Mutex<Histogram>,
+}
+
+impl HistRegistry {
+    fn new() -> Self {
+        HistRegistry {
+            conns: Mutex::new(Vec::new()),
+            retired: Mutex::new(Histogram::new()),
+        }
+    }
+
+    fn register(&self) -> Arc<Mutex<Histogram>> {
+        let h = Arc::new(Mutex::new(Histogram::new()));
+        self.conns.lock().unwrap().push(Arc::clone(&h));
+        h
+    }
+
+    fn unregister(&self, h: &Arc<Mutex<Histogram>>) {
+        let mut conns = self.conns.lock().unwrap();
+        conns.retain(|x| !Arc::ptr_eq(x, h));
+        drop(conns);
+        self.retired.lock().unwrap().merge(&h.lock().unwrap());
+    }
+
+    /// Merged view of every live and retired histogram.
+    fn snapshot(&self) -> Histogram {
+        let mut out = Histogram::new();
+        out.merge(&self.retired.lock().unwrap());
+        for h in self.conns.lock().unwrap().iter() {
+            out.merge(&h.lock().unwrap());
+        }
+        out
+    }
+}
+
 /// State shared between the accept loop, connection threads, the writer,
 /// and the handle.
 struct Shared {
@@ -111,8 +173,8 @@ struct Shared {
     stop: AtomicBool,
     /// Crash request: abandon everything unsynced (kill -9 equivalent).
     kill: AtomicBool,
-    /// Command latency in nanoseconds, merged from connection threads.
-    hist: Mutex<Histogram>,
+    /// Command latency in nanoseconds, one histogram per connection.
+    hists: HistRegistry,
     /// Commands processed.
     ops: AtomicU64,
     /// Currently connected clients.
@@ -124,9 +186,12 @@ struct Shared {
 }
 
 /// One parsed command in flight from a connection thread to the writer.
+/// The reply carries the engine sequence published when the command's
+/// batch committed; connections track the max as their newest acked
+/// sequence for the read-your-writes guard.
 struct Request {
     args: Vec<Vec<u8>>,
-    reply: mpsc::Sender<Value>,
+    reply: mpsc::Sender<(Value, u64)>,
 }
 
 /// A running server. Tear down with [`ServerHandle::shutdown`] (clean),
@@ -235,8 +300,13 @@ impl Server {
             snapshot_chunk: opts.snapshot_chunk,
             ..DbConfig::default()
         };
-        let (db, replayed) = Db::recover(backend, cfg, sim_now(&clock)).map_err(ServerError::Db)?;
+        let (mut db, replayed) =
+            Db::recover(backend, cfg, sim_now(&clock)).map_err(ServerError::Db)?;
         let recovered_keys = db.len() as u64;
+        // Install the concurrent read view over the recovered keyspace
+        // before any connection is accepted, so readers never observe a
+        // pre-recovery view.
+        let view: Option<Arc<ReadView>> = opts.read_path.then(|| db.install_view());
 
         let listener = TcpListener::bind(&opts.addr).map_err(ServerError::Io)?;
         listener.set_nonblocking(true).map_err(ServerError::Io)?;
@@ -245,7 +315,7 @@ impl Server {
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             kill: AtomicBool::new(false),
-            hist: Mutex::new(Histogram::new()),
+            hists: HistRegistry::new(),
             ops: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             total_connections: AtomicU64::new(0),
@@ -286,7 +356,7 @@ impl Server {
             let tx = tx.clone();
             std::thread::Builder::new()
                 .name("slimio-accept".to_string())
-                .spawn(move || accept_loop(listener, tx, shared))
+                .spawn(move || accept_loop(listener, tx, shared, view))
                 .map_err(ServerError::Io)?
         };
 
@@ -307,7 +377,12 @@ fn sim_now(clock: &SharedClock) -> SimTime {
     clock.now()
 }
 
-fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Request>, shared: Arc<Shared>) {
+fn accept_loop(
+    listener: TcpListener,
+    tx: mpsc::Sender<Request>,
+    shared: Arc<Shared>,
+    view: Option<Arc<ReadView>>,
+) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !shared.stop.load(Ordering::SeqCst) && !shared.kill.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -316,9 +391,10 @@ fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Request>, shared: Arc<Sha
                 shared.total_connections.fetch_add(1, Ordering::SeqCst);
                 let tx = tx.clone();
                 let shared = Arc::clone(&shared);
+                let view = view.clone();
                 if let Ok(h) = std::thread::Builder::new()
                     .name("slimio-conn".to_string())
-                    .spawn(move || connection_loop(stream, tx, shared))
+                    .spawn(move || connection_loop(stream, tx, shared, view))
                 {
                     conns.push(h);
                 }
@@ -335,98 +411,315 @@ fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Request>, shared: Arc<Sha
     }
 }
 
-fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc<Shared>) {
+/// One reply segment: a range of the scratch buffer, or a shared value
+/// spliced in without copying.
+enum Seg {
+    /// `scratch[start..end]`.
+    Scratch(usize, usize),
+    /// A whole `Arc`'d value (zero-copy GET payload).
+    Shared(Arc<[u8]>),
+}
+
+/// Per-connection reply accumulator: small replies append to one reusable
+/// scratch buffer, large GET payloads ride along as `Arc` segments, and
+/// the whole burst goes to the socket with vectored writes.
+struct ReplyBuf {
+    scratch: Vec<u8>,
+    segs: Vec<Seg>,
+    /// Start of the scratch range not yet claimed by a segment.
+    open: usize,
+}
+
+impl ReplyBuf {
+    fn new() -> Self {
+        ReplyBuf {
+            scratch: Vec::with_capacity(16 << 10),
+            segs: Vec::new(),
+            open: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.scratch.clear();
+        self.segs.clear();
+        self.open = 0;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.segs.is_empty() && self.scratch.is_empty()
+    }
+
+    /// Closes the currently accumulating scratch range into a segment.
+    fn seal_scratch(&mut self) {
+        if self.open < self.scratch.len() {
+            self.segs.push(Seg::Scratch(self.open, self.scratch.len()));
+            self.open = self.scratch.len();
+        }
+    }
+
+    /// Appends a GET hit. Values past [`ZERO_COPY_THRESHOLD`] are spliced
+    /// in as shared segments; small ones are cheaper to memcpy than to
+    /// spend an iovec on.
+    fn push_bulk_value(&mut self, v: Arc<[u8]>) {
+        if v.len() < ZERO_COPY_THRESHOLD {
+            resp::encode_bulk(&v, &mut self.scratch);
+        } else {
+            resp::encode_bulk_header(v.len(), &mut self.scratch);
+            self.seal_scratch();
+            self.segs.push(Seg::Shared(v));
+            self.scratch.extend_from_slice(b"\r\n");
+        }
+    }
+
+    /// Appends an owned reply value (the writer-thread reply path).
+    fn push_value(&mut self, v: &Value) {
+        resp::encode(v, &mut self.scratch);
+    }
+
+    /// Writes every pending segment with as few `writev` calls as
+    /// possible, then resets the buffer.
+    fn write_to(&mut self, stream: &mut TcpStream) -> std::io::Result<()> {
+        self.seal_scratch();
+        let mut slices: Vec<&[u8]> = Vec::with_capacity(self.segs.len());
+        for seg in &self.segs {
+            match seg {
+                Seg::Scratch(s, e) => slices.push(&self.scratch[*s..*e]),
+                Seg::Shared(v) => slices.push(v),
+            }
+        }
+        let (mut idx, mut off) = (0usize, 0usize);
+        while idx < slices.len() {
+            let end = (idx + MAX_IOVECS).min(slices.len());
+            let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(end - idx);
+            iov.push(IoSlice::new(&slices[idx][off..]));
+            for s in &slices[idx + 1..end] {
+                iov.push(IoSlice::new(s));
+            }
+            let mut n = stream.write_vectored(&iov)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket wrote zero bytes",
+                ));
+            }
+            // Advance (idx, off) across however much the kernel took.
+            while n > 0 {
+                let rem = slices[idx].len() - off;
+                if n >= rem {
+                    n -= rem;
+                    idx += 1;
+                    off = 0;
+                } else {
+                    off += n;
+                    n = 0;
+                }
+            }
+        }
+        self.clear();
+        Ok(())
+    }
+}
+
+/// Where a parsed command executes.
+enum Route {
+    /// Served on this connection thread against the read view.
+    Local,
+    /// Forwarded to the writer thread.
+    Writer,
+}
+
+/// Classifies one command frame. Only commands that cannot mutate, sync,
+/// or inspect writer-owned state qualify for the local path; INFO and
+/// DBSIZE read writer-owned engine stats and keep their writer routing.
+fn route_command(frame: &resp::CommandFrame<'_>, has_view: bool) -> Route {
+    let cmd = frame.arg(0);
+    if cmd.eq_ignore_ascii_case(b"PING") {
+        return Route::Local;
+    }
+    if has_view && (cmd.eq_ignore_ascii_case(b"GET") || cmd.eq_ignore_ascii_case(b"EXISTS")) {
+        return Route::Local;
+    }
+    Route::Writer
+}
+
+/// Executes one local (read-path) command against the view. GET/EXISTS
+/// are only routed here when a [`ReadHandle`] exists; their arity errors
+/// are produced locally too so the reply stream stays in order.
+fn serve_local(
+    frame: &resp::CommandFrame<'_>,
+    reader: Option<&ReadHandle>,
+    last_ack_seq: u64,
+    reply: &mut ReplyBuf,
+) {
+    let cmd = frame.arg(0);
+    if cmd.eq_ignore_ascii_case(b"PING") {
+        match frame.arg_count() {
+            1 => resp::encode_simple("PONG", &mut reply.scratch),
+            2 => resp::encode_bulk(frame.arg(1), &mut reply.scratch),
+            _ => resp::encode_error(
+                "ERR wrong number of arguments for 'ping' command",
+                &mut reply.scratch,
+            ),
+        }
+        return;
+    }
+    let reader = reader.expect("GET/EXISTS routed local without a read handle");
+    // Read-your-writes: the newest acked write of *this connection* must
+    // be visible. Publish-before-ack makes this a no-op in practice; it
+    // is the invariant, not a wait.
+    reader.wait_published(last_ack_seq);
+    if cmd.eq_ignore_ascii_case(b"GET") {
+        if frame.arg_count() != 2 {
+            resp::encode_error(
+                "ERR wrong number of arguments for 'get' command",
+                &mut reply.scratch,
+            );
+            return;
+        }
+        match reader.get(frame.arg(1)) {
+            Some(v) => reply.push_bulk_value(v),
+            None => resp::encode_null(&mut reply.scratch),
+        }
+    } else {
+        // EXISTS key [key ...]
+        if frame.arg_count() < 2 {
+            resp::encode_error(
+                "ERR wrong number of arguments for 'exists' command",
+                &mut reply.scratch,
+            );
+            return;
+        }
+        let mut found = 0i64;
+        for i in 1..frame.arg_count() {
+            if reader.contains(frame.arg(i)) {
+                found += 1;
+            }
+        }
+        resp::encode_int(found, &mut reply.scratch);
+    }
+}
+
+fn connection_loop(
+    mut stream: TcpStream,
+    tx: mpsc::Sender<Request>,
+    shared: Arc<Shared>,
+    view: Option<Arc<ReadView>>,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut parser = resp::Parser::new();
-    let mut rbuf = vec![0u8; 64 << 10];
-    let mut out = Vec::new();
-    let mut local = Histogram::new();
-    let mut since_merge: u32 = 0;
-    let mut last_merge = Instant::now();
+    let mut reply = ReplyBuf::new();
+    let hist = shared.hists.register();
+    // A read handle makes GET/EXISTS local. `register` returns None once
+    // the registry is full; those connections keep the classic
+    // everything-through-the-writer routing.
+    let reader: Option<ReadHandle> = view.as_ref().and_then(|v| v.register());
     // One reply channel for the whole connection: the writer sends every
     // reply back over this pair, so a pipelined burst costs one channel
     // allocation per connection instead of one per command.
-    let (rtx, rrx) = mpsc::channel::<Value>();
+    let (rtx, rrx) = mpsc::channel::<(Value, u64)>();
+    // Start times of writer-bound commands whose replies are still owed.
     let mut t0s: Vec<Instant> = Vec::new();
+    // Newest engine sequence this connection has seen acked.
+    let mut last_ack_seq = 0u64;
 
     'conn: loop {
-        let n = match stream.read(&mut rbuf) {
+        match parser.fill_from(&mut stream) {
             Ok(0) => break,
-            Ok(n) => n,
+            Ok(_) => {}
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                maybe_merge_hist(&shared, &mut local, &mut since_merge, &mut last_merge);
                 if shared.stop.load(Ordering::SeqCst) || shared.kill.load(Ordering::SeqCst) {
                     break;
                 }
                 continue;
             }
             Err(_) => break,
-        };
-        parser.feed(&rbuf[..n]);
-        out.clear();
+        }
+        reply.clear();
         t0s.clear();
-        // Phase 1: forward every parsed command in the read burst so the
-        // writer can drain them into one group-committed batch.
-        let mut fatal: Option<Value> = None;
+        let mut fatal: Option<String> = None;
+        let mut lost_writer = false;
+        // Drain the burst: local commands execute immediately (after any
+        // owed writer replies, to keep the reply stream in request
+        // order); writer commands are forwarded so the writer can drain
+        // them into one group-committed batch.
         loop {
-            match parser.next_command() {
-                Ok(Some(args)) => {
-                    t0s.push(Instant::now());
-                    if tx
-                        .send(Request {
-                            args,
-                            reply: rtx.clone(),
-                        })
-                        .is_err()
-                    {
-                        t0s.pop();
-                        fatal = Some(Value::Error("ERR server shutting down".to_string()));
-                        break;
+            match parser.next_command_frame() {
+                Ok(Some(frame)) => {
+                    let t0 = Instant::now();
+                    match route_command(&frame, reader.is_some()) {
+                        Route::Local => {
+                            if !t0s.is_empty()
+                                && !drain_writer_replies(
+                                    &rrx,
+                                    &shared,
+                                    &hist,
+                                    &mut t0s,
+                                    &mut last_ack_seq,
+                                    &mut reply,
+                                )
+                            {
+                                lost_writer = true;
+                                break;
+                            }
+                            serve_local(&frame, reader.as_ref(), last_ack_seq, &mut reply);
+                            hist.lock()
+                                .unwrap()
+                                .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                            shared.ops.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Route::Writer => {
+                            let args = frame.to_owned_args();
+                            if tx
+                                .send(Request {
+                                    args,
+                                    reply: rtx.clone(),
+                                })
+                                .is_err()
+                            {
+                                fatal = Some("ERR server shutting down".to_string());
+                                break;
+                            }
+                            t0s.push(t0);
+                        }
                     }
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    fatal = Some(Value::Error(format!("ERR Protocol error: {e}")));
+                    fatal = Some(format!("ERR Protocol error: {e}"));
                     break;
                 }
             }
         }
-        // Phase 2: collect exactly one reply per forwarded command. The
-        // writer releases a batch's replies in execution order, and the
-        // MPSC preserved this connection's send order, so replies arrive
-        // in request order.
-        let mut lost_writer = false;
-        for &t0 in &t0s {
-            match wait_reply(&rrx, &shared) {
-                Some(reply) => {
-                    local.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-                    shared.ops.fetch_add(1, Ordering::Relaxed);
-                    since_merge += 1;
-                    resp::encode(&reply, &mut out);
-                }
-                None => {
-                    lost_writer = true;
-                    break;
-                }
-            }
+        // Collect whatever the writer still owes from this burst.
+        if !lost_writer
+            && !t0s.is_empty()
+            && !drain_writer_replies(
+                &rrx,
+                &shared,
+                &hist,
+                &mut t0s,
+                &mut last_ack_seq,
+                &mut reply,
+            )
+        {
+            lost_writer = true;
         }
-        if let Some(v) = fatal {
-            resp::encode(&v, &mut out);
-            let _ = stream.write_all(&out);
+        if let Some(msg) = fatal {
+            resp::encode_error(&msg, &mut reply.scratch);
+            let _ = reply.write_to(&mut stream);
             break 'conn;
         }
         if lost_writer {
-            let _ = stream.write_all(&out);
+            let _ = reply.write_to(&mut stream);
             break 'conn;
         }
-        if !out.is_empty() && stream.write_all(&out).is_err() {
+        if !reply.is_empty() && reply.write_to(&mut stream).is_err() {
             break;
         }
-        maybe_merge_hist(&shared, &mut local, &mut since_merge, &mut last_merge);
         // The stop check sits *after* the batch is processed and written,
         // so a pipelined batch that contains SHUTDOWN still gets every
         // reply onto the wire before the connection winds down.
@@ -435,10 +728,38 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
         }
     }
 
-    if local.count() > 0 {
-        shared.hist.lock().unwrap().merge(&local);
-    }
+    shared.hists.unregister(&hist);
     shared.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Collects one writer reply per outstanding start time, in order, into
+/// the reply buffer. Returns false when the writer is gone.
+fn drain_writer_replies(
+    rrx: &mpsc::Receiver<(Value, u64)>,
+    shared: &Shared,
+    hist: &Arc<Mutex<Histogram>>,
+    t0s: &mut Vec<Instant>,
+    last_ack_seq: &mut u64,
+    reply: &mut ReplyBuf,
+) -> bool {
+    for &t0 in t0s.iter() {
+        match wait_reply(rrx, shared) {
+            Some((value, seq)) => {
+                *last_ack_seq = (*last_ack_seq).max(seq);
+                hist.lock()
+                    .unwrap()
+                    .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                shared.ops.fetch_add(1, Ordering::Relaxed);
+                reply.push_value(&value);
+            }
+            None => {
+                t0s.clear();
+                return false;
+            }
+        }
+    }
+    t0s.clear();
+    true
 }
 
 /// Waits for one reply from the writer. The connection keeps its own
@@ -447,7 +768,7 @@ fn connection_loop(mut stream: TcpStream, tx: mpsc::Sender<Request>, shared: Arc
 /// cleanly stopping server has stayed silent well past its shutdown drain
 /// window (the request raced past the writer's exit and will never be
 /// answered).
-fn wait_reply(rrx: &mpsc::Receiver<Value>, shared: &Shared) -> Option<Value> {
+fn wait_reply(rrx: &mpsc::Receiver<(Value, u64)>, shared: &Shared) -> Option<(Value, u64)> {
     let mut waited = Duration::ZERO;
     loop {
         match rrx.recv_timeout(Duration::from_millis(100)) {
@@ -463,25 +784,6 @@ fn wait_reply(rrx: &mpsc::Receiver<Value>, shared: &Shared) -> Option<Value> {
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => return None,
         }
-    }
-}
-
-/// Merges the connection-local latency histogram into the shared one once
-/// enough samples accumulate *or* enough time passes — INFO percentiles
-/// must not sit stale behind the 1024-command count bound on quiet links.
-fn maybe_merge_hist(
-    shared: &Shared,
-    local: &mut Histogram,
-    since_merge: &mut u32,
-    last_merge: &mut Instant,
-) {
-    if *since_merge > 0
-        && (*since_merge >= HIST_MERGE_EVERY || last_merge.elapsed() >= HIST_MERGE_INTERVAL)
-    {
-        shared.hist.lock().unwrap().merge(local);
-        local.clear();
-        *since_merge = 0;
-        *last_merge = Instant::now();
     }
 }
 
@@ -509,7 +811,7 @@ impl Writer {
     }
 
     fn run(mut self) -> AnyBackend {
-        let mut pending: Vec<(mpsc::Sender<Value>, Value)> = Vec::with_capacity(MAX_BATCH);
+        let mut pending: Vec<(mpsc::Sender<(Value, u64)>, Value)> = Vec::with_capacity(MAX_BATCH);
         let mut write_acks: Vec<usize> = Vec::with_capacity(MAX_BATCH);
         loop {
             if self.shared.kill.load(Ordering::SeqCst) {
@@ -578,6 +880,7 @@ impl Writer {
                         Value::Error("ERR server shutting down".to_string()),
                     ));
                     continue;
+                    // (the publish below still stamps these replies)
                 }
                 let (reply, wrote) = self.dispatch(&req.args);
                 if wrote {
@@ -601,10 +904,17 @@ impl Writer {
                     }
                 }
             }
+            // Publish the batch's keyspace mutations into the read view
+            // *before* releasing any reply: a connection that sees an ack
+            // must already be able to read its own write locally. (On
+            // commit failure the map was still mutated, matching the
+            // engine's existing semantics, so the view publishes either
+            // way — it mirrors the map, not the WAL.)
+            let published_seq = self.db.publish_view();
             // Release replies in execution order; each connection's
             // replies land on its own channel in request order.
             for (reply, value) in pending.drain(..) {
-                let _ = reply.send(value);
+                let _ = reply.send((value, published_seq));
             }
             if !write_acks.is_empty() {
                 self.after_write();
@@ -632,10 +942,12 @@ impl Writer {
         // pipelined behind the command that initiated shutdown, or raced
         // in from other connections — must not be dropped on the floor.
         // Every forwarded command gets a reply, even if it is an error.
+        let final_seq = self.db.publish_view();
         while let Ok(req) = self.rx.recv_timeout(SHUTDOWN_DRAIN_IDLE) {
-            let _ = req
-                .reply
-                .send(Value::Error("ERR server shutting down".to_string()));
+            let _ = req.reply.send((
+                Value::Error("ERR server shutting down".to_string()),
+                final_seq,
+            ));
         }
 
         // Clean exit: finish any in-flight snapshot, then make the WAL
@@ -886,7 +1198,7 @@ impl Writer {
         let ops = self.shared.ops.load(Ordering::Relaxed);
         let rps = ops as f64 / uptime.as_secs_f64().max(1e-9);
         let (p50, p99, p999) = {
-            let h = self.shared.hist.lock().unwrap();
+            let h = self.shared.hists.snapshot();
             (h.p50(), h.p99(), h.p999())
         };
         let device = self.db.backend().device();

@@ -337,6 +337,118 @@ fn crash_matrix_passthru_always_pipelined() {
     run_pipelined_cell(BackendKind::Passthru);
 }
 
+/// The read-path cell: same pipelined Always-Log kill sweep, but with
+/// GET-hammer connections actively reading from the lock-free view at
+/// every kill point. Reads never touch the WAL or the device, so
+/// recovery invariants are exactly those of the write-only cell: every
+/// acked burst survives with correct values and durable keys never
+/// regress — no matter how many readers were mid-probe when the plug
+/// was pulled.
+fn run_pipelined_cell_with_readers(kind: BackendKind) {
+    const PIPELINE: usize = 16;
+    const HAMMERS: usize = 2;
+    // The sweep restarts the server `points` times with live reader
+    // threads each round; cap it so the cell stays CI-sized.
+    let points = crash_points().min(12);
+    let mut durable: Vec<(String, String)> = Vec::new();
+    let mut handle = Server::start(store_for(kind), opts(LogPolicy::Always)).expect("start");
+    for k in 1..=points {
+        let port = handle.port();
+
+        // GET hammers spin on the hot key and last run's keys until the
+        // kill tears their connection down. Replies must only ever be
+        // bulk or null — an error reply would mean the read path broke
+        // under concurrent writes.
+        let hammers: Vec<_> = (0..HAMMERS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) else {
+                        return;
+                    };
+                    let _ = stream.set_nodelay(true);
+                    let mut parser = Parser::new();
+                    let mut rbuf = vec![0u8; 16 << 10];
+                    let mut out = Vec::new();
+                    loop {
+                        out.clear();
+                        for i in 0..8 {
+                            let key = format!("pl:{}:{i}", k.saturating_sub(1).max(1));
+                            resp::encode_command_slices(&[b"GET", key.as_bytes()], &mut out);
+                        }
+                        if stream.write_all(&out).is_err() {
+                            return;
+                        }
+                        for _ in 0..8 {
+                            match bench::read_value(&mut stream, &mut parser, &mut rbuf) {
+                                Ok(Value::Bulk(_)) | Ok(Value::Null) => {}
+                                Ok(other) => {
+                                    panic!("hammer {t}: GET returned {other:?}")
+                                }
+                                // The kill severs the connection
+                                // mid-burst; that is the exit signal.
+                                Err(_) => return,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let burst: Vec<(String, String)> = (0..PIPELINE)
+            .map(|i| (format!("pl:{k}:{i}"), format!("v{k}:{i}")))
+            .collect();
+        let cmds: Vec<Vec<Vec<u8>>> = burst.iter().map(|(key, val)| set(key, val)).collect();
+        for (i, r) in batch(port, &cmds).iter().enumerate() {
+            assert_eq!(
+                *r,
+                Value::ok(),
+                "{kind:?} run {k}: pipelined command {i} not acked"
+            );
+        }
+
+        // Kill with the readers still live, then reap them.
+        let store = handle.kill();
+        for h in hammers {
+            h.join().expect("hammer panicked");
+        }
+        handle = Server::start(store, opts(LogPolicy::Always)).expect("restart");
+        let port = handle.port();
+
+        let mut cmds: Vec<Vec<Vec<u8>>> = burst.iter().map(|(key, _)| get(key)).collect();
+        for (key, _) in &durable {
+            cmds.push(get(key));
+        }
+        let replies = batch(port, &cmds);
+        let (burst_replies, durable_replies) = replies.split_at(burst.len());
+        for ((key, val), r) in burst.iter().zip(burst_replies) {
+            assert_eq!(
+                *r,
+                Value::bulk(val.as_bytes()),
+                "{kind:?} run {k}: acked write {key} lost with readers active at kill"
+            );
+        }
+        for ((key, val), r) in durable.iter().zip(durable_replies) {
+            assert_eq!(
+                *r,
+                Value::bulk(val.as_bytes()),
+                "{kind:?} run {k}: durable key {key} regressed with readers active at kill"
+            );
+        }
+        durable.extend(burst);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn crash_matrix_kernel_always_pipelined_with_readers() {
+    run_pipelined_cell_with_readers(BackendKind::Kernel);
+}
+
+#[test]
+fn crash_matrix_passthru_always_pipelined_with_readers() {
+    run_pipelined_cell_with_readers(BackendKind::Passthru);
+}
+
 /// A `pc@N` plan armed through `DEBUG FAULT` behaves like power loss at
 /// the Nth device write: the in-flight command errors, everything acked
 /// before it survives the restart, and the interrupted command lands in
