@@ -7,9 +7,12 @@
 //! path (group commit + vectored submission) end to end, plus GET-heavy
 //! (90% GET / 10% SET) cells that exercise the lock-free read path both
 //! with it enabled and with every command forced through the single
-//! writer (`get90-writerpath`). Two headline acceptance ratios print at
-//! the end: pipelined Always-Log throughput over unbatched, and
-//! read-path GET-heavy throughput over the single-writer routing.
+//! writer (`get90-writerpath`), and a replication read-scaling cell
+//! (`get90-replica`) where a WAL-shipping replica serves the GET side
+//! while the primary takes the SETs. Three headline acceptance ratios
+//! print at the end: pipelined Always-Log throughput over unbatched,
+//! read-path GET-heavy throughput over the single-writer routing, and
+//! replica-fanout GET-heavy throughput over the single node.
 
 use std::time::Instant;
 
@@ -136,6 +139,119 @@ fn main() {
         rps_by_label.push((cell.label.clone(), report.rps()));
     }
 
+    // Read-scaling cell: a replica attaches to the primary, full-syncs,
+    // and serves the GET side of the 90/10 split locally while the
+    // primary takes the SET side — the fan-out topology from the README
+    // quickstart. Throughput counts both sides over the shared wall.
+    for kind in [BackendKind::Kernel, BackendKind::Passthru] {
+        let mk_store = || {
+            Store::new(StoreConfig {
+                kind,
+                fdp: kind == BackendKind::Passthru,
+                ratio: 1.0 / 64.0,
+            })
+        };
+        let primary = Server::start(
+            mk_store(),
+            ServerOpts {
+                policy: LogPolicy::Always,
+                ..ServerOpts::default()
+            },
+        )
+        .expect("primary start");
+        let pport = primary.port();
+        let replica = Server::start(
+            mk_store(),
+            ServerOpts {
+                policy: LogPolicy::Always,
+                replica_of: Some(format!("127.0.0.1:{pport}")),
+                ..ServerOpts::default()
+            },
+        )
+        .expect("replica start");
+        // Preload the keyspace so replica GETs return real values, then
+        // pin the replica to the preload's stream offset.
+        let preload = bench::run(&BenchOpts {
+            port: pport,
+            clients: 4,
+            requests: 10_000,
+            value_len: 128,
+            keyspace: 10_000,
+            seed: cli.seed,
+            pipeline: 16,
+            ..BenchOpts::default()
+        })
+        .expect("preload");
+        assert_eq!(preload.errors, 0, "preload saw error replies");
+        let caught_up = bench::oneshot(
+            "127.0.0.1",
+            pport,
+            &[b"WAIT".to_vec(), b"1".to_vec(), b"30000".to_vec()],
+        )
+        .expect("WAIT");
+        assert!(
+            matches!(caught_up, slimio_server::resp::Value::Int(n) if n >= 1),
+            "replica never caught up: {caught_up:?}"
+        );
+
+        let set_opts = BenchOpts {
+            port: pport,
+            clients: 2,
+            requests: requests / 10,
+            value_len: 128,
+            keyspace: 10_000,
+            seed: cli.seed,
+            pipeline: 16,
+            ..BenchOpts::default()
+        };
+        let get_opts = BenchOpts {
+            port: replica.port(),
+            clients: 4,
+            requests: requests - requests / 10,
+            value_len: 128,
+            keyspace: 10_000,
+            seed: cli.seed + 1,
+            pipeline: 16,
+            get_ratio: 100,
+            ..BenchOpts::default()
+        };
+        let started = Instant::now();
+        let writer = std::thread::spawn(move || bench::run(&set_opts));
+        let get_report = bench::run(&get_opts).expect("replica GET bench");
+        let set_report = writer
+            .join()
+            .expect("writer bench panicked")
+            .expect("SET bench");
+        let wall = started.elapsed().as_secs_f64();
+        replica.shutdown();
+        let store = primary.shutdown();
+        let waf = store.device().lock().unwrap().waf();
+        assert_eq!(get_report.errors, 0, "replica GETs saw error replies");
+        assert_eq!(set_report.errors, 0, "primary SETs saw error replies");
+
+        let ops = get_report.ops + set_report.ops;
+        let rps = ops as f64 / wall.max(1e-9);
+        let mut hist = get_report.hist;
+        hist.merge(&set_report.hist);
+        let label = format!("{}/always/P16/get90-replica", kind.name());
+        println!(
+            "{:<28} {:>12.0} {:>12.1} {:>10.2}",
+            label,
+            rps,
+            hist.p999() as f64 / 1000.0,
+            waf
+        );
+        perf.push(PerfCell {
+            label: label.clone(),
+            wall_secs: wall,
+            events: ops,
+            avg_rps: rps,
+            p999_ms: hist.p999() as f64 / 1e6,
+            waf,
+        });
+        rps_by_label.push((label, rps));
+    }
+
     // Headline: group commit must make pipelined Always-Log at least as
     // fast as the unbatched loop (in practice far faster).
     let rps = |label: &str| {
@@ -168,6 +284,22 @@ fn main() {
             read / writer.max(1e-9),
             read,
             writer
+        );
+    }
+    // Headline 3: read scaling — the same 90/10 split with the GET side
+    // fanned out to a replica vs served by the single node. Both nodes
+    // share this host's cores (and the replica is applying the write
+    // stream while it serves), so < 1.0x is normal here; the cell's job
+    // is to track absolute replica-read throughput end to end. On
+    // separate hosts the fanout adds capacity instead of splitting it.
+    for kind in ["kernel", "passthru"] {
+        let single = rps(&format!("{kind}/always/P16/get90"));
+        let fanned = rps(&format!("{kind}/always/P16/get90-replica"));
+        println!(
+            "replica read scaling ({kind}, 90% GET): {:.2}x (replica-fanout {:.0} rps vs single-node {:.0} rps)",
+            fanned / single.max(1e-9),
+            fanned,
+            single
         );
     }
 

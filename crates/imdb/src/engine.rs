@@ -137,6 +137,12 @@ pub struct Db<B: PersistBackend> {
     /// Writer half of the concurrent read view, when one is installed
     /// (live server only; the simulated pipeline never installs one).
     view: Option<ViewWriter>,
+    /// Mirror of every byte successfully handed to the backend's WAL,
+    /// when enabled ([`Db::enable_wal_tap`]). The live server drains it
+    /// after each group commit to feed the replication backlog; the
+    /// simulated pipeline never enables it, so DES results are
+    /// unaffected.
+    wal_tap: Option<Vec<u8>>,
     /// Keyspace mutations applied to `map` but not yet mirrored into the
     /// view: `(key, Some(value))` for a set, `(key, None)` for a delete.
     /// Drained by [`Db::publish_view`] after each group commit.
@@ -163,6 +169,7 @@ impl<B: PersistBackend> Db<B> {
             peak_mem: 0,
             stats: DbStats::default(),
             view: None,
+            wal_tap: None,
             view_pending: Vec::new(),
         }
     }
@@ -412,9 +419,75 @@ impl<B: PersistBackend> Db<B> {
         // Borrow the buffer in place; `clear` keeps the allocation, so
         // steady-state flushing is allocation-free.
         let t = self.backend.wal_append(self.wal_buf.bytes(), now)?;
+        if let Some(tap) = self.wal_tap.as_mut() {
+            tap.extend_from_slice(self.wal_buf.bytes());
+        }
         self.wal_buf.clear();
         self.last_flush = t.done_at;
         Ok(t)
+    }
+
+    /// Starts mirroring every flushed WAL byte into an internal tap
+    /// buffer, drained by [`Db::take_tapped_wal`]. The tap sees exactly
+    /// the bytes the backend accepted, in flush order — the replication
+    /// stream is the WAL stream.
+    pub fn enable_wal_tap(&mut self) {
+        if self.wal_tap.is_none() {
+            self.wal_tap = Some(Vec::new());
+        }
+    }
+
+    /// Drains the WAL tap. Empty when the tap is disabled or nothing has
+    /// flushed since the last drain.
+    pub fn take_tapped_wal(&mut self) -> Vec<u8> {
+        self.wal_tap
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Serializes a point-in-time copy of the whole keyspace as one
+    /// in-memory RDB stream — the full-sync payload a primary sends an
+    /// attaching replica. Reuses the snapshot machinery ([`SnapshotJob`])
+    /// so the framing is identical to an on-device snapshot, but the
+    /// chunks land in a `Vec` instead of the backend.
+    pub fn serialize_keyspace(&self, chunk_size: usize) -> Vec<u8> {
+        let mut job = SnapshotJob::freeze(SnapshotKind::OnDemand, self.map.iter(), chunk_size);
+        let mut out = Vec::new();
+        loop {
+            let stats = job
+                .step_each(1024, &mut |chunk: &[u8]| {
+                    out.extend_from_slice(chunk);
+                    Ok::<(), std::convert::Infallible>(())
+                })
+                .expect("in-memory snapshot serialization cannot fail");
+            if stats.finished {
+                return out;
+            }
+        }
+    }
+
+    /// `Arc` clones of every live key (replica full-reset bookkeeping:
+    /// the keys to delete before loading a primary's snapshot).
+    pub fn keys(&self) -> Vec<Arc<[u8]>> {
+        self.map.keys().cloned().collect()
+    }
+
+    /// Order-independent digest of the keyspace: CRC-32 over the sorted
+    /// `(key, value)` entries. Two engines hold identical datasets iff
+    /// their digests match — the convergence check replication tests and
+    /// the CI smoke use via `DEBUG DIGEST`.
+    pub fn digest(&self) -> u32 {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by(|a: &(&Arc<[u8]>, &Arc<[u8]>), b| a.0.cmp(b.0));
+        let mut crc = crate::crc::Crc32::new();
+        for (k, v) in entries {
+            crc.update(&(k.len() as u32).to_le_bytes());
+            crc.update(k);
+            crc.update(&(v.len() as u32).to_le_bytes());
+            crc.update(v);
+        }
+        crc.finish()
     }
 
     /// Syncs the WAL to durable media.
@@ -814,6 +887,51 @@ mod tests {
         assert!(db
             .snapshot_begin(SnapshotKind::WalSnapshot, SimTime::ZERO)
             .is_err());
+    }
+
+    #[test]
+    fn wal_tap_mirrors_flushed_bytes_exactly() {
+        let mut db = file_db(LogPolicy::Always);
+        db.enable_wal_tap();
+        assert!(db.take_tapped_wal().is_empty());
+        db.set(b"a", b"1", SimTime::ZERO).unwrap();
+        db.set(b"b", b"2", SimTime::ZERO).unwrap();
+        let tapped = db.take_tapped_wal();
+        let records = wal::replay(&tapped);
+        assert_eq!(records.len(), 2, "tap must carry the full WAL stream");
+        // Drained means drained.
+        assert!(db.take_tapped_wal().is_empty());
+        // Queued-but-unflushed bytes never reach the tap: the stream only
+        // carries what the backend accepted.
+        db.set_queued(b"c", b"3");
+        assert!(db.take_tapped_wal().is_empty());
+        db.batch_commit(SimTime::ZERO).unwrap();
+        assert_eq!(wal::replay(&db.take_tapped_wal()).len(), 1);
+    }
+
+    #[test]
+    fn serialize_keyspace_roundtrips_and_digest_converges() {
+        let mut db = file_db(LogPolicy::Always);
+        for i in 0..100u32 {
+            db.set(
+                format!("key{i}").as_bytes(),
+                format!("val{i}").as_bytes(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        let stream = db.serialize_keyspace(4096);
+        let entries = crate::rdb::read_all(&stream).unwrap();
+        assert_eq!(entries.len(), 100);
+        // Loading the stream into a second engine converges the digests
+        // (insertion order differs; the digest sorts).
+        let mut db2 = file_db(LogPolicy::Always);
+        for (k, v) in entries.into_iter().rev() {
+            db2.set(&k, &v, SimTime::ZERO).unwrap();
+        }
+        assert_eq!(db.digest(), db2.digest());
+        db2.set(b"key0", b"different", SimTime::ZERO).unwrap();
+        assert_ne!(db.digest(), db2.digest());
     }
 
     #[test]

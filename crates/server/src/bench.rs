@@ -209,7 +209,34 @@ fn client_thread(opts: &BenchOpts, id: u64, n: u64) -> std::io::Result<(Histogra
 
 /// Connects, sends one command, and returns the reply.
 pub fn oneshot(host: &str, port: u16, args: &[Vec<u8>]) -> std::io::Result<Value> {
-    let mut stream = TcpStream::connect((host, port))?;
+    oneshot_timeout(host, port, args, None)
+}
+
+/// [`oneshot`] with a deadline on connect, write, and each read, so
+/// scripted callers (CI smoke, tests) never hang on a dead or wedged
+/// server. `None` keeps the blocking behavior.
+pub fn oneshot_timeout(
+    host: &str,
+    port: u16,
+    args: &[Vec<u8>],
+    timeout: Option<std::time::Duration>,
+) -> std::io::Result<Value> {
+    let mut stream = match timeout {
+        Some(t) => {
+            use std::net::ToSocketAddrs;
+            let addr = (host, port).to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    format!("no address for {host}:{port}"),
+                )
+            })?;
+            let s = TcpStream::connect_timeout(&addr, t)?;
+            s.set_read_timeout(Some(t))?;
+            s.set_write_timeout(Some(t))?;
+            s
+        }
+        None => TcpStream::connect((host, port))?,
+    };
     stream.set_nodelay(true)?;
     let mut cmd = Vec::new();
     resp::encode_command(args, &mut cmd);

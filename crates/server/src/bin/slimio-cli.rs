@@ -5,8 +5,13 @@
 //! slimio-cli [-h host] [-p port] bench [-c clients] [-n requests]
 //!            [-d value-bytes] [-r keyspace] [--seed s] [--zipf]
 //!            [-P pipeline] [-G get-percent]
-//! slimio-cli [-h host] [-p port] <COMMAND> [args...]
+//! slimio-cli [-h host] [-p port] [--timeout-ms n] <COMMAND> [args...]
 //! ```
+//!
+//! One-shot mode passes any command through verbatim — including
+//! `REPLICAOF host port`, `REPLICAOF NO ONE`, and `WAIT n timeout` for
+//! scripting replication. `--timeout-ms` bounds connect, write, and
+//! every read so scripted tests never hang on a dead server (exit 1).
 
 use slimio_server::bench::{self, BenchOpts};
 use slimio_server::resp::Value;
@@ -15,7 +20,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: slimio-cli [-h host] [-p port] bench [-c n] [-n n] [-d bytes] [-r keys]\n\
          \x20                 [--seed s] [--zipf] [-P|--pipeline n] [-G|--get-ratio pct]\n\
-         \x20      slimio-cli [-h host] [-p port] <command> [args...]"
+         \x20      slimio-cli [-h host] [-p port] [--timeout-ms n] <command> [args...]"
     );
     std::process::exit(2);
 }
@@ -24,6 +29,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut host = "127.0.0.1".to_string();
     let mut port = 6400u16;
+    let mut timeout: Option<std::time::Duration> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -36,6 +42,14 @@ fn main() {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                timeout = Some(std::time::Duration::from_millis(ms.max(1)));
                 i += 2;
             }
             "--help" => usage(),
@@ -55,7 +69,7 @@ fn main() {
     // One-shot command mode: everything after the connection flags is the
     // command and its arguments.
     let args: Vec<Vec<u8>> = rest.iter().map(|s| s.clone().into_bytes()).collect();
-    match bench::oneshot(&host, port, &args) {
+    match bench::oneshot_timeout(&host, port, &args, timeout) {
         Ok(v) => {
             println!("{}", bench::format_value(&v));
             if matches!(v, Value::Error(_)) {

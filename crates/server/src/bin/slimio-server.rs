@@ -4,8 +4,14 @@
 //! slimio-server [--addr HOST] [--port N] [--backend kernel|passthru]
 //!               [--fdp] [--ratio F] [--appendfsync always|everysec]
 //!               [--wal-snapshot-mb N] [--snapshot-chunk-kb N]
-//!               [--fault-plan SPEC]
+//!               [--fault-plan SPEC] [--replica-of HOST:PORT]
+//!               [--repl-backlog-mb N]
 //! ```
+//!
+//! `--replica-of` starts the server as a replica: it full-syncs from the
+//! given primary, applies its WAL stream through its own engine (and its
+//! own WAL), serves reads, and rejects writes with `-READONLY` until a
+//! client promotes it with `REPLICAOF NO ONE`.
 //!
 //! `--fault-plan` arms a deterministic device fault before the server
 //! starts: `pc@N` (power cut at the Nth write command), `torn@N:B` (the
@@ -26,6 +32,8 @@ struct Args {
     snapshot_chunk_kb: usize,
     fault_plan: Option<FaultPlan>,
     read_path: bool,
+    replica_of: Option<String>,
+    repl_backlog_mb: usize,
 }
 
 fn usage() -> ! {
@@ -33,7 +41,8 @@ fn usage() -> ! {
         "usage: slimio-server [--addr host] [--port n] [--backend kernel|passthru] [--fdp]\n\
          \x20                    [--ratio f] [--appendfsync always|everysec]\n\
          \x20                    [--wal-snapshot-mb n] [--snapshot-chunk-kb n]\n\
-         \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]] [--no-read-path]"
+         \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]] [--no-read-path]\n\
+         \x20                    [--replica-of host:port] [--repl-backlog-mb n]"
     );
     std::process::exit(2);
 }
@@ -48,6 +57,8 @@ fn parse_args() -> Args {
         snapshot_chunk_kb: 256,
         fault_plan: None,
         read_path: true,
+        replica_of: None,
+        repl_backlog_mb: 1,
     };
     let mut fdp_flag = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -92,6 +103,17 @@ fn parse_args() -> Args {
                 }))
             }
             "--no-read-path" => args.read_path = false,
+            "--replica-of" => {
+                let spec = next(&mut i);
+                if !spec.contains(':') {
+                    eprintln!("slimio-server: --replica-of wants host:port, got '{spec}'");
+                    usage()
+                }
+                args.replica_of = Some(spec)
+            }
+            "--repl-backlog-mb" => {
+                args.repl_backlog_mb = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -115,6 +137,8 @@ fn main() {
         wal_snapshot_threshold: args.wal_snapshot_mb << 20,
         snapshot_chunk: args.snapshot_chunk_kb << 10,
         read_path: args.read_path,
+        replica_of: args.replica_of.clone(),
+        repl_backlog_bytes: args.repl_backlog_mb << 20,
     };
     let handle = match Server::start(store, opts) {
         Ok(h) => h,
@@ -124,12 +148,16 @@ fn main() {
         }
     };
     println!(
-        "slimio-server listening on {} (backend {}{}, {} keys recovered, {} WAL records replayed)",
+        "slimio-server listening on {} (backend {}{}, {} keys recovered, {} WAL records replayed{})",
         handle.addr(),
         args.store.kind.name(),
         if args.store.fdp { "+fdp" } else { "" },
         handle.recovered_keys(),
         handle.wal_records_replayed(),
+        match &args.replica_of {
+            Some(p) => format!(", replica of {p}"),
+            None => String::new(),
+        },
     );
     // Serve until a client sends SHUTDOWN.
     handle.join();

@@ -10,16 +10,18 @@
 //! - [`resp`] — RESP2 framing: encoder plus an incremental parser.
 //! - [`store`] — backend selection and the restartable device state.
 //! - [`server`] — the accept/connection/writer thread architecture.
+//! - `repl` — WAL-shipping primary/replica replication.
 //! - [`bench`] — a redis-benchmark-style closed-loop load generator.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+mod repl;
 pub mod resp;
 pub mod server;
 pub mod store;
 
-pub use bench::{oneshot, BenchOpts, BenchReport};
+pub use bench::{oneshot, oneshot_timeout, BenchOpts, BenchReport};
 pub use resp::{Parser, Value};
 pub use server::{Server, ServerHandle, ServerOpts};
 pub use store::{AnyBackend, BackendKind, Store, StoreConfig};

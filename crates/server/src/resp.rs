@@ -500,6 +500,18 @@ impl Parser {
         Ok(self.next_command_frame()?.map(|f| f.to_owned_args()))
     }
 
+    /// Takes every buffered-but-unparsed byte out of the parser,
+    /// emptying it. A replica's link uses this at the RESP→raw boundary:
+    /// after the full-sync bulk, the socket switches to the raw WAL
+    /// stream, and any stream bytes that rode in with the last RESP read
+    /// must carry over to the raw decoder.
+    pub fn take_remaining(&mut self) -> Vec<u8> {
+        let out = self.buf[self.pos..self.filled].to_vec();
+        self.pos = 0;
+        self.filled = 0;
+        out
+    }
+
     /// Next complete *value* (the client side: server replies).
     pub fn next_value(&mut self) -> Result<Option<Value>, RespError> {
         match parse_value(&self.buf[self.pos..self.filled])? {

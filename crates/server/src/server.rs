@@ -25,6 +25,18 @@
 //! without copying. The writer pumps background snapshots between
 //! batches and triggers WAL-threshold snapshots exactly like the
 //! simulated pipeline does.
+//!
+//! Replication rides the same write path (see [`crate::repl`] for the
+//! protocol): after each group commit the writer drains the engine's WAL
+//! tap into the replication backlog and the attached replicas' feeds —
+//! *before* any reply is released, so a client holding a write's ack
+//! knows the backlog already covers it, which is what lets `WAIT` run
+//! entirely on the connection thread. `PSYNC` hands the raw socket from
+//! the connection thread to the writer, which freezes the keyspace
+//! between batches and spawns a feed thread per replica. A replica runs
+//! a link thread that applies the shipped stream through this same
+//! writer (so applied records land in the replica's own WAL and view)
+//! and rejects client writes with `-READONLY`.
 
 use std::io::{IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -36,10 +48,12 @@ use std::time::{Duration, Instant};
 use slimio_des::SimTime;
 use slimio_imdb::backend::{PersistBackend, SnapshotKind};
 use slimio_imdb::engine::DbError;
+use slimio_imdb::wal::WalRecord;
 use slimio_imdb::{Db, DbConfig, LogPolicy, ReadHandle, ReadView};
 use slimio_metrics::Histogram;
 use slimio_uring::SharedClock;
 
+use crate::repl::{self, LinkCtx, ReplState, ReplicaPeer, READONLY_MSG};
 use crate::resp::{self, Value};
 use crate::store::{AnyBackend, Store};
 
@@ -84,6 +98,12 @@ pub struct ServerOpts {
     /// command through the single writer — the pre-read-path behavior,
     /// kept for A/B benchmarking.
     pub read_path: bool,
+    /// Start as a replica of `host:port`: connect, full-sync, apply the
+    /// primary's stream, serve reads, reject writes. `REPLICAOF NO ONE`
+    /// promotes at runtime.
+    pub replica_of: Option<String>,
+    /// Bytes of recent WAL stream retained for replica partial resync.
+    pub repl_backlog_bytes: usize,
 }
 
 impl Default for ServerOpts {
@@ -94,6 +114,8 @@ impl Default for ServerOpts {
             wal_snapshot_threshold: 256 << 20,
             snapshot_chunk: 256 << 10,
             read_path: true,
+            replica_of: None,
+            repl_backlog_bytes: repl::DEFAULT_BACKLOG_BYTES,
         }
     }
 }
@@ -126,7 +148,7 @@ impl std::error::Error for ServerError {}
 /// the registry and merges. This replaces the old single shared
 /// `Mutex<Histogram>` that every connection periodically contended on —
 /// read-path GETs never touch a global metrics lock.
-struct HistRegistry {
+pub(crate) struct HistRegistry {
     /// Live connections' histograms. The outer lock guards only
     /// registry membership (connect/disconnect/INFO), never recording.
     conns: Mutex<Vec<Arc<Mutex<Histogram>>>>,
@@ -167,31 +189,63 @@ impl HistRegistry {
 }
 
 /// State shared between the accept loop, connection threads, the writer,
-/// and the handle.
-struct Shared {
+/// replication threads, and the handle.
+pub(crate) struct Shared {
     /// Clean-stop request: stop accepting, drain, flush, exit.
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
     /// Crash request: abandon everything unsynced (kill -9 equivalent).
-    kill: AtomicBool,
+    pub(crate) kill: AtomicBool,
     /// Command latency in nanoseconds, one histogram per connection.
-    hists: HistRegistry,
+    pub(crate) hists: HistRegistry,
     /// Commands processed.
-    ops: AtomicU64,
+    pub(crate) ops: AtomicU64,
     /// Currently connected clients.
-    connections: AtomicU64,
+    pub(crate) connections: AtomicU64,
     /// Connections accepted since start.
-    total_connections: AtomicU64,
+    pub(crate) total_connections: AtomicU64,
+    /// Bytes read from client and replication sockets.
+    pub(crate) net_in: AtomicU64,
+    /// Bytes written to client and replication sockets.
+    pub(crate) net_out: AtomicU64,
     /// Server start, for uptime and throughput.
-    start: Instant,
+    pub(crate) start: Instant,
 }
 
-/// One parsed command in flight from a connection thread to the writer.
-/// The reply carries the engine sequence published when the command's
-/// batch committed; connections track the max as their newest acked
-/// sequence for the read-your-writes guard.
-struct Request {
-    args: Vec<Vec<u8>>,
-    reply: mpsc::Sender<(Value, u64)>,
+/// One unit of work in flight to the writer thread. Command replies
+/// carry the engine sequence published when the command's batch
+/// committed; connections track the max as their newest acked sequence
+/// for the read-your-writes guard.
+pub(crate) enum Request {
+    /// A client command forwarded by a connection thread.
+    Cmd {
+        args: Vec<Vec<u8>>,
+        reply: mpsc::Sender<(Value, u64)>,
+    },
+    /// A `PSYNC` handoff: the connection thread surrenders the socket;
+    /// the writer freezes the keyspace between batches and spawns the
+    /// replica's feed thread.
+    Sync {
+        args: Vec<Vec<u8>>,
+        stream: TcpStream,
+        addr: String,
+    },
+    /// Replica link thread: replace the whole keyspace with a full-sync
+    /// snapshot. Acked only after the local group commit.
+    ReplSet {
+        snapshot: Vec<u8>,
+        offset: u64,
+        replid: String,
+        epoch: u64,
+        reply: mpsc::Sender<(Value, u64)>,
+    },
+    /// Replica link thread: apply a decoded slice of the primary's WAL
+    /// stream. Acked only after the local group commit.
+    ReplApply {
+        records: Vec<WalRecord>,
+        offset: u64,
+        epoch: u64,
+        reply: mpsc::Sender<(Value, u64)>,
+    },
 }
 
 /// A running server. Tear down with [`ServerHandle::shutdown`] (clean),
@@ -303,6 +357,9 @@ impl Server {
         let (mut db, replayed) =
             Db::recover(backend, cfg, sim_now(&clock)).map_err(ServerError::Db)?;
         let recovered_keys = db.len() as u64;
+        // Mirror every flushed WAL byte for the replication backlog; the
+        // writer drains the tap after each group commit.
+        db.enable_wal_tap();
         // Install the concurrent read view over the recovered keyspace
         // before any connection is accepted, so readers never observe a
         // pre-recovery view.
@@ -319,23 +376,37 @@ impl Server {
             ops: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             total_connections: AtomicU64::new(0),
+            net_in: AtomicU64::new(0),
+            net_out: AtomicU64::new(0),
             start: Instant::now(),
         });
+        let repl = Arc::new(ReplState::new(
+            opts.replica_of.clone(),
+            opts.repl_backlog_bytes,
+        ));
 
         let (tx, rx) = mpsc::channel::<Request>();
 
         let writer = {
             let shared = Arc::clone(&shared);
+            let repl = Arc::clone(&repl);
+            let req_tx = tx.clone();
             let backend_name = store.kind().name();
             let fdp = store.fdp();
             let clock = clock.clone();
+            let snapshot_chunk = opts.snapshot_chunk;
+            let port = addr.port();
             std::thread::Builder::new()
                 .name("slimio-writer".to_string())
                 .spawn(move || {
                     Writer {
                         db,
                         rx,
+                        req_tx,
                         shared,
+                        repl,
+                        port,
+                        snapshot_chunk,
                         clock,
                         backend_name,
                         fdp,
@@ -345,6 +416,8 @@ impl Server {
                         last_snapshot_ms: None,
                         nosave: false,
                         cmds_since_step: 0,
+                        pending_syncs: Vec::new(),
+                        applied_updates: Vec::new(),
                     }
                     .run()
                 })
@@ -353,12 +426,23 @@ impl Server {
 
         let accept = {
             let shared = Arc::clone(&shared);
+            let repl = Arc::clone(&repl);
             let tx = tx.clone();
             std::thread::Builder::new()
                 .name("slimio-accept".to_string())
-                .spawn(move || accept_loop(listener, tx, shared, view))
+                .spawn(move || accept_loop(listener, tx, shared, view, repl))
                 .map_err(ServerError::Io)?
         };
+
+        if opts.replica_of.is_some() {
+            repl::spawn_link(LinkCtx {
+                tx: tx.clone(),
+                repl: Arc::clone(&repl),
+                shared: Arc::clone(&shared),
+                my_port: addr.port(),
+                epoch: repl.epoch(),
+            });
+        }
 
         Ok(ServerHandle {
             addr,
@@ -382,6 +466,7 @@ fn accept_loop(
     tx: mpsc::Sender<Request>,
     shared: Arc<Shared>,
     view: Option<Arc<ReadView>>,
+    repl: Arc<ReplState>,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !shared.stop.load(Ordering::SeqCst) && !shared.kill.load(Ordering::SeqCst) {
@@ -392,9 +477,10 @@ fn accept_loop(
                 let tx = tx.clone();
                 let shared = Arc::clone(&shared);
                 let view = view.clone();
+                let repl = Arc::clone(&repl);
                 if let Ok(h) = std::thread::Builder::new()
                     .name("slimio-conn".to_string())
-                    .spawn(move || connection_loop(stream, tx, shared, view))
+                    .spawn(move || connection_loop(stream, tx, shared, view, repl))
                 {
                     conns.push(h);
                 }
@@ -477,8 +563,8 @@ impl ReplyBuf {
     }
 
     /// Writes every pending segment with as few `writev` calls as
-    /// possible, then resets the buffer.
-    fn write_to(&mut self, stream: &mut TcpStream) -> std::io::Result<()> {
+    /// possible, then resets the buffer. Returns the bytes written.
+    fn write_to(&mut self, stream: &mut TcpStream) -> std::io::Result<usize> {
         self.seal_scratch();
         let mut slices: Vec<&[u8]> = Vec::with_capacity(self.segs.len());
         for seg in &self.segs {
@@ -487,6 +573,7 @@ impl ReplyBuf {
                 Seg::Shared(v) => slices.push(v),
             }
         }
+        let total: usize = slices.iter().map(|s| s.len()).sum();
         let (mut idx, mut off) = (0usize, 0usize);
         while idx < slices.len() {
             let end = (idx + MAX_IOVECS).min(slices.len());
@@ -516,8 +603,20 @@ impl ReplyBuf {
             }
         }
         self.clear();
-        Ok(())
+        Ok(total)
     }
+}
+
+/// Flushes the reply buffer to the socket, counting the bytes into the
+/// server's network-out total.
+fn flush_reply(
+    reply: &mut ReplyBuf,
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let n = reply.write_to(stream)?;
+    shared.net_out.fetch_add(n as u64, Ordering::Relaxed);
+    Ok(())
 }
 
 /// Where a parsed command executes.
@@ -526,6 +625,11 @@ enum Route {
     Local,
     /// Forwarded to the writer thread.
     Writer,
+    /// `WAIT`: parks this connection thread polling replica acks.
+    Wait,
+    /// `PSYNC`: the socket is handed off to the writer, which turns the
+    /// connection into a replication feed.
+    Sync,
 }
 
 /// Classifies one command frame. Only commands that cannot mutate, sync,
@@ -536,10 +640,65 @@ fn route_command(frame: &resp::CommandFrame<'_>, has_view: bool) -> Route {
     if cmd.eq_ignore_ascii_case(b"PING") {
         return Route::Local;
     }
+    if cmd.eq_ignore_ascii_case(b"WAIT") {
+        return Route::Wait;
+    }
+    if cmd.eq_ignore_ascii_case(b"PSYNC") {
+        return Route::Sync;
+    }
     if has_view && (cmd.eq_ignore_ascii_case(b"GET") || cmd.eq_ignore_ascii_case(b"EXISTS")) {
         return Route::Local;
     }
     Route::Writer
+}
+
+/// `WAIT <numreplicas> <timeout-ms>` on the connection thread. The
+/// target is the current end of the replication backlog: the writer
+/// publishes each batch's WAL bytes *before* releasing its replies, so
+/// once this connection's own acks are drained (the caller guarantees
+/// it), the backlog end covers every write this client has seen
+/// acknowledged. Polls replica acks until enough replicas reach the
+/// target, the timeout lapses (0 = no timeout), or the server stops;
+/// replies with the replica count that had reached the target.
+fn serve_wait(
+    frame: &resp::CommandFrame<'_>,
+    repl: &ReplState,
+    shared: &Shared,
+    reply: &mut ReplyBuf,
+) {
+    if frame.arg_count() != 3 {
+        resp::encode_error(
+            "ERR wrong number of arguments for 'wait' command",
+            &mut reply.scratch,
+        );
+        return;
+    }
+    let parse = |b: &[u8]| {
+        std::str::from_utf8(b)
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+    };
+    let (Some(need), Some(timeout_ms)) = (parse(frame.arg(1)), parse(frame.arg(2))) else {
+        resp::encode_error(
+            "ERR value is not an integer or out of range",
+            &mut reply.scratch,
+        );
+        return;
+    };
+    let target = repl.backlog_end();
+    let deadline = (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms));
+    loop {
+        let have = repl.count_acked(target);
+        if have as u64 >= need
+            || shared.stop.load(Ordering::SeqCst)
+            || shared.kill.load(Ordering::SeqCst)
+            || deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            resp::encode_int(have as i64, &mut reply.scratch);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
 }
 
 /// Executes one local (read-path) command against the view. GET/EXISTS
@@ -604,6 +763,7 @@ fn connection_loop(
     tx: mpsc::Sender<Request>,
     shared: Arc<Shared>,
     view: Option<Arc<ReadView>>,
+    repl: Arc<ReplState>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
@@ -622,11 +782,16 @@ fn connection_loop(
     let mut t0s: Vec<Instant> = Vec::new();
     // Newest engine sequence this connection has seen acked.
     let mut last_ack_seq = 0u64;
+    // The port a replica announced via `REPLCONF listening-port`, kept
+    // so its PSYNC handoff can be labeled with a useful address.
+    let mut replconf_port: Option<u16> = None;
 
     'conn: loop {
         match parser.fill_from(&mut stream) {
             Ok(0) => break,
-            Ok(_) => {}
+            Ok(n) => {
+                shared.net_in.fetch_add(n as u64, Ordering::Relaxed);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -642,6 +807,7 @@ fn connection_loop(
         t0s.clear();
         let mut fatal: Option<String> = None;
         let mut lost_writer = false;
+        let mut handed_off = false;
         // Drain the burst: local commands execute immediately (after any
         // owed writer replies, to keep the reply stream in request
         // order); writer commands are forwarded so the writer can drain
@@ -673,8 +839,14 @@ fn connection_loop(
                         }
                         Route::Writer => {
                             let args = frame.to_owned_args();
+                            if args.len() == 3
+                                && args[0].eq_ignore_ascii_case(b"REPLCONF")
+                                && args[1].eq_ignore_ascii_case(b"listening-port")
+                            {
+                                replconf_port = String::from_utf8_lossy(&args[2]).parse().ok();
+                            }
                             if tx
-                                .send(Request {
+                                .send(Request::Cmd {
                                     args,
                                     reply: rtx.clone(),
                                 })
@@ -685,6 +857,71 @@ fn connection_loop(
                             }
                             t0s.push(t0);
                         }
+                        Route::Wait => {
+                            // Settle this connection's own acks first —
+                            // both for reply order and because the WAIT
+                            // target must cover them.
+                            if !t0s.is_empty()
+                                && !drain_writer_replies(
+                                    &rrx,
+                                    &shared,
+                                    &hist,
+                                    &mut t0s,
+                                    &mut last_ack_seq,
+                                    &mut reply,
+                                )
+                            {
+                                lost_writer = true;
+                                break;
+                            }
+                            serve_wait(&frame, &repl, &shared, &mut reply);
+                            hist.lock()
+                                .unwrap()
+                                .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                            shared.ops.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Route::Sync => {
+                            // Flush everything owed so the sync preamble
+                            // is the next thing on the wire, then hand
+                            // the socket to the writer and bow out.
+                            if !t0s.is_empty()
+                                && !drain_writer_replies(
+                                    &rrx,
+                                    &shared,
+                                    &hist,
+                                    &mut t0s,
+                                    &mut last_ack_seq,
+                                    &mut reply,
+                                )
+                            {
+                                lost_writer = true;
+                                break;
+                            }
+                            if !reply.is_empty()
+                                && flush_reply(&mut reply, &mut stream, &shared).is_err()
+                            {
+                                break;
+                            }
+                            let args = frame.to_owned_args();
+                            let peer_ip = stream
+                                .peer_addr()
+                                .map(|a| a.ip().to_string())
+                                .unwrap_or_else(|_| "?".to_string());
+                            let addr = match replconf_port {
+                                Some(p) => format!("{peer_ip}:{p}"),
+                                None => format!("{peer_ip}:?"),
+                            };
+                            if let Ok(dup) = stream.try_clone() {
+                                handed_off = tx
+                                    .send(Request::Sync {
+                                        args,
+                                        stream: dup,
+                                        addr,
+                                    })
+                                    .is_ok();
+                            }
+                            break;
+                        }
                     }
                 }
                 Ok(None) => break,
@@ -693,6 +930,11 @@ fn connection_loop(
                     break;
                 }
             }
+        }
+        if handed_off {
+            // The feed thread owns the socket now; this thread must not
+            // read or write it again.
+            break 'conn;
         }
         // Collect whatever the writer still owes from this burst.
         if !lost_writer
@@ -710,14 +952,14 @@ fn connection_loop(
         }
         if let Some(msg) = fatal {
             resp::encode_error(&msg, &mut reply.scratch);
-            let _ = reply.write_to(&mut stream);
+            let _ = flush_reply(&mut reply, &mut stream, &shared);
             break 'conn;
         }
         if lost_writer {
-            let _ = reply.write_to(&mut stream);
+            let _ = flush_reply(&mut reply, &mut stream, &shared);
             break 'conn;
         }
-        if !reply.is_empty() && reply.write_to(&mut stream).is_err() {
+        if !reply.is_empty() && flush_reply(&mut reply, &mut stream, &shared).is_err() {
             break;
         }
         // The stop check sits *after* the batch is processed and written,
@@ -793,7 +1035,15 @@ fn wait_reply(rrx: &mpsc::Receiver<(Value, u64)>, shared: &Shared) -> Option<(Va
 struct Writer {
     db: Db<AnyBackend>,
     rx: mpsc::Receiver<Request>,
+    /// Own sender clone, handed to replica link threads spawned by a
+    /// runtime `REPLICAOF`. Its existence means channel disconnect can
+    /// no longer signal shutdown; the idle wait polls `stop` instead.
+    req_tx: mpsc::Sender<Request>,
     shared: Arc<Shared>,
+    repl: Arc<ReplState>,
+    /// Our serving port, announced upstream by link threads.
+    port: u16,
+    snapshot_chunk: usize,
     clock: SharedClock,
     backend_name: &'static str,
     fdp: bool,
@@ -803,6 +1053,14 @@ struct Writer {
     last_snapshot_ms: Option<u64>,
     nosave: bool,
     cmds_since_step: u32,
+    /// PSYNC handoffs parked during batch execution, served between
+    /// batches (after the commit + backlog pump, so the frozen keyspace
+    /// matches the backlog end exactly).
+    pending_syncs: Vec<(Vec<Vec<u8>>, TcpStream, String)>,
+    /// Upstream progress recorded by this batch's ReplSet/ReplApply
+    /// requests: `(epoch, offset, upstream_replid)`. Applied to the
+    /// repl state only after the batch's group commit lands.
+    applied_updates: Vec<(u64, u64, Option<String>)>,
 }
 
 impl Writer {
@@ -839,16 +1097,27 @@ impl Writer {
                         }
                         let now = self.now();
                         let _ = self.db.tick(now);
+                        // A timer-driven flush ships its records too.
+                        self.pump_repl();
                         continue;
                     }
                     Err(mpsc::RecvTimeoutError::Disconnected) => None,
                 }
             } else {
-                // Blocking is safe: shutdown()/kill() drop the handle's
-                // sender and the accept + connection threads notice
-                // stop/kill within their own poll windows and drop
-                // theirs, so teardown always wakes this recv.
-                self.rx.recv().ok()
+                // The writer holds its own sender clone (for link
+                // threads), so teardown's sender drop can never surface
+                // as a disconnect here — poll `stop` instead of parking
+                // indefinitely.
+                match self.rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(r) => Some(r),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if self.shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                }
             };
             let Some(first) = first else { break };
 
@@ -869,24 +1138,78 @@ impl Writer {
             // group commit lands so no ack precedes its batch's sync.
             pending.clear();
             write_acks.clear();
+            self.applied_updates.clear();
             let mut refused = false;
             for req in batch {
-                if refused {
-                    // SHUTDOWN landed earlier in this batch: everything
-                    // pipelined behind it is refused, matching what the
-                    // post-loop drain would tell it.
-                    pending.push((
-                        req.reply,
-                        Value::Error("ERR server shutting down".to_string()),
-                    ));
-                    continue;
-                    // (the publish below still stamps these replies)
-                }
-                let (reply, wrote) = self.dispatch(&req.args);
+                let (sender, value, wrote) = match req {
+                    Request::Sync { args, stream, addr } => {
+                        // Parked until after the commit/pump below, so
+                        // the frozen keyspace matches the backlog end.
+                        // A refused (shutting-down) sync just drops the
+                        // socket.
+                        if !refused {
+                            self.pending_syncs.push((args, stream, addr));
+                        }
+                        continue;
+                    }
+                    Request::Cmd { args, reply } => {
+                        if refused {
+                            // SHUTDOWN landed earlier in this batch:
+                            // everything pipelined behind it is refused,
+                            // matching what the post-loop drain would
+                            // tell it.
+                            (
+                                reply,
+                                Value::Error("ERR server shutting down".to_string()),
+                                false,
+                            )
+                            // (the publish below still stamps these)
+                        } else {
+                            let (value, wrote) = self.dispatch(&args);
+                            (reply, value, wrote)
+                        }
+                    }
+                    Request::ReplSet {
+                        snapshot,
+                        offset,
+                        replid,
+                        epoch,
+                        reply,
+                    } => {
+                        if refused {
+                            (
+                                reply,
+                                Value::Error("ERR server shutting down".to_string()),
+                                false,
+                            )
+                        } else {
+                            let (value, wrote) =
+                                self.apply_full_reset(&snapshot, offset, replid, epoch);
+                            (reply, value, wrote)
+                        }
+                    }
+                    Request::ReplApply {
+                        records,
+                        offset,
+                        epoch,
+                        reply,
+                    } => {
+                        if refused {
+                            (
+                                reply,
+                                Value::Error("ERR server shutting down".to_string()),
+                                false,
+                            )
+                        } else {
+                            let (value, wrote) = self.apply_repl_records(records, offset, epoch);
+                            (reply, value, wrote)
+                        }
+                    }
+                };
                 if wrote {
                     write_acks.push(pending.len());
                 }
-                pending.push((req.reply, reply));
+                pending.push((sender, value));
                 if self.shared.stop.load(Ordering::SeqCst) {
                     refused = true;
                 }
@@ -902,7 +1225,18 @@ impl Writer {
                     for &i in &write_acks {
                         pending[i].1 = err.clone();
                     }
+                    // Un-committed applies must not advance the
+                    // replica's acked upstream offset.
+                    self.applied_updates.clear();
                 }
+            }
+            // Ship this batch's committed records — backlog end now
+            // covers every write acked below, which is the invariant
+            // `WAIT` relies on — and record upstream progress for the
+            // applies that just committed.
+            self.pump_repl();
+            for (epoch, offset, replid) in std::mem::take(&mut self.applied_updates) {
+                self.repl.set_applied(epoch, offset, replid);
             }
             // Publish the batch's keyspace mutations into the read view
             // *before* releasing any reply: a connection that sees an ack
@@ -919,6 +1253,7 @@ impl Writer {
             if !write_acks.is_empty() {
                 self.after_write();
             }
+            self.handle_pending_syncs();
 
             if self.db.snapshot_active() {
                 self.cmds_since_step += batch_len;
@@ -944,10 +1279,18 @@ impl Writer {
         // Every forwarded command gets a reply, even if it is an error.
         let final_seq = self.db.publish_view();
         while let Ok(req) = self.rx.recv_timeout(SHUTDOWN_DRAIN_IDLE) {
-            let _ = req.reply.send((
-                Value::Error("ERR server shutting down".to_string()),
-                final_seq,
-            ));
+            match req {
+                Request::Cmd { reply, .. }
+                | Request::ReplSet { reply, .. }
+                | Request::ReplApply { reply, .. } => {
+                    let _ = reply.send((
+                        Value::Error("ERR server shutting down".to_string()),
+                        final_seq,
+                    ));
+                }
+                // A sync that raced shutdown just loses its socket.
+                Request::Sync { .. } => {}
+            }
         }
 
         // Clean exit: finish any in-flight snapshot, then make the WAL
@@ -1039,6 +1382,9 @@ impl Writer {
                         false,
                     );
                 }
+                if self.repl.is_replica() {
+                    return (Value::Error(READONLY_MSG.to_string()), false);
+                }
                 self.db.set_queued(&args[1], &args[2]);
                 return (Value::ok(), true);
             }
@@ -1060,6 +1406,9 @@ impl Writer {
                         Value::err("wrong number of arguments for 'del' command"),
                         false,
                     );
+                }
+                if self.repl.is_replica() {
+                    return (Value::Error(READONLY_MSG.to_string()), false);
                 }
                 let mut removed = 0i64;
                 for key in &args[1..] {
@@ -1099,6 +1448,10 @@ impl Writer {
             b"DEBUG" => self.debug_cmd(args),
             b"CONFIG" => self.config_cmd(args),
             b"COMMAND" => Value::Array(Vec::new()),
+            // Replicas identify themselves (listening-port) and report
+            // stream progress (ACK) with REPLCONF; both just need an OK.
+            b"REPLCONF" => Value::ok(),
+            b"REPLICAOF" | b"SLAVEOF" => self.replicaof_cmd(args),
             b"SHUTDOWN" => {
                 let nosave = args
                     .get(1)
@@ -1120,8 +1473,15 @@ impl Writer {
     /// (`pc@N`, `torn@N:B`, `fail@N[xK]`); `DEBUG FAULT OFF` disarms it;
     /// `DEBUG FAULT` reports the armed plan and the write-command count.
     fn debug_cmd(&mut self, args: &[Vec<u8>]) -> Value {
+        // `DEBUG DIGEST` answers a CRC-32 over the sorted keyspace, the
+        // primary/replica convergence check used by tests and CI.
+        if args.len() == 2 && args[1].eq_ignore_ascii_case(b"DIGEST") {
+            return Value::Bulk(format!("{:08x}", self.db.digest()).into_bytes());
+        }
         if args.len() < 2 || !args[1].eq_ignore_ascii_case(b"FAULT") {
-            return Value::err("unknown DEBUG subcommand; try DEBUG FAULT <spec>|OFF");
+            return Value::err(
+                "unknown DEBUG subcommand; try DEBUG FAULT <spec>|OFF or DEBUG DIGEST",
+            );
         }
         let device = self.db.backend().device();
         match args.len() {
@@ -1161,6 +1521,158 @@ impl Writer {
         let now = self.now();
         if let Ok(true) = self.db.maybe_wal_snapshot(now) {
             self.snap_started = Some(Instant::now());
+        }
+    }
+
+    /// Drains the engine's WAL tap into the replication backlog and the
+    /// attached replicas' feeds. Everything in the tap has been flushed
+    /// (and, under `Always`, synced) — only durable records ever ship.
+    fn pump_repl(&mut self) {
+        let bytes = self.db.take_tapped_wal();
+        if !bytes.is_empty() {
+            self.repl.publish_segment(bytes);
+        }
+    }
+
+    /// `REPLICAOF NO ONE` promotes; `REPLICAOF host port` (re-)attaches
+    /// this node to a primary and spawns a fresh link thread under a new
+    /// epoch, severing any previous link.
+    fn replicaof_cmd(&mut self, args: &[Vec<u8>]) -> Value {
+        if args.len() != 3 {
+            return Value::err("wrong number of arguments for 'replicaof' command");
+        }
+        if args[1].eq_ignore_ascii_case(b"no") && args[2].eq_ignore_ascii_case(b"one") {
+            self.repl.promote();
+            return Value::ok();
+        }
+        let host = String::from_utf8_lossy(&args[1]).to_string();
+        let Ok(port) = String::from_utf8_lossy(&args[2]).parse::<u16>() else {
+            return Value::err("Invalid master port");
+        };
+        let epoch = self.repl.set_primary(format!("{host}:{port}"));
+        repl::spawn_link(LinkCtx {
+            tx: self.req_tx.clone(),
+            repl: Arc::clone(&self.repl),
+            shared: Arc::clone(&self.shared),
+            my_port: self.port,
+            epoch,
+        });
+        Value::ok()
+    }
+
+    /// Full-sync landing on a replica: replace the entire keyspace with
+    /// the shipped snapshot *through the queued-write path*, so the
+    /// reset is logged in this node's own WAL and committed/published
+    /// like any other batch.
+    fn apply_full_reset(
+        &mut self,
+        snapshot: &[u8],
+        offset: u64,
+        replid: String,
+        epoch: u64,
+    ) -> (Value, bool) {
+        if !self.repl.link_current(epoch) {
+            return (Value::err("stale replication link"), false);
+        }
+        let entries = match slimio_imdb::rdb::read_all(snapshot) {
+            Ok(e) => e,
+            Err(e) => return (Value::err(format!("bad full-sync payload: {e}")), false),
+        };
+        for key in self.db.keys() {
+            let _ = self.db.del_queued(&key);
+        }
+        for (k, v) in &entries {
+            self.db.set_queued(k, v);
+        }
+        self.applied_updates.push((epoch, offset, Some(replid)));
+        (Value::ok(), true)
+    }
+
+    /// Applies a decoded slice of the upstream WAL stream. SET/DEL by
+    /// key are idempotent, so a partial-resync overlap re-applying a
+    /// record is harmless.
+    fn apply_repl_records(
+        &mut self,
+        records: Vec<WalRecord>,
+        offset: u64,
+        epoch: u64,
+    ) -> (Value, bool) {
+        if !self.repl.link_current(epoch) {
+            return (Value::err("stale replication link"), false);
+        }
+        let mut wrote = false;
+        for rec in records {
+            match rec {
+                WalRecord::Set { key, value, .. } => {
+                    self.db.set_queued(&key, &value);
+                    wrote = true;
+                }
+                WalRecord::Del { key, .. } => {
+                    let (_, removed) = self.db.del_queued(&key);
+                    wrote |= removed;
+                }
+            }
+        }
+        self.applied_updates.push((epoch, offset, None));
+        (Value::Int(offset as i64), wrote)
+    }
+
+    /// Serves PSYNC handoffs parked by this batch. Runs after the
+    /// commit, so flushing any straggling buffered WAL bytes (a no-op
+    /// under `Always`) and pumping the tap makes the backlog end equal
+    /// the exact state the frozen snapshot carries — the offset in the
+    /// FULLRESYNC header is correct by construction.
+    fn handle_pending_syncs(&mut self) {
+        if self.pending_syncs.is_empty() {
+            return;
+        }
+        if self.db.wal_buffered_bytes() > 0 {
+            let now = self.now();
+            let _ = self.db.flush_wal(now);
+        }
+        self.pump_repl();
+        for (args, stream, addr) in std::mem::take(&mut self.pending_syncs) {
+            let (feed_tx, feed_rx) = mpsc::channel();
+            let mut inner = self.repl.lock();
+            // Partial resync only when the replica followed *this*
+            // stream and every byte it is missing is still retained.
+            let partial = repl::parse_psync(&args)
+                .filter(|(id, _)| *id == inner.replid)
+                .and_then(|(_, off)| inner.backlog.tail_from(off).map(|tail| (off, tail)));
+            let mut preamble = Vec::new();
+            let init_acked = match partial {
+                Some((off, tail)) => {
+                    preamble.extend_from_slice(b"+CONTINUE\r\n");
+                    preamble.extend_from_slice(&tail);
+                    off
+                }
+                None => {
+                    let offset = inner.backlog.end();
+                    preamble.extend_from_slice(
+                        format!("+FULLRESYNC {} {offset}\r\n", inner.replid).as_bytes(),
+                    );
+                    let snapshot = self.db.serialize_keyspace(self.snapshot_chunk);
+                    resp::encode_bulk(&snapshot, &mut preamble);
+                    0
+                }
+            };
+            let acked = Arc::new(AtomicU64::new(init_acked));
+            let alive = Arc::new(AtomicBool::new(true));
+            inner.peers.push(ReplicaPeer {
+                addr,
+                acked: Arc::clone(&acked),
+                alive: Arc::clone(&alive),
+                feed: feed_tx,
+            });
+            drop(inner);
+            repl::spawn_feed(
+                stream,
+                preamble,
+                feed_rx,
+                acked,
+                alive,
+                Arc::clone(&self.shared),
+            );
         }
     }
 
@@ -1222,6 +1734,14 @@ impl Writer {
             self.shared.total_connections.load(Ordering::SeqCst)
         ));
         s.push_str(&format!("total_commands_processed:{ops}\r\n"));
+        s.push_str(&format!(
+            "total_net_input_bytes:{}\r\n",
+            self.shared.net_in.load(Ordering::Relaxed)
+        ));
+        s.push_str(&format!(
+            "total_net_output_bytes:{}\r\n",
+            self.shared.net_out.load(Ordering::Relaxed)
+        ));
         s.push_str(&format!("avg_ops_per_sec:{rps:.1}\r\n"));
         s.push_str(&format!("latency_p50_us:{:.1}\r\n", p50 as f64 / 1000.0));
         s.push_str(&format!("latency_p99_us:{:.1}\r\n", p99 as f64 / 1000.0));
@@ -1247,6 +1767,8 @@ impl Writer {
             "wal_records_replayed:{}\r\n",
             self.wal_records_replayed
         ));
+        s.push_str("\r\n# Replication\r\n");
+        self.repl.info_lines(&mut s);
         s.push_str("\r\n# Device\r\n");
         s.push_str(&format!("waf:{waf:.2}\r\n"));
         s.push_str(&format!("device_capacity_bytes:{capacity}\r\n"));
