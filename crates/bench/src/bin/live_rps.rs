@@ -9,18 +9,24 @@
 //! with it enabled and with every command forced through the single
 //! writer (`get90-writerpath`), and a replication read-scaling cell
 //! (`get90-replica`) where a WAL-shipping replica serves the GET side
-//! while the primary takes the SETs. Three headline acceptance ratios
+//! while the primary takes the SETs. An `overload` cell floods a
+//! deliberately slowed device behind a small admission queue — `-BUSY`
+//! refusals are expected there, and its p999 column is the latency of
+//! probe GETs issued during the flood, the read-path-stays-bounded
+//! acceptance number. Three headline acceptance ratios
 //! print at the end: pipelined Always-Log throughput over unbatched,
 //! read-path GET-heavy throughput over the single-writer routing, and
 //! replica-fanout GET-heavy throughput over the single node.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use slimio_bench::{maybe_write_perf, Cli, PerfCell};
 use slimio_des::SimTime;
 use slimio_imdb::LogPolicy;
+use slimio_metrics::Histogram;
 use slimio_server::bench::{self, BenchOpts};
-use slimio_server::{BackendKind, Server, ServerOpts, Store, StoreConfig};
+use slimio_server::resp::Value;
+use slimio_server::{BackendKind, GovernorOpts, Server, ServerOpts, Store, StoreConfig};
 
 struct Cell {
     label: String,
@@ -250,6 +256,115 @@ fn main() {
             waf,
         });
         rps_by_label.push((label, rps));
+    }
+
+    // Overload cell: a deliberately slowed device behind a small
+    // admission queue, flooded with pipelined SETs while a probe
+    // connection measures GET latency. Unlike every other cell this one
+    // EXPECTS error replies — overflow writes are refused with `-BUSY`;
+    // what must hold is the bound: the queue high-water stays at its cap
+    // and probe GETs stay fast while the write path is saturated. The
+    // cell's p999 column is the probe GET latency, not the flood's.
+    {
+        let queue_cap = 16usize;
+        let store = Store::new(StoreConfig {
+            kind: BackendKind::Kernel,
+            fdp: false,
+            ratio: 1.0 / 64.0,
+        });
+        let handle = Server::start(
+            store,
+            ServerOpts {
+                policy: LogPolicy::Always,
+                govern: GovernorOpts {
+                    queue_cap,
+                    admit_park: Duration::from_millis(1),
+                    ..GovernorOpts::default()
+                },
+                ..ServerOpts::default()
+            },
+        )
+        .expect("overload server start");
+        let port = handle.port();
+        let one = |parts: &[&[u8]]| {
+            let args: Vec<Vec<u8>> = parts.iter().map(|p| p.to_vec()).collect();
+            bench::oneshot_timeout("127.0.0.1", port, &args, Some(Duration::from_secs(10)))
+                .expect("oneshot under overload")
+        };
+        assert_eq!(one(&[b"SET", b"probe", b"v"]), Value::ok());
+        assert_eq!(one(&[b"DEBUG", b"FAULT", b"slow@1:5000"]), Value::ok());
+
+        let flood_opts = BenchOpts {
+            port,
+            clients: 4,
+            requests: (requests / 4).max(2_000),
+            value_len: 128,
+            keyspace: 10_000,
+            seed: cli.seed,
+            pipeline: 16,
+            ..BenchOpts::default()
+        };
+        let started = Instant::now();
+        let flood = std::thread::spawn(move || bench::run(&flood_opts));
+        let mut probe = Histogram::new();
+        while !flood.is_finished() {
+            let t0 = Instant::now();
+            let v = one(&[b"GET", b"probe"]);
+            assert_eq!(v, Value::bulk(b"v"), "probe GET failed under flood");
+            probe.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = flood.join().expect("flood thread").expect("flood bench");
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(one(&[b"DEBUG", b"FAULT", b"OFF"]), Value::ok());
+        let Value::Bulk(text) = one(&[b"INFO"]) else {
+            panic!("INFO did not answer after overload");
+        };
+        let text = String::from_utf8_lossy(&text).into_owned();
+        let field = |name: &str| -> u64 {
+            text.lines()
+                .find_map(|l| l.strip_prefix(&format!("{name}:")))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("INFO missing {name}"))
+        };
+        let hwm = field("writer_queue_hwm");
+        assert!(
+            hwm as usize <= queue_cap,
+            "queue high-water {hwm} escaped its cap {queue_cap}"
+        );
+        // Bounded, not instant: the probe shares the host with a flood.
+        assert!(
+            probe.p999() < 2_000_000_000,
+            "probe GET p999 {} ns is unbounded under flood",
+            probe.p999()
+        );
+        let store = handle.shutdown();
+        let waf = store.device().lock().unwrap().waf();
+        let label = "kernel/always/P16/overload".to_string();
+        println!(
+            "{:<28} {:>12.0} {:>12.1} {:>10.2}",
+            label,
+            report.rps(),
+            probe.p999() as f64 / 1000.0,
+            waf
+        );
+        println!(
+            "overload governance: queue hwm {hwm}/{queue_cap}, busy_refused {}, \
+             {} of {} flood replies were -BUSY, probe GET p99 {:.1} us",
+            field("busy_refused"),
+            report.errors,
+            report.ops,
+            probe.p99() as f64 / 1000.0,
+        );
+        perf.push(PerfCell {
+            label: label.clone(),
+            wall_secs: wall,
+            events: report.ops,
+            avg_rps: report.rps(),
+            p999_ms: probe.p999() as f64 / 1e6,
+            waf,
+        });
+        rps_by_label.push((label, report.rps()));
     }
 
     // Headline: group commit must make pipelined Always-Log at least as

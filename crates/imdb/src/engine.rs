@@ -147,6 +147,10 @@ pub struct Db<B: PersistBackend> {
     /// view: `(key, Some(value))` for a set, `(key, None)` for a delete.
     /// Drained by [`Db::publish_view`] after each group commit.
     view_pending: Vec<PendingViewOp>,
+    /// Bytes staged in `view_pending` (keys + values), counted into
+    /// [`Db::mem_governed`] so a stalled publish cannot hide growth from
+    /// the `--maxmemory` accounting.
+    view_pending_bytes: u64,
 }
 
 /// One not-yet-mirrored view mutation: `(key, Some(value))` for a set,
@@ -171,6 +175,7 @@ impl<B: PersistBackend> Db<B> {
             view: None,
             wal_tap: None,
             view_pending: Vec::new(),
+            view_pending_bytes: 0,
         }
     }
 
@@ -202,6 +207,15 @@ impl<B: PersistBackend> Db<B> {
     /// Peak of [`Db::mem_used`] over the run.
     pub fn mem_peak(&self) -> u64 {
         self.peak_mem
+    }
+
+    /// Memory the resource governor holds the engine accountable for:
+    /// live keyspace bytes, CoW-retained snapshot bytes, records sitting
+    /// in the user-level WAL buffer, and mutations staged for (but not
+    /// yet published to) the concurrent read view. This is the figure
+    /// `--maxmemory` compares against — every pool a write can grow.
+    pub fn mem_governed(&self) -> u64 {
+        self.base_mem + self.retained_mem + self.wal_buf.len() as u64 + self.view_pending_bytes
     }
 
     /// Backend access (diagnostics, crash injection in tests).
@@ -263,6 +277,7 @@ impl<B: PersistBackend> Db<B> {
         writer.publish(self.seq);
         self.view = Some(writer);
         self.view_pending.clear();
+        self.view_pending_bytes = 0;
         view
     }
 
@@ -284,6 +299,7 @@ impl<B: PersistBackend> Db<B> {
         } else {
             self.view_pending.clear();
         }
+        self.view_pending_bytes = 0;
         self.seq
     }
 
@@ -301,6 +317,7 @@ impl<B: PersistBackend> Db<B> {
         let v: Arc<[u8]> = value.into();
         if self.view.is_some() {
             self.view_pending.push((k.clone(), Some(v.clone())));
+            self.view_pending_bytes += (key.len() + value.len()) as u64;
         }
         let mut cow_retained = 0u64;
         match self.map.insert(k, v) {
@@ -356,6 +373,7 @@ impl<B: PersistBackend> Db<B> {
                 self.wal_buf.push_del(self.seq, key);
                 if self.view.is_some() {
                     self.view_pending.push((key.into(), None));
+                    self.view_pending_bytes += key.len() as u64;
                 }
                 if self.snapshot.is_some() {
                     cow_retained = old.len() as u64;
@@ -932,6 +950,31 @@ mod tests {
         assert_eq!(db.digest(), db2.digest());
         db2.set(b"key0", b"different", SimTime::ZERO).unwrap();
         assert_ne!(db.digest(), db2.digest());
+    }
+
+    #[test]
+    fn governed_memory_counts_wal_buffer_and_staged_view_ops() {
+        let mut db = file_db(LogPolicy::Always);
+        let _view = db.install_view();
+        let base = db.mem_governed();
+        db.set_queued(b"key", &vec![9u8; 1000]);
+        // Queued but uncommitted: the governed figure must already see the
+        // keyspace bytes, the WAL-buffered record, and the staged view op.
+        let staged = db.mem_governed();
+        assert!(
+            staged >= base + 2 * 1000,
+            "governed memory must count WAL buffer + staged view bytes: {base} -> {staged}"
+        );
+        assert!(
+            staged > db.mem_used(),
+            "governed view exceeds keyspace-only"
+        );
+        db.batch_commit(SimTime::ZERO).unwrap();
+        db.publish_view();
+        // Commit + publish drains both transient pools.
+        let settled = db.mem_governed();
+        assert!(settled < staged);
+        assert_eq!(settled, db.mem_used());
     }
 
     #[test]

@@ -270,6 +270,13 @@ impl NvmeDevice {
                     self.fault = None;
                     return self.torn_write(lba, blocks, pid, data, keep_bytes);
                 }
+                FaultAction::Slow { per_write_us } => {
+                    // Wall-clock stall, not DES cost: only the live server
+                    // (overload tests) ever arms slow plans, and stalling
+                    // here — with the device lock held — models a device
+                    // whose queue the writer thread is stuck behind.
+                    std::thread::sleep(std::time::Duration::from_micros(per_write_us));
+                }
             }
         }
         let mut done = now;

@@ -17,6 +17,12 @@
 //!   N+K-1 fail with [`DeviceError::Injected`](crate::DeviceError::Injected)
 //!   and persist nothing; the device stays up. Models a correctable
 //!   controller hiccup the host is expected to retry through.
+//! * **slow device** (`slow@N:US`) — from the Nth write on, every write
+//!   command stalls the caller for `US` wall-clock microseconds before
+//!   executing normally. Nothing is lost and the device stays up: this is
+//!   the overload hook live-mode backpressure tests use to model a device
+//!   whose program latency has collapsed (thermal throttle, GC storm)
+//!   without touching the DES cost model. Never self-disarms.
 //!
 //! Determinism comes from the schedule itself: a crash matrix enumerates
 //! `N` over the write positions of a deterministic workload, so every
@@ -41,11 +47,19 @@ pub enum FaultKind {
         /// Number of consecutive write commands that fail.
         count: u64,
     },
+    /// Every write from the trigger point on stalls the calling thread
+    /// for `per_write_us` wall-clock microseconds, then proceeds
+    /// normally. Models a slowed device for live-mode overload tests.
+    Slow {
+        /// Wall-clock stall per write command, in microseconds.
+        per_write_us: u64,
+    },
 }
 
 /// A deterministic fault schedule: fire `kind` at the `at_write`-th write
 /// command (1-based). Round-trips through its spec string (`pc@N`,
-/// `torn@N:B`, `fail@N`, `fail@NxK`) via [`FromStr`] and [`fmt::Display`].
+/// `torn@N:B`, `fail@N`, `fail@NxK`, `slow@N:US`) via [`FromStr`] and
+/// [`fmt::Display`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
     /// 1-based index of the write command the fault first applies to.
@@ -62,7 +76,7 @@ impl fmt::Display for FaultSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} (expected pc@N, torn@N:B, or fail@N[xK], N >= 1)",
+            "{} (expected pc@N, torn@N:B, fail@N[xK], or slow@N:US, N >= 1)",
             self.0
         )
     }
@@ -112,6 +126,15 @@ impl FromStr for FaultPlan {
                     kind: FaultKind::Transient { count },
                 }
             }
+            "slow" => {
+                let (at, us) = rest.split_once(':').ok_or_else(bad)?;
+                FaultPlan {
+                    at_write: parse_at(at)?,
+                    kind: FaultKind::Slow {
+                        per_write_us: us.parse().map_err(|_| bad())?,
+                    },
+                }
+            }
             _ => return Err(bad()),
         };
         Ok(plan)
@@ -125,6 +148,7 @@ impl fmt::Display for FaultPlan {
             FaultKind::Torn { keep_bytes } => write!(f, "torn@{}:{keep_bytes}", self.at_write),
             FaultKind::Transient { count: 1 } => write!(f, "fail@{}", self.at_write),
             FaultKind::Transient { count } => write!(f, "fail@{}x{count}", self.at_write),
+            FaultKind::Slow { per_write_us } => write!(f, "slow@{}:{per_write_us}", self.at_write),
         }
     }
 }
@@ -143,6 +167,12 @@ pub enum FaultAction {
     },
     /// Fail the command transiently; nothing persists, device stays up.
     Fail,
+    /// Stall the caller for the given wall-clock microseconds, then
+    /// execute the write normally.
+    Slow {
+        /// Stall duration in microseconds.
+        per_write_us: u64,
+    },
 }
 
 /// An armed plan plus its progress counter.
@@ -178,6 +208,9 @@ impl FaultState {
             FaultKind::Transient { count } if self.seen >= at && self.seen - at < count => {
                 FaultAction::Fail
             }
+            FaultKind::Slow { per_write_us } if self.seen >= at => {
+                FaultAction::Slow { per_write_us }
+            }
             _ => FaultAction::Proceed,
         }
     }
@@ -189,7 +222,15 @@ mod tests {
 
     #[test]
     fn spec_round_trips() {
-        for spec in ["pc@1", "pc@120", "torn@7:1000", "fail@3", "fail@5x8"] {
+        for spec in [
+            "pc@1",
+            "pc@120",
+            "torn@7:1000",
+            "fail@3",
+            "fail@5x8",
+            "slow@1:500",
+            "slow@64:10000",
+        ] {
             let plan: FaultPlan = spec.parse().unwrap();
             assert_eq!(plan.to_string(), spec);
         }
@@ -198,8 +239,22 @@ mod tests {
     #[test]
     fn bad_specs_rejected() {
         for spec in [
-            "", "pc", "pc@", "pc@0", "pc@x", "torn@5", "torn@0:9", "torn@5:", "fail@0", "fail@2x0",
-            "fail@2x", "nuke@3", "pc@-1",
+            "",
+            "pc",
+            "pc@",
+            "pc@0",
+            "pc@x",
+            "torn@5",
+            "torn@0:9",
+            "torn@5:",
+            "fail@0",
+            "fail@2x0",
+            "fail@2x",
+            "nuke@3",
+            "pc@-1",
+            "slow@3",
+            "slow@0:10",
+            "slow@3:",
         ] {
             assert!(spec.parse::<FaultPlan>().is_err(), "{spec:?} parsed");
         }
@@ -228,5 +283,14 @@ mod tests {
     fn torn_reports_prefix() {
         let mut st = FaultState::new("torn@1:4097".parse().unwrap());
         assert_eq!(st.on_write(), FaultAction::Torn { keep_bytes: 4097 });
+    }
+
+    #[test]
+    fn slow_applies_from_trigger_onward_and_never_disarms() {
+        let mut st = FaultState::new("slow@2:750".parse().unwrap());
+        assert_eq!(st.on_write(), FaultAction::Proceed);
+        for _ in 0..8 {
+            assert_eq!(st.on_write(), FaultAction::Slow { per_write_us: 750 });
+        }
     }
 }

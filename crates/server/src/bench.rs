@@ -212,15 +212,25 @@ pub fn oneshot(host: &str, port: u16, args: &[Vec<u8>]) -> std::io::Result<Value
     oneshot_timeout(host, port, args, None)
 }
 
-/// [`oneshot`] with a deadline on connect, write, and each read, so
-/// scripted callers (CI smoke, tests) never hang on a dead or wedged
-/// server. `None` keeps the blocking behavior.
+/// [`oneshot`] with one whole-operation deadline covering connect,
+/// write, and every read, so scripted callers (CI smoke, health checks,
+/// tests) never hang on a dead or wedged server. A deadline — not a
+/// per-syscall timeout — because a server trickling one byte per
+/// interval would hold a per-read timeout open forever. `None` keeps
+/// the blocking behavior.
 pub fn oneshot_timeout(
     host: &str,
     port: u16,
     args: &[Vec<u8>],
     timeout: Option<std::time::Duration>,
 ) -> std::io::Result<Value> {
+    let deadline = timeout.map(|t| Instant::now() + t);
+    let timed_out = || {
+        std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "deadline exceeded waiting for the server",
+        )
+    };
     let mut stream = match timeout {
         Some(t) => {
             use std::net::ToSocketAddrs;
@@ -231,7 +241,6 @@ pub fn oneshot_timeout(
                 )
             })?;
             let s = TcpStream::connect_timeout(&addr, t)?;
-            s.set_read_timeout(Some(t))?;
             s.set_write_timeout(Some(t))?;
             s
         }
@@ -243,7 +252,39 @@ pub fn oneshot_timeout(
     stream.write_all(&cmd)?;
     let mut parser = Parser::new();
     let mut rbuf = vec![0u8; 16 << 10];
-    read_value(&mut stream, &mut parser, &mut rbuf)
+    loop {
+        if let Some(v) = parser
+            .next_value()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?
+        {
+            return Ok(v);
+        }
+        // Each read is bounded by whatever remains of the deadline, so
+        // total wall time is bounded no matter how the bytes dribble in.
+        if let Some(d) = deadline {
+            let left = d.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(timed_out());
+            }
+            stream.set_read_timeout(Some(left))?;
+        }
+        match stream.read(&mut rbuf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-reply",
+                ))
+            }
+            Ok(n) => parser.feed(&rbuf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(timed_out())
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Reads bytes until the parser yields one complete RESP value.

@@ -10,8 +10,10 @@
 //!
 //! One-shot mode passes any command through verbatim — including
 //! `REPLICAOF host port`, `REPLICAOF NO ONE`, and `WAIT n timeout` for
-//! scripting replication. `--timeout-ms` bounds connect, write, and
-//! every read so scripted tests never hang on a dead server (exit 1).
+//! scripting replication. `--timeout-ms` is one whole-operation deadline
+//! covering connect, write, and every read, so scripted health checks
+//! can't hang on a SYN-dropped, wedged, or byte-trickling server: past
+//! the deadline the command fails with a clear message and exit 1.
 
 use slimio_server::bench::{self, BenchOpts};
 use slimio_server::resp::Value;
@@ -77,7 +79,12 @@ fn main() {
             }
         }
         Err(e) => {
-            eprintln!("slimio-cli: {e}");
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                let ms = timeout.map(|t| t.as_millis()).unwrap_or(0);
+                eprintln!("slimio-cli: timed out after {ms}ms waiting for {host}:{port} ({e})");
+            } else {
+                eprintln!("slimio-cli: {e}");
+            }
             std::process::exit(1);
         }
     }

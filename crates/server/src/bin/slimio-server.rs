@@ -5,8 +5,17 @@
 //!               [--fdp] [--ratio F] [--appendfsync always|everysec]
 //!               [--wal-snapshot-mb N] [--snapshot-chunk-kb N]
 //!               [--fault-plan SPEC] [--replica-of HOST:PORT]
-//!               [--repl-backlog-mb N]
+//!               [--repl-backlog-mb N] [--maxmemory BYTES]
+//!               [--writer-queue N] [--repl-feed-limit-mb N]
 //! ```
+//!
+//! Resource governance: `--maxmemory` bounds the engine's governed bytes
+//! (keyspace + staged view ops + WAL buffer) — past it, writes get
+//! `-OOM` while reads keep flowing; `--writer-queue` caps commands
+//! queued to the writer thread — past it, connection threads park
+//! briefly and overflow gets `-BUSY`; `--repl-feed-limit-mb` is the most
+//! a replica may lag before the primary evicts it (it re-attaches via
+//! partial resync). All three surface in `INFO`'s `# Resources` section.
 //!
 //! `--replica-of` starts the server as a replica: it full-syncs from the
 //! given primary, applies its WAL stream through its own engine (and its
@@ -21,7 +30,7 @@
 
 use slimio_imdb::LogPolicy;
 use slimio_nvme::FaultPlan;
-use slimio_server::{BackendKind, Server, ServerOpts, Store, StoreConfig};
+use slimio_server::{BackendKind, GovernorOpts, Server, ServerOpts, Store, StoreConfig};
 
 struct Args {
     addr: String,
@@ -34,6 +43,7 @@ struct Args {
     read_path: bool,
     replica_of: Option<String>,
     repl_backlog_mb: usize,
+    govern: GovernorOpts,
 }
 
 fn usage() -> ! {
@@ -41,8 +51,9 @@ fn usage() -> ! {
         "usage: slimio-server [--addr host] [--port n] [--backend kernel|passthru] [--fdp]\n\
          \x20                    [--ratio f] [--appendfsync always|everysec]\n\
          \x20                    [--wal-snapshot-mb n] [--snapshot-chunk-kb n]\n\
-         \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]] [--no-read-path]\n\
-         \x20                    [--replica-of host:port] [--repl-backlog-mb n]"
+         \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]|slow@N:US] [--no-read-path]\n\
+         \x20                    [--replica-of host:port] [--repl-backlog-mb n]\n\
+         \x20                    [--maxmemory bytes] [--writer-queue n] [--repl-feed-limit-mb n]"
     );
     std::process::exit(2);
 }
@@ -59,6 +70,7 @@ fn parse_args() -> Args {
         read_path: true,
         replica_of: None,
         repl_backlog_mb: 1,
+        govern: GovernorOpts::default(),
     };
     let mut fdp_flag = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -114,6 +126,21 @@ fn parse_args() -> Args {
             "--repl-backlog-mb" => {
                 args.repl_backlog_mb = next(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--maxmemory" => {
+                args.govern.maxmemory = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--writer-queue" => {
+                let cap: usize = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if cap == 0 {
+                    eprintln!("slimio-server: --writer-queue must be >= 1");
+                    usage()
+                }
+                args.govern.queue_cap = cap
+            }
+            "--repl-feed-limit-mb" => {
+                args.govern.repl_feed_limit =
+                    next(&mut i).parse::<u64>().unwrap_or_else(|_| usage()) << 20
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -139,6 +166,7 @@ fn main() {
         read_path: args.read_path,
         replica_of: args.replica_of.clone(),
         repl_backlog_bytes: args.repl_backlog_mb << 20,
+        govern: args.govern,
     };
     let handle = match Server::start(store, opts) {
         Ok(h) => h,

@@ -1,0 +1,322 @@
+//! Resource governance for the live path: the bounded writer admission
+//! queue and the counters behind `INFO`'s `# Resources` section.
+//!
+//! The paper's write-isolation argument only holds if persistence
+//! pressure cannot grow unbounded state inside the server: every queue on
+//! the live path must have a cap and a policy for what happens at the
+//! cap. The [`Governor`] owns the first of those queues — admission into
+//! the single writer thread — and the shared accounting for the rest
+//! (refused writes, evicted slow consumers, memory high-water marks).
+//!
+//! Admission works like a counting semaphore with a deadline: a
+//! connection thread reserves a slot before sending a client command to
+//! the writer; when the queue is full it parks on a condvar until a slot
+//! frees, the deadline lapses (reply `-BUSY`, nothing enqueued), or the
+//! server stops. The writer releases slots as it drains requests into a
+//! batch, so total queued work is bounded by `queue_cap` plus one
+//! in-flight batch — a constant, not a function of client count or
+//! device speed. Replication applies (`ReplSet`/`ReplApply`) bypass
+//! admission: the link thread ships one request at a time and waits for
+//! its ack, so it is self-limiting, and starving it under client flood
+//! would stall the replica exactly when it most needs to keep up.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Recovers a mutex guard even when a panicking thread poisoned the lock.
+/// Every governed structure keeps its invariants across panics (counters
+/// and vecs are valid after any partial update), so inheriting the
+/// poisoned state is always safe — and a crashed connection thread must
+/// never take `INFO` or the accept path down with it.
+pub(crate) fn lock_ok<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Tuning knobs for the governor, mirrored from `ServerOpts`.
+#[derive(Clone, Copy, Debug)]
+pub struct GovernorOpts {
+    /// Most client commands queued to the writer at once. Further sends
+    /// park up to [`GovernorOpts::admit_park`] and are then refused.
+    pub queue_cap: usize,
+    /// How long a connection thread parks for a queue slot before the
+    /// command is refused with `-BUSY`.
+    pub admit_park: Duration,
+    /// Engine memory bound in bytes; 0 disables the check. Writes that
+    /// would grow the engine past this refuse with `-OOM`; reads and
+    /// deletes keep flowing.
+    pub maxmemory: u64,
+    /// Reply bytes a connection may accumulate before it is flushed
+    /// mid-burst (turning memory growth into socket backpressure).
+    pub reply_buf_soft_limit: usize,
+    /// How long a client socket may refuse reply bytes before the
+    /// connection is evicted.
+    pub client_write_stall: Duration,
+    /// Most bytes a replica may lag (unacked stream + queued feed
+    /// segments) before the primary evicts it; 0 disables eviction.
+    pub repl_feed_limit: u64,
+    /// Most writer replies one connection may have outstanding before it
+    /// must drain them; bounds per-connection parked-reply memory for
+    /// arbitrarily deep client pipelines.
+    pub conn_inflight_cap: usize,
+}
+
+impl Default for GovernorOpts {
+    fn default() -> Self {
+        GovernorOpts {
+            queue_cap: 4096,
+            admit_park: Duration::from_millis(50),
+            maxmemory: 0,
+            reply_buf_soft_limit: 256 << 10,
+            client_write_stall: Duration::from_secs(5),
+            repl_feed_limit: 64 << 20,
+            conn_inflight_cap: 512,
+        }
+    }
+}
+
+/// Shared resource accounting: admission gate plus the overload counters
+/// `INFO # Resources` reports.
+pub(crate) struct Governor {
+    opts: GovernorOpts,
+    /// Client commands currently reserved into the writer queue.
+    depth: Mutex<usize>,
+    /// Signaled whenever the writer releases queue slots.
+    freed: Condvar,
+    /// High-water mark of the admission queue depth.
+    queue_hwm: AtomicU64,
+    /// Connection threads currently parked (admission or WAIT).
+    blocked_clients: AtomicU64,
+    /// Commands refused with `-BUSY` (admission deadline lapsed).
+    busy_refused: AtomicU64,
+    /// Writes refused with `-OOM` (`maxmemory` reached).
+    oom_refused: AtomicU64,
+    /// Clients disconnected for not draining their replies.
+    evicted_clients: AtomicU64,
+    /// Replicas disconnected for lagging past the feed limit.
+    evicted_replicas: AtomicU64,
+    /// Engine governed bytes, mirrored by the writer after each batch so
+    /// `INFO` formatting needs no engine access ordering.
+    engine_bytes: AtomicU64,
+    /// High-water mark of `engine_bytes`.
+    engine_hwm: AtomicU64,
+}
+
+impl Governor {
+    pub(crate) fn new(opts: GovernorOpts) -> Self {
+        Governor {
+            opts,
+            depth: Mutex::new(0),
+            freed: Condvar::new(),
+            queue_hwm: AtomicU64::new(0),
+            blocked_clients: AtomicU64::new(0),
+            busy_refused: AtomicU64::new(0),
+            oom_refused: AtomicU64::new(0),
+            evicted_clients: AtomicU64::new(0),
+            evicted_replicas: AtomicU64::new(0),
+            engine_bytes: AtomicU64::new(0),
+            engine_hwm: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn opts(&self) -> &GovernorOpts {
+        &self.opts
+    }
+
+    /// Reserves one writer-queue slot, parking up to the admission
+    /// deadline when the queue is full. Returns false — and counts a
+    /// `-BUSY` refusal — when no slot freed in time or the server began
+    /// stopping; the caller must answer the command locally without
+    /// enqueueing it.
+    pub(crate) fn admit(&self, stopping: &AtomicBool) -> bool {
+        let mut depth = lock_ok(&self.depth);
+        if *depth >= self.opts.queue_cap {
+            let deadline = Instant::now() + self.opts.admit_park;
+            self.blocked_clients.fetch_add(1, Ordering::SeqCst);
+            while *depth >= self.opts.queue_cap {
+                let now = Instant::now();
+                if now >= deadline || stopping.load(Ordering::SeqCst) {
+                    self.blocked_clients.fetch_sub(1, Ordering::SeqCst);
+                    self.busy_refused.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                let (guard, _) = self
+                    .freed
+                    .wait_timeout(depth, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                depth = guard;
+            }
+            self.blocked_clients.fetch_sub(1, Ordering::SeqCst);
+        }
+        *depth += 1;
+        self.queue_hwm.fetch_max(*depth as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// Returns `n` queue slots (the writer, as it drains requests into a
+    /// batch) and wakes parked connection threads.
+    pub(crate) fn release(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut depth = lock_ok(&self.depth);
+        *depth = depth.saturating_sub(n);
+        drop(depth);
+        self.freed.notify_all();
+    }
+
+    /// Current admission queue depth.
+    pub(crate) fn queue_depth(&self) -> usize {
+        *lock_ok(&self.depth)
+    }
+
+    /// True when a write of `incoming` more engine bytes must be refused
+    /// with `-OOM`. Counts the refusal when it answers true.
+    pub(crate) fn refuse_oom(&self, governed_now: u64, incoming: u64) -> bool {
+        if self.opts.maxmemory == 0 || governed_now.saturating_add(incoming) <= self.opts.maxmemory
+        {
+            return false;
+        }
+        self.oom_refused.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Mirrors the engine's governed byte count (writer, once per batch).
+    pub(crate) fn record_engine_bytes(&self, bytes: u64) {
+        self.engine_bytes.store(bytes, Ordering::Relaxed);
+        self.engine_hwm.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks one connection thread as parked in a blocking command
+    /// (`WAIT`); pair with [`Governor::unblock`].
+    pub(crate) fn block(&self) {
+        self.blocked_clients.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn unblock(&self) {
+        self.blocked_clients.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Counts a slow client disconnected with reply bytes owed.
+    pub(crate) fn count_client_eviction(&self) {
+        self.evicted_clients.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a replica disconnected for lagging past the feed limit.
+    pub(crate) fn count_replica_eviction(&self) {
+        self.evicted_replicas.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends the `INFO` `# Resources` section.
+    pub(crate) fn info_lines(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "maxmemory:{}\r\n\
+             engine_bytes:{}\r\n\
+             engine_peak_bytes:{}\r\n\
+             writer_queue_depth:{}\r\n\
+             writer_queue_cap:{}\r\n\
+             writer_queue_hwm:{}\r\n\
+             blocked_clients:{}\r\n\
+             busy_refused:{}\r\n\
+             oom_refused:{}\r\n\
+             evicted_clients:{}\r\n\
+             evicted_replicas:{}\r\n\
+             reply_buf_soft_limit_bytes:{}\r\n\
+             repl_feed_limit_bytes:{}\r\n",
+            self.opts.maxmemory,
+            self.engine_bytes.load(Ordering::Relaxed),
+            self.engine_hwm.load(Ordering::Relaxed),
+            self.queue_depth(),
+            self.opts.queue_cap,
+            self.queue_hwm.load(Ordering::Relaxed),
+            self.blocked_clients.load(Ordering::SeqCst),
+            self.busy_refused.load(Ordering::Relaxed),
+            self.oom_refused.load(Ordering::Relaxed),
+            self.evicted_clients.load(Ordering::Relaxed),
+            self.evicted_replicas.load(Ordering::Relaxed),
+            self.opts.reply_buf_soft_limit,
+            self.opts.repl_feed_limit,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn gov(cap: usize, park_ms: u64) -> Governor {
+        Governor::new(GovernorOpts {
+            queue_cap: cap,
+            admit_park: Duration::from_millis(park_ms),
+            ..GovernorOpts::default()
+        })
+    }
+
+    #[test]
+    fn admission_bounds_depth_and_counts_refusals() {
+        let g = gov(2, 10);
+        let stop = AtomicBool::new(false);
+        assert!(g.admit(&stop));
+        assert!(g.admit(&stop));
+        let t0 = Instant::now();
+        assert!(!g.admit(&stop), "full queue must refuse after the park");
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(g.queue_depth(), 2);
+        assert_eq!(g.busy_refused.load(Ordering::Relaxed), 1);
+        assert_eq!(g.queue_hwm.load(Ordering::Relaxed), 2);
+        g.release(1);
+        assert!(g.admit(&stop), "released slot must re-admit");
+    }
+
+    #[test]
+    fn parked_admission_wakes_on_release() {
+        let g = Arc::new(gov(1, 5_000));
+        let stop = Arc::new(AtomicBool::new(false));
+        assert!(g.admit(&stop));
+        let (g2, stop2) = (Arc::clone(&g), Arc::clone(&stop));
+        let waiter = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            (g2.admit(&stop2), t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        g.release(1);
+        let (admitted, waited) = waiter.join().unwrap();
+        assert!(admitted, "waiter must get the freed slot");
+        assert!(
+            waited < Duration::from_secs(4),
+            "must not ride out the park"
+        );
+    }
+
+    #[test]
+    fn stop_aborts_a_parked_admission() {
+        let g = Arc::new(gov(1, 60_000));
+        let stop = Arc::new(AtomicBool::new(false));
+        assert!(g.admit(&stop));
+        let (g2, stop2) = (Arc::clone(&g), Arc::clone(&stop));
+        let waiter = std::thread::spawn(move || g2.admit(&stop2));
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::SeqCst);
+        g.release(0); // no slots — the waiter must notice `stop` on its own
+        assert!(!waiter.join().unwrap(), "stop must refuse, not hang");
+    }
+
+    #[test]
+    fn oom_gate_respects_zero_and_counts() {
+        let g = Governor::new(GovernorOpts {
+            maxmemory: 0,
+            ..GovernorOpts::default()
+        });
+        assert!(!g.refuse_oom(u64::MAX - 1, 1), "0 disables the bound");
+        let g = Governor::new(GovernorOpts {
+            maxmemory: 100,
+            ..GovernorOpts::default()
+        });
+        assert!(!g.refuse_oom(60, 40), "exactly at the bound is allowed");
+        assert!(g.refuse_oom(60, 41));
+        assert_eq!(g.oom_refused.load(Ordering::Relaxed), 1);
+    }
+}

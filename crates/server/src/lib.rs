@@ -10,18 +10,21 @@
 //! - [`resp`] — RESP2 framing: encoder plus an incremental parser.
 //! - [`store`] — backend selection and the restartable device state.
 //! - [`server`] — the accept/connection/writer thread architecture.
+//! - `govern` — backpressure: bounded admission, memory and lag limits.
 //! - `repl` — WAL-shipping primary/replica replication.
 //! - [`bench`] — a redis-benchmark-style closed-loop load generator.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+mod govern;
 mod repl;
 pub mod resp;
 pub mod server;
 pub mod store;
 
 pub use bench::{oneshot, oneshot_timeout, BenchOpts, BenchReport};
+pub use govern::GovernorOpts;
 pub use resp::{Parser, Value};
 pub use server::{Server, ServerHandle, ServerOpts};
 pub use store::{AnyBackend, BackendKind, Store, StoreConfig};

@@ -37,6 +37,7 @@ use std::time::Duration;
 
 use slimio_imdb::wal::{self, WalDecodeError};
 
+use crate::govern::{lock_ok, Governor};
 use crate::resp::{self, Parser, Value};
 use crate::server::{Request, Shared};
 
@@ -62,7 +63,14 @@ pub(crate) struct ReplicaPeer {
     pub(crate) addr: String,
     /// Highest stream offset the replica has acknowledged.
     pub(crate) acked: Arc<AtomicU64>,
-    /// Cleared by the feed thread when the connection dies.
+    /// Stream offset the replica attached at. `acked` stays 0 until the
+    /// replica has *applied and acknowledged* data — the meaning `WAIT`
+    /// depends on — so feed-lag eviction measures from
+    /// `max(acked, base)`: a freshly full-synced replica is judged on
+    /// bytes shipped since its snapshot, not on the whole stream.
+    pub(crate) base: u64,
+    /// Cleared by the feed thread when the connection dies, or by the
+    /// writer to evict a replica that lagged past the feed limit.
     pub(crate) alive: Arc<AtomicBool>,
     /// Live stream segments, writer thread → feed thread.
     pub(crate) feed: mpsc::Sender<Arc<[u8]>>,
@@ -169,7 +177,10 @@ impl ReplState {
     }
 
     pub(crate) fn lock(&self) -> MutexGuard<'_, ReplInner> {
-        self.inner.lock().unwrap()
+        // Poisoning-tolerant: replication state must stay reachable even
+        // if some thread panicked while holding it; every update keeps
+        // the interior structurally valid.
+        lock_ok(&self.inner)
     }
 
     /// True when writes must be refused with `-READONLY`.
@@ -206,14 +217,33 @@ impl ReplState {
     }
 
     /// Appends one tapped WAL segment to the backlog and fans it out to
-    /// every live feed. Called by the writer thread after each flush.
-    pub(crate) fn publish_segment(&self, bytes: Vec<u8>) {
+    /// every live feed, evicting replicas that have lagged past the
+    /// governor's feed limit. Called by the writer thread after each
+    /// flush — so eviction is part of publishing, and a stalled replica
+    /// can never make the writer queue segments for it without bound.
+    pub(crate) fn publish_segment(&self, bytes: Vec<u8>, gov: &Governor) {
         let seg: Arc<[u8]> = bytes.into();
+        let limit = gov.opts().repl_feed_limit;
         let mut inner = self.lock();
         inner.backlog.push(&seg);
-        inner
-            .peers
-            .retain(|p| p.alive.load(Ordering::SeqCst) && p.feed.send(Arc::clone(&seg)).is_ok());
+        let end = inner.backlog.end();
+        inner.peers.retain(|p| {
+            if !p.alive.load(Ordering::SeqCst) {
+                return false;
+            }
+            let lag = end.saturating_sub(p.acked.load(Ordering::SeqCst).max(p.base));
+            if limit > 0 && lag > limit {
+                // Too far behind: cut it loose. Dropping the feed sender
+                // disconnects the feed thread's channel, and the cleared
+                // flag aborts any socket write it is stalled in; the
+                // replica's link will reconnect and partial-resync from
+                // the backlog if its missing bytes are still retained.
+                p.alive.store(false, Ordering::SeqCst);
+                gov.count_replica_eviction();
+                return false;
+            }
+            p.feed.send(Arc::clone(&seg)).is_ok()
+        });
     }
 
     /// Records locally committed upstream progress (writer thread, after
@@ -346,9 +376,37 @@ pub(crate) fn spawn_feed(
     let _ = std::thread::Builder::new()
         .name("slimio-repl-feed".to_string())
         .spawn(move || {
-            run_feed(stream, preamble, rx, &acked, &shared);
+            run_feed(stream, preamble, rx, &acked, &alive, &shared);
             alive.store(false, Ordering::SeqCst);
         });
+}
+
+/// Writes one stream segment, resumably: the socket carries a short
+/// write timeout, and every stall re-checks the peer's `alive` flag —
+/// so a feed thread wedged against a stalled replica notices its
+/// eviction (or server stop) within one timeout instead of blocking in
+/// `write_all` forever. Returns false when the feed must end.
+fn write_seg(stream: &mut TcpStream, seg: &[u8], alive: &AtomicBool, shared: &Shared) -> bool {
+    let mut off = 0usize;
+    while off < seg.len() {
+        match stream.write(&seg[off..]) {
+            Ok(0) => return false,
+            Ok(n) => off += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !alive.load(Ordering::SeqCst) || stopping(shared) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    shared
+        .net_out
+        .fetch_add(seg.len() as u64, Ordering::Relaxed);
+    true
 }
 
 fn run_feed(
@@ -356,43 +414,43 @@ fn run_feed(
     preamble: Vec<u8>,
     rx: mpsc::Receiver<Arc<[u8]>>,
     acked: &AtomicU64,
+    alive: &AtomicBool,
     shared: &Shared,
 ) {
     let _ = stream.set_nodelay(true);
-    // A short read timeout doubles as the loop cadence for ACK polling.
+    // A short read timeout doubles as the loop cadence for ACK polling;
+    // the write timeout bounds each stalled-socket write attempt so
+    // `write_seg` gets to re-check liveness.
     if stream
         .set_read_timeout(Some(Duration::from_millis(1)))
         .is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_millis(100)))
+            .is_err()
     {
         return;
     }
-    if stream.write_all(&preamble).is_err() {
+    if !write_seg(&mut stream, &preamble, alive, shared) {
         return;
     }
-    shared
-        .net_out
-        .fetch_add(preamble.len() as u64, Ordering::Relaxed);
     let mut parser = Parser::new();
     let mut rbuf = [0u8; 4096];
     loop {
-        if stopping(shared) {
+        if stopping(shared) || !alive.load(Ordering::SeqCst) {
             return;
         }
         // Park briefly for the next live segment; drain the queue in one
         // go so a burst of group commits costs one wake-up.
         match rx.recv_timeout(Duration::from_millis(10)) {
             Ok(seg) => {
-                if stream.write_all(&seg).is_err() {
+                if !write_seg(&mut stream, &seg, alive, shared) {
                     return;
                 }
-                let mut sent = seg.len() as u64;
                 while let Ok(seg) = rx.try_recv() {
-                    if stream.write_all(&seg).is_err() {
+                    if !write_seg(&mut stream, &seg, alive, shared) {
                         return;
                     }
-                    sent += seg.len() as u64;
                 }
-                shared.net_out.fetch_add(sent, Ordering::Relaxed);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             // The writer pruned this peer or the server is gone.

@@ -53,6 +53,7 @@ use slimio_imdb::{Db, DbConfig, LogPolicy, ReadHandle, ReadView};
 use slimio_metrics::Histogram;
 use slimio_uring::SharedClock;
 
+use crate::govern::{lock_ok, Governor, GovernorOpts};
 use crate::repl::{self, LinkCtx, ReplState, ReplicaPeer, READONLY_MSG};
 use crate::resp::{self, Value};
 use crate::store::{AnyBackend, Store};
@@ -104,6 +105,9 @@ pub struct ServerOpts {
     pub replica_of: Option<String>,
     /// Bytes of recent WAL stream retained for replica partial resync.
     pub repl_backlog_bytes: usize,
+    /// Resource-governance limits: writer queue bound, `maxmemory`,
+    /// slow-consumer eviction thresholds.
+    pub govern: GovernorOpts,
 }
 
 impl Default for ServerOpts {
@@ -116,6 +120,7 @@ impl Default for ServerOpts {
             read_path: true,
             replica_of: None,
             repl_backlog_bytes: repl::DEFAULT_BACKLOG_BYTES,
+            govern: GovernorOpts::default(),
         }
     }
 }
@@ -166,23 +171,27 @@ impl HistRegistry {
 
     fn register(&self) -> Arc<Mutex<Histogram>> {
         let h = Arc::new(Mutex::new(Histogram::new()));
-        self.conns.lock().unwrap().push(Arc::clone(&h));
+        lock_ok(&self.conns).push(Arc::clone(&h));
         h
     }
 
+    // Registry and slot locks recover from poisoning (`lock_ok`): a
+    // connection thread that panics mid-record must not turn every later
+    // INFO, connect, or disconnect into a panic of its own. A poisoned
+    // histogram is still structurally valid — at worst one sample short.
     fn unregister(&self, h: &Arc<Mutex<Histogram>>) {
-        let mut conns = self.conns.lock().unwrap();
+        let mut conns = lock_ok(&self.conns);
         conns.retain(|x| !Arc::ptr_eq(x, h));
         drop(conns);
-        self.retired.lock().unwrap().merge(&h.lock().unwrap());
+        lock_ok(&self.retired).merge(&lock_ok(h));
     }
 
     /// Merged view of every live and retired histogram.
     fn snapshot(&self) -> Histogram {
         let mut out = Histogram::new();
-        out.merge(&self.retired.lock().unwrap());
-        for h in self.conns.lock().unwrap().iter() {
-            out.merge(&h.lock().unwrap());
+        out.merge(&lock_ok(&self.retired));
+        for h in lock_ok(&self.conns).iter() {
+            out.merge(&lock_ok(h));
         }
         out
     }
@@ -209,6 +218,8 @@ pub(crate) struct Shared {
     pub(crate) net_out: AtomicU64,
     /// Server start, for uptime and throughput.
     pub(crate) start: Instant,
+    /// Resource governance: bounded admission and overload accounting.
+    pub(crate) gov: Governor,
 }
 
 /// One unit of work in flight to the writer thread. Command replies
@@ -379,6 +390,7 @@ impl Server {
             net_in: AtomicU64::new(0),
             net_out: AtomicU64::new(0),
             start: Instant::now(),
+            gov: Governor::new(opts.govern),
         });
         let repl = Arc::new(ReplState::new(
             opts.replica_of.clone(),
@@ -535,6 +547,20 @@ impl ReplyBuf {
         self.segs.is_empty() && self.scratch.is_empty()
     }
 
+    /// Bytes currently pending toward the socket (scratch plus spliced
+    /// shared values) — what the reply soft limit is measured against.
+    fn byte_len(&self) -> usize {
+        self.scratch.len()
+            + self
+                .segs
+                .iter()
+                .map(|s| match s {
+                    Seg::Scratch(..) => 0,
+                    Seg::Shared(v) => v.len(),
+                })
+                .sum::<usize>()
+    }
+
     /// Closes the currently accumulating scratch range into a segment.
     fn seal_scratch(&mut self) {
         if self.open < self.scratch.len() {
@@ -608,15 +634,30 @@ impl ReplyBuf {
 }
 
 /// Flushes the reply buffer to the socket, counting the bytes into the
-/// server's network-out total.
+/// server's network-out total. A write stall (the socket refusing bytes
+/// past the configured write timeout) counts as a slow-client eviction;
+/// every caller treats the error as fatal for the connection, which is
+/// what reclaims the buffers.
 fn flush_reply(
     reply: &mut ReplyBuf,
     stream: &mut TcpStream,
     shared: &Shared,
 ) -> std::io::Result<()> {
-    let n = reply.write_to(stream)?;
-    shared.net_out.fetch_add(n as u64, Ordering::Relaxed);
-    Ok(())
+    match reply.write_to(stream) {
+        Ok(n) => {
+            shared.net_out.fetch_add(n as u64, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                shared.gov.count_client_eviction();
+            }
+            Err(e)
+        }
+    }
 }
 
 /// Where a parsed command executes.
@@ -686,19 +727,31 @@ fn serve_wait(
         return;
     };
     let target = repl.backlog_end();
+    // `timeout 0` is Redis's block-forever: no deadline at all.
     let deadline = (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms));
-    loop {
+    // Acks usually land within a round trip, so start polling tight and
+    // back off geometrically: a satisfied WAIT answers in ~a millisecond
+    // while a long one settles to a capped cadence instead of spinning.
+    let mut backoff = Duration::from_millis(1);
+    shared.gov.block();
+    let have = loop {
         let have = repl.count_acked(target);
         if have as u64 >= need
             || shared.stop.load(Ordering::SeqCst)
             || shared.kill.load(Ordering::SeqCst)
             || deadline.is_some_and(|d| Instant::now() >= d)
         {
-            resp::encode_int(have as i64, &mut reply.scratch);
-            return;
+            break have;
         }
-        std::thread::sleep(Duration::from_millis(5));
-    }
+        let nap = match deadline {
+            Some(d) => backoff.min(d.saturating_duration_since(Instant::now())),
+            None => backoff,
+        };
+        std::thread::sleep(nap);
+        backoff = (backoff * 2).min(Duration::from_millis(16));
+    };
+    shared.gov.unblock();
+    resp::encode_int(have as i64, &mut reply.scratch);
 }
 
 /// Executes one local (read-path) command against the view. GET/EXISTS
@@ -758,6 +811,36 @@ fn serve_local(
     }
 }
 
+/// True for the data-plane commands that must reserve a writer-queue
+/// slot before being forwarded. Control-plane commands (INFO, CONFIG,
+/// SHUTDOWN, replication handshakes, …) bypass admission so the node
+/// stays observable and administrable while saturated — they are bounded
+/// by the per-connection in-flight cap instead.
+fn governed_cmd(cmd: &[u8]) -> bool {
+    cmd.eq_ignore_ascii_case(b"SET")
+        || cmd.eq_ignore_ascii_case(b"DEL")
+        || cmd.eq_ignore_ascii_case(b"GET")
+        || cmd.eq_ignore_ascii_case(b"EXISTS")
+}
+
+/// Panic-safe connection teardown: unregisters the histogram and drops
+/// the client gauge even when the connection thread unwinds, so one
+/// crashed connection can't leak registry slots or strand the
+/// `connected_clients` count. Must never panic itself (a panic inside a
+/// `Drop` during unwind aborts the process) — which is why every lock it
+/// reaches goes through poisoning-tolerant `lock_ok`.
+struct ConnGuard {
+    shared: Arc<Shared>,
+    hist: Arc<Mutex<Histogram>>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.hists.unregister(&self.hist);
+        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn connection_loop(
     mut stream: TcpStream,
     tx: mpsc::Sender<Request>,
@@ -767,9 +850,17 @@ fn connection_loop(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    // A socket that won't take reply bytes for this long is a slow
+    // consumer: the flush fails and the connection is evicted rather
+    // than letting its buffers grow or its thread block forever.
+    let _ = stream.set_write_timeout(Some(shared.gov.opts().client_write_stall));
     let mut parser = resp::Parser::new();
     let mut reply = ReplyBuf::new();
     let hist = shared.hists.register();
+    let _guard = ConnGuard {
+        shared: Arc::clone(&shared),
+        hist: Arc::clone(&hist),
+    };
     // A read handle makes GET/EXISTS local. `register` returns None once
     // the registry is full; those connections keep the classic
     // everything-through-the-writer routing.
@@ -832,30 +923,86 @@ fn connection_loop(
                                 break;
                             }
                             serve_local(&frame, reader.as_ref(), last_ack_seq, &mut reply);
-                            hist.lock()
-                                .unwrap()
+                            lock_ok(&hist)
                                 .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                             shared.ops.fetch_add(1, Ordering::Relaxed);
                         }
                         Route::Writer => {
                             let args = frame.to_owned_args();
+                            if args.len() == 2
+                                && args[0].eq_ignore_ascii_case(b"DEBUG")
+                                && args[1].eq_ignore_ascii_case(b"PANIC")
+                            {
+                                // Crash hook for the lock-poisoning
+                                // regression tests: unwind this thread
+                                // *while holding* its histogram lock —
+                                // the worst case the registry, INFO, and
+                                // the connection gauge must survive.
+                                let _poisoner = hist.lock();
+                                panic!("DEBUG PANIC requested by client");
+                            }
                             if args.len() == 3
                                 && args[0].eq_ignore_ascii_case(b"REPLCONF")
                                 && args[1].eq_ignore_ascii_case(b"listening-port")
                             {
                                 replconf_port = String::from_utf8_lossy(&args[2]).parse().ok();
                             }
-                            if tx
+                            // Deep pipelines may not park unbounded
+                            // replies at the writer: past the in-flight
+                            // cap, settle what is owed before forwarding
+                            // more.
+                            if t0s.len() >= shared.gov.opts().conn_inflight_cap
+                                && !drain_writer_replies(
+                                    &rrx,
+                                    &shared,
+                                    &hist,
+                                    &mut t0s,
+                                    &mut last_ack_seq,
+                                    &mut reply,
+                                )
+                            {
+                                lost_writer = true;
+                                break;
+                            }
+                            let governed = args.first().is_some_and(|c| governed_cmd(c));
+                            if governed && !shared.gov.admit(&shared.stop) {
+                                // Queue full past the admission park:
+                                // refuse here, on the connection thread,
+                                // after settling owed replies so the
+                                // error lands in request order.
+                                if !t0s.is_empty()
+                                    && !drain_writer_replies(
+                                        &rrx,
+                                        &shared,
+                                        &hist,
+                                        &mut t0s,
+                                        &mut last_ack_seq,
+                                        &mut reply,
+                                    )
+                                {
+                                    lost_writer = true;
+                                    break;
+                                }
+                                resp::encode_error(
+                                    "BUSY writer queue is full, try again later",
+                                    &mut reply.scratch,
+                                );
+                                shared.ops.fetch_add(1, Ordering::Relaxed);
+                            } else if tx
                                 .send(Request::Cmd {
                                     args,
                                     reply: rtx.clone(),
                                 })
                                 .is_err()
                             {
+                                if governed {
+                                    shared.gov.release(1);
+                                }
                                 fatal = Some("ERR server shutting down".to_string());
                                 break;
+                            } else {
+                                t0s.push(t0);
                             }
-                            t0s.push(t0);
                         }
                         Route::Wait => {
                             // Settle this connection's own acks first —
@@ -875,8 +1022,7 @@ fn connection_loop(
                                 break;
                             }
                             serve_wait(&frame, &repl, &shared, &mut reply);
-                            hist.lock()
-                                .unwrap()
+                            lock_ok(&hist)
                                 .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                             shared.ops.fetch_add(1, Ordering::Relaxed);
                         }
@@ -922,6 +1068,16 @@ fn connection_loop(
                             }
                             break;
                         }
+                    }
+                    // Mid-burst flush once the accumulated reply bytes
+                    // pass the soft limit: per-connection reply memory
+                    // turns into socket backpressure, and a client that
+                    // won't drain it hits the write-stall timeout and is
+                    // evicted instead of growing the buffer forever.
+                    if reply.byte_len() >= shared.gov.opts().reply_buf_soft_limit
+                        && flush_reply(&mut reply, &mut stream, &shared).is_err()
+                    {
+                        break 'conn;
                     }
                 }
                 Ok(None) => break,
@@ -969,9 +1125,8 @@ fn connection_loop(
             break;
         }
     }
-
-    shared.hists.unregister(&hist);
-    shared.connections.fetch_sub(1, Ordering::SeqCst);
+    // Histogram/gauge cleanup happens in `_guard`'s Drop, shared with
+    // the unwind path.
 }
 
 /// Collects one writer reply per outstanding start time, in order, into
@@ -988,9 +1143,7 @@ fn drain_writer_replies(
         match wait_reply(rrx, shared) {
             Some((value, seq)) => {
                 *last_ack_seq = (*last_ack_seq).max(seq);
-                hist.lock()
-                    .unwrap()
-                    .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                lock_ok(hist).record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                 shared.ops.fetch_add(1, Ordering::Relaxed);
                 reply.push_value(&value);
             }
@@ -1132,6 +1285,19 @@ impl Writer {
                 }
             }
             let batch_len = batch.len() as u32;
+            // Give the drained commands' admission slots back right away
+            // so parked connections refill the queue while this batch
+            // commits. Queued-but-undrained work is therefore bounded by
+            // `queue_cap`, and total writer-held work by `queue_cap`
+            // plus one MAX_BATCH batch in flight.
+            let governed_drained = batch
+                .iter()
+                .filter(|r| {
+                    matches!(r, Request::Cmd { args, .. }
+                        if args.first().is_some_and(|c| governed_cmd(c)))
+                })
+                .count();
+            self.shared.gov.release(governed_drained);
 
             // Execute every command, queueing WAL records in the engine
             // while deferring the flush; every reply is parked until the
@@ -1245,6 +1411,9 @@ impl Writer {
             // engine's existing semantics, so the view publishes either
             // way — it mirrors the map, not the WAL.)
             let published_seq = self.db.publish_view();
+            // Mirror the engine's governed footprint for INFO and its
+            // high-water mark; once per batch is plenty of resolution.
+            self.shared.gov.record_engine_bytes(self.db.mem_governed());
             // Release replies in execution order; each connection's
             // replies land on its own channel in request order.
             for (reply, value) in pending.drain(..) {
@@ -1279,6 +1448,14 @@ impl Writer {
         // Every forwarded command gets a reply, even if it is an error.
         let final_seq = self.db.publish_view();
         while let Ok(req) = self.rx.recv_timeout(SHUTDOWN_DRAIN_IDLE) {
+            if let Request::Cmd { args, .. } = &req {
+                // Admitted commands drained here still hold their queue
+                // slots; give them back so parked admitters can fail
+                // fast instead of riding out their full deadline.
+                if args.first().is_some_and(|c| governed_cmd(c)) {
+                    self.shared.gov.release(1);
+                }
+            }
             match req {
                 Request::Cmd { reply, .. }
                 | Request::ReplSet { reply, .. }
@@ -1384,6 +1561,19 @@ impl Writer {
                 }
                 if self.repl.is_replica() {
                     return (Value::Error(READONLY_MSG.to_string()), false);
+                }
+                // The memory gate covers only client SETs: DELs shrink
+                // the keyspace and must always go through (they are the
+                // way out of an OOM condition), replica applies must
+                // track the primary, and reads never touch the writer.
+                let incoming = (args[1].len() + args[2].len()) as u64;
+                if self.shared.gov.refuse_oom(self.db.mem_governed(), incoming) {
+                    return (
+                        Value::Error(
+                            "OOM command not allowed when used memory > 'maxmemory'".to_string(),
+                        ),
+                        false,
+                    );
                 }
                 self.db.set_queued(&args[1], &args[2]);
                 return (Value::ok(), true);
@@ -1530,7 +1720,7 @@ impl Writer {
     fn pump_repl(&mut self) {
         let bytes = self.db.take_tapped_wal();
         if !bytes.is_empty() {
-            self.repl.publish_segment(bytes);
+            self.repl.publish_segment(bytes, &self.shared.gov);
         }
     }
 
@@ -1640,11 +1830,11 @@ impl Writer {
                 .filter(|(id, _)| *id == inner.replid)
                 .and_then(|(_, off)| inner.backlog.tail_from(off).map(|tail| (off, tail)));
             let mut preamble = Vec::new();
-            let init_acked = match partial {
+            let (init_acked, base) = match partial {
                 Some((off, tail)) => {
                     preamble.extend_from_slice(b"+CONTINUE\r\n");
                     preamble.extend_from_slice(&tail);
-                    off
+                    (off, off)
                 }
                 None => {
                     let offset = inner.backlog.end();
@@ -1653,7 +1843,11 @@ impl Writer {
                     );
                     let snapshot = self.db.serialize_keyspace(self.snapshot_chunk);
                     resp::encode_bulk(&snapshot, &mut preamble);
-                    0
+                    // `acked` stays 0 until the replica reports applied
+                    // progress (the WAIT contract); `base` carries the
+                    // attach offset so feed-lag eviction doesn't judge a
+                    // fresh replica on stream bytes that predate it.
+                    (0, offset)
                 }
             };
             let acked = Arc::new(AtomicU64::new(init_acked));
@@ -1661,6 +1855,7 @@ impl Writer {
             inner.peers.push(ReplicaPeer {
                 addr,
                 acked: Arc::clone(&acked),
+                base,
                 alive: Arc::clone(&alive),
                 feed: feed_tx,
             });
@@ -1686,10 +1881,11 @@ impl Writer {
             LogPolicy::Periodical { .. } => "everysec",
         };
         let threshold = self.db.config().wal_snapshot_threshold.to_string();
+        let maxmemory = self.shared.gov.opts().maxmemory.to_string();
         let entries: [(&str, &str); 6] = [
             ("appendfsync", appendfsync),
             ("save", ""),
-            ("maxmemory", "0"),
+            ("maxmemory", &maxmemory),
             ("backend", self.backend_name),
             ("fdp", if self.fdp { "yes" } else { "no" }),
             ("wal-snapshot-threshold", &threshold),
@@ -1767,6 +1963,8 @@ impl Writer {
             "wal_records_replayed:{}\r\n",
             self.wal_records_replayed
         ));
+        s.push_str("\r\n# Resources\r\n");
+        self.shared.gov.info_lines(&mut s);
         s.push_str("\r\n# Replication\r\n");
         self.repl.info_lines(&mut s);
         s.push_str("\r\n# Device\r\n");
