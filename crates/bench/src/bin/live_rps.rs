@@ -38,6 +38,8 @@ struct Cell {
     /// Serve reads on connection threads (false = pre-read-path
     /// single-writer routing, the A/B baseline).
     read_path: bool,
+    /// Writer shards (1 = classic single-writer path).
+    shards: usize,
 }
 
 fn main() {
@@ -67,6 +69,7 @@ fn main() {
                     pipeline,
                     get_ratio: 0,
                     read_path: true,
+                    shards: 1,
                 });
             }
         }
@@ -83,8 +86,26 @@ fn main() {
                 pipeline: 16,
                 get_ratio: 90,
                 read_path,
+                shards: 1,
             });
         }
+    }
+    // Shard sweep: set-heavy pipelined passthru cells at 1/2/4 writer
+    // shards — same seed and config, so the trio is the sharded-write-
+    // path scaling comparison. Each shard carries its own writer thread,
+    // group-commit batch, WAL region, and FDP placement ID; WAF must
+    // stay 1.00 in every cell (asserted below) because shard WAL streams
+    // land in distinct reclaim units.
+    for shards in [1usize, 2, 4] {
+        cells.push(Cell {
+            label: format!("passthru/always/P16/shards{shards}"),
+            policy: LogPolicy::Always,
+            kind: BackendKind::Passthru,
+            pipeline: 16,
+            get_ratio: 0,
+            read_path: true,
+            shards,
+        });
     }
 
     println!("live-mode RPS ({} requests per cell, 4 clients)", requests);
@@ -100,6 +121,7 @@ fn main() {
             kind: cell.kind,
             fdp: cell.kind == BackendKind::Passthru,
             ratio: 1.0 / 64.0,
+            shards: cell.shards,
         });
         let handle = Server::start(
             store,
@@ -127,6 +149,13 @@ fn main() {
         let store = handle.shutdown();
         let waf = store.device().lock().unwrap().waf();
         assert_eq!(report.errors, 0, "{}: bench saw error replies", cell.label);
+        if cell.shards > 1 {
+            assert!(
+                waf < 1.005,
+                "{}: sharded FDP cell must keep WAF at 1.00, got {waf:.4}",
+                cell.label
+            );
+        }
         println!(
             "{:<28} {:>12.0} {:>12.1} {:>10.2}",
             cell.label,
@@ -155,6 +184,7 @@ fn main() {
                 kind,
                 fdp: kind == BackendKind::Passthru,
                 ratio: 1.0 / 64.0,
+                shards: 1,
             })
         };
         let primary = Server::start(
@@ -271,6 +301,7 @@ fn main() {
             kind: BackendKind::Kernel,
             fdp: false,
             ratio: 1.0 / 64.0,
+            shards: 1,
         });
         let handle = Server::start(
             store,
@@ -400,6 +431,25 @@ fn main() {
             read,
             writer
         );
+    }
+    // Headline: shard scaling — the set-heavy pipelined passthru cell at
+    // 2 and 4 writer shards over the single-shard baseline. Scaling
+    // tracks available cores: each shard's writer burns its own CPU on
+    // a core of its own, so a multi-core host approaches linear and a
+    // single-core host approaches parity (the sweep still proves the
+    // sharded path costs nothing and WAF holds at 1.00).
+    {
+        let base = rps("passthru/always/P16/shards1");
+        for n in [2usize, 4] {
+            let sharded = rps(&format!("passthru/always/P16/shards{n}"));
+            println!(
+                "shard scaling (passthru, always, set-heavy): {n} shards {:.2}x \
+                 ({:.0} rps vs {:.0} rps at 1 shard)",
+                sharded / base.max(1e-9),
+                sharded,
+                base
+            );
+        }
     }
     // Headline 3: read scaling — the same 90/10 split with the GET side
     // fanned out to a replica vs served by the single node. Both nodes

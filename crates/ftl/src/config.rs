@@ -86,8 +86,15 @@ impl FtlConfig {
     /// shrink the RU together with the device so RU-count ratios match the
     /// paper's 180 GB / 1 GiB configuration).
     pub fn fdp_with_ru(geometry: Geometry, ru_bytes: u64) -> Self {
+        Self::fdp_with_ru_pids(geometry, ru_bytes, 8)
+    }
+
+    /// FDP mode with an explicit RU size and PID budget. Sharded write
+    /// paths need more placement streams than the paper's 8 (three per
+    /// shard plus metadata), and the stranded-capacity overprovisioning
+    /// must scale with the stream count.
+    pub fn fdp_with_ru_pids(geometry: Geometry, ru_bytes: u64, max_pids: u8) -> Self {
         let ru_blocks = (ru_bytes / geometry.block_bytes()).max(1) as u32;
-        let max_pids = 8;
         let mut cfg = FtlConfig {
             geometry,
             ru_blocks,

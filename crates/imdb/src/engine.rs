@@ -2,6 +2,7 @@
 //! orchestration, and recovery.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use slimio_des::SimTime;
@@ -11,6 +12,11 @@ use crate::fxhash::FxBuildHasher;
 use crate::snapshot::SnapshotJob;
 use crate::view::{ReadView, ViewWriter};
 use crate::wal::{self, WalBuffer, WalRecord};
+
+/// An owned `(key, value)` pair as the engine shares it across threads
+/// — the element type of [`Db::sorted_entries`] and the unit a sharded
+/// server moves between shard writers for digests and full syncs.
+pub type Entry = (Arc<[u8]>, Arc<[u8]>);
 
 /// WAL durability policy (§2.1, §5.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,6 +157,13 @@ pub struct Db<B: PersistBackend> {
     /// [`Db::mem_governed`] so a stalled publish cannot hide growth from
     /// the `--maxmemory` accounting.
     view_pending_bytes: u64,
+    /// When set (sharded live server), sequence numbers are drawn from
+    /// this process-wide counter instead of the private `seq` field, so
+    /// records across all shard engines carry globally unique, totally
+    /// ordered seqs while each shard's own stream stays strictly
+    /// increasing. The simulated pipeline never sets this, so DES
+    /// behaviour is bit-identical.
+    shared_seq: Option<Arc<AtomicU64>>,
 }
 
 /// One not-yet-mirrored view mutation: `(key, Some(value))` for a set,
@@ -176,7 +189,31 @@ impl<B: PersistBackend> Db<B> {
             wal_tap: None,
             view_pending: Vec::new(),
             view_pending_bytes: 0,
+            shared_seq: None,
         }
+    }
+
+    /// Switches sequence allocation to a process-wide counter shared by
+    /// every shard engine. The counter must already be at or above this
+    /// engine's current sequence (callers initialize it to the max across
+    /// all recovered shards before installing it).
+    pub fn set_shared_seq(&mut self, counter: Arc<AtomicU64>) {
+        debug_assert!(counter.load(Ordering::SeqCst) >= self.seq);
+        self.shared_seq = Some(counter);
+    }
+
+    /// The last sequence number this engine allocated (the shard-local
+    /// high-water mark when a shared counter is installed).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq = match &self.shared_seq {
+            Some(c) => c.fetch_add(1, Ordering::SeqCst) + 1,
+            None => self.seq + 1,
+        };
+        self.seq
     }
 
     /// Engine statistics.
@@ -310,8 +347,8 @@ impl<B: PersistBackend> Db<B> {
     /// `Always` must not be acked) until the batch commits.
     pub fn set_queued(&mut self, key: &[u8], value: &[u8]) -> u64 {
         self.stats.sets += 1;
-        self.seq += 1;
-        self.wal_buf.push_set(self.seq, key, value);
+        let seq = self.next_seq();
+        self.wal_buf.push_set(seq, key, value);
 
         let k: Arc<[u8]> = key.into();
         let v: Arc<[u8]> = value.into();
@@ -369,8 +406,8 @@ impl<B: PersistBackend> Db<B> {
         let mut cow_retained = 0u64;
         let removed = match self.map.remove(key) {
             Some(old) => {
-                self.seq += 1;
-                self.wal_buf.push_del(self.seq, key);
+                let seq = self.next_seq();
+                self.wal_buf.push_del(seq, key);
                 if self.view.is_some() {
                     self.view_pending.push((key.into(), None));
                     self.view_pending_bytes += key.len() as u64;
@@ -470,19 +507,7 @@ impl<B: PersistBackend> Db<B> {
     /// so the framing is identical to an on-device snapshot, but the
     /// chunks land in a `Vec` instead of the backend.
     pub fn serialize_keyspace(&self, chunk_size: usize) -> Vec<u8> {
-        let mut job = SnapshotJob::freeze(SnapshotKind::OnDemand, self.map.iter(), chunk_size);
-        let mut out = Vec::new();
-        loop {
-            let stats = job
-                .step_each(1024, &mut |chunk: &[u8]| {
-                    out.extend_from_slice(chunk);
-                    Ok::<(), std::convert::Infallible>(())
-                })
-                .expect("in-memory snapshot serialization cannot fail");
-            if stats.finished {
-                return out;
-            }
-        }
+        serialize_entries(self.map.iter(), chunk_size)
     }
 
     /// `Arc` clones of every live key (replica full-reset bookkeeping:
@@ -496,16 +521,20 @@ impl<B: PersistBackend> Db<B> {
     /// their digests match — the convergence check replication tests and
     /// the CI smoke use via `DEBUG DIGEST`.
     pub fn digest(&self) -> u32 {
-        let mut entries: Vec<_> = self.map.iter().collect();
-        entries.sort_by(|a: &(&Arc<[u8]>, &Arc<[u8]>), b| a.0.cmp(b.0));
-        let mut crc = crate::crc::Crc32::new();
-        for (k, v) in entries {
-            crc.update(&(k.len() as u32).to_le_bytes());
-            crc.update(k);
-            crc.update(&(v.len() as u32).to_le_bytes());
-            crc.update(v);
-        }
-        crc.finish()
+        digest_of_sorted(&self.sorted_entries())
+    }
+
+    /// `Arc` clones of every entry, sorted by key — the unit a sharded
+    /// server gathers from each shard to compute a merged digest or build
+    /// a full-sync payload spanning the whole keyspace.
+    pub fn sorted_entries(&self) -> Vec<Entry> {
+        let mut entries: Vec<_> = self
+            .map
+            .iter()
+            .map(|(k, v)| (Arc::clone(k), Arc::clone(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
     }
 
     /// Syncs the WAL to durable media.
@@ -590,7 +619,19 @@ impl<B: PersistBackend> Db<B> {
     /// Rebuilds a database from the backend's newest WAL-snapshot plus the
     /// WAL tail — the §4.2 recovery procedure. Returns the engine and the
     /// number of WAL records replayed.
-    pub fn recover(mut backend: B, cfg: DbConfig, now: SimTime) -> Result<(Self, u64), DbError> {
+    pub fn recover(backend: B, cfg: DbConfig, now: SimTime) -> Result<(Self, u64), DbError> {
+        let (db, replayed, _) = Self::recover_with_seqs(backend, cfg, now)?;
+        Ok((db, replayed))
+    }
+
+    /// [`Db::recover`] that also returns the sequence number of every WAL
+    /// record replayed, in replay order. A sharded server merges these
+    /// per-shard lists to assert the recovered global prefix is gap-free.
+    pub fn recover_with_seqs(
+        mut backend: B,
+        cfg: DbConfig,
+        now: SimTime,
+    ) -> Result<(Self, u64, Vec<u64>), DbError> {
         let (snap, t1) = backend.load_snapshot(SnapshotKind::WalSnapshot, now)?;
         let mut db = Db::new(backend, cfg);
         if let Some(stream) = snap {
@@ -603,8 +644,10 @@ impl<B: PersistBackend> Db<B> {
         let (wal_bytes, _t2) = db.backend.load_wal(t1.done_at)?;
         let records = wal::replay(&wal_bytes);
         let replayed = records.len() as u64;
+        let mut seqs = Vec::with_capacity(records.len());
         for rec in records {
             db.seq = db.seq.max(rec.seq());
+            seqs.push(rec.seq());
             match rec {
                 WalRecord::Set { key, value, .. } => {
                     let old = db.map.insert(key.clone().into(), value.clone().into());
@@ -626,7 +669,43 @@ impl<B: PersistBackend> Db<B> {
             }
         }
         db.bump_peak();
-        Ok((db, replayed))
+        Ok((db, replayed, seqs))
+    }
+}
+
+/// CRC-32 digest over already-sorted `(key, value)` entries — the exact
+/// algorithm of [`Db::digest`], exposed so a sharded server can digest a
+/// merged entry list and match what a single-shard engine would report.
+pub fn digest_of_sorted(entries: &[Entry]) -> u32 {
+    let mut crc = crate::crc::Crc32::new();
+    for (k, v) in entries {
+        crc.update(&(k.len() as u32).to_le_bytes());
+        crc.update(k);
+        crc.update(&(v.len() as u32).to_le_bytes());
+        crc.update(v);
+    }
+    crc.finish()
+}
+
+/// Serializes an arbitrary entry iterator as one in-memory RDB stream —
+/// [`Db::serialize_keyspace`] over a caller-assembled keyspace (e.g. the
+/// union of all shards' entries for a full sync).
+pub fn serialize_entries<'a, I>(live: I, chunk_size: usize) -> Vec<u8>
+where
+    I: Iterator<Item = (&'a Arc<[u8]>, &'a Arc<[u8]>)>,
+{
+    let mut job = SnapshotJob::freeze(SnapshotKind::OnDemand, live, chunk_size);
+    let mut out = Vec::new();
+    loop {
+        let stats = job
+            .step_each(1024, &mut |chunk: &[u8]| {
+                out.extend_from_slice(chunk);
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .expect("in-memory snapshot serialization cannot fail");
+        if stats.finished {
+            return out;
+        }
     }
 }
 

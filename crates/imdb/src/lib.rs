@@ -41,6 +41,6 @@ pub mod view;
 pub mod wal;
 
 pub use backend::{FileBackend, IoTiming, PersistBackend, SnapshotKind};
-pub use engine::{Db, DbConfig, LogPolicy};
+pub use engine::{Db, DbConfig, Entry, LogPolicy};
 pub use snapshot::SnapshotJob;
 pub use view::{ReadHandle, ReadView, ViewWriter};

@@ -65,12 +65,21 @@ impl DeviceConfig {
     /// but never below one block per die, so append points still stripe
     /// across the full die population.
     pub fn live(fdp: bool, ratio: f64) -> Self {
+        Self::live_with_pids(fdp, ratio, 8)
+    }
+
+    /// [`DeviceConfig::live`] with an explicit PID budget. A sharded
+    /// write path dedicates three placement streams to every shard (WAL,
+    /// WAL-snapshot, on-demand snapshot) plus the shared metadata stream,
+    /// so the device must advertise more than the paper's 8 PIDs once the
+    /// shard count grows.
+    pub fn live_with_pids(fdp: bool, ratio: f64, max_pids: u8) -> Self {
         let geometry = slimio_nand::Geometry::scaled(ratio);
         let ftl = if fdp {
             let ru_bytes = (((1u64 << 30) as f64 * ratio) as u64)
                 .max(geometry.dies() as u64 * geometry.block_bytes())
                 .next_power_of_two();
-            FtlConfig::fdp_with_ru(geometry, ru_bytes)
+            FtlConfig::fdp_with_ru_pids(geometry, ru_bytes, max_pids)
         } else {
             FtlConfig::conventional(geometry)
         };

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! slimio-server [--addr HOST] [--port N] [--backend kernel|passthru]
-//!               [--fdp] [--ratio F] [--appendfsync always|everysec]
+//!               [--fdp] [--ratio F] [--shards N]
+//!               [--appendfsync always|everysec]
 //!               [--wal-snapshot-mb N] [--snapshot-chunk-kb N]
 //!               [--fault-plan SPEC] [--replica-of HOST:PORT]
 //!               [--repl-backlog-mb N] [--maxmemory BYTES]
 //!               [--writer-queue N] [--repl-feed-limit-mb N]
 //! ```
+//!
+//! `--shards N` splits the keyspace into N writer shards (passthru
+//! only): each shard runs its own writer thread, group-commit batch,
+//! WAL region, and FDP placement ID, so shard WAL streams land in
+//! distinct reclaim units and SET throughput scales with shards while
+//! WAF stays 1.00. The default (1) is the classic single-writer path.
 //!
 //! Resource governance: `--maxmemory` bounds the engine's governed bytes
 //! (keyspace + staged view ops + WAL buffer) — past it, writes get
@@ -49,7 +56,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: slimio-server [--addr host] [--port n] [--backend kernel|passthru] [--fdp]\n\
-         \x20                    [--ratio f] [--appendfsync always|everysec]\n\
+         \x20                    [--ratio f] [--shards n] [--appendfsync always|everysec]\n\
          \x20                    [--wal-snapshot-mb n] [--snapshot-chunk-kb n]\n\
          \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]|slow@N:US] [--no-read-path]\n\
          \x20                    [--replica-of host:port] [--repl-backlog-mb n]\n\
@@ -94,6 +101,14 @@ fn parse_args() -> Args {
             }
             "--fdp" => fdp_flag = true,
             "--ratio" => args.store.ratio = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--shards" => {
+                let n: usize = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if n == 0 || n > 16 {
+                    eprintln!("slimio-server: --shards must be in 1..=16");
+                    usage()
+                }
+                args.store.shards = n
+            }
             "--appendfsync" => {
                 args.opts_policy = match next(&mut i).as_str() {
                     "always" => LogPolicy::Always,
@@ -148,6 +163,10 @@ fn parse_args() -> Args {
     // --fdp only matters for the passthru path; the kernel path always
     // runs over a conventional device, like the paper's baseline.
     args.store.fdp = fdp_flag && args.store.kind == BackendKind::Passthru;
+    if args.store.shards > 1 && args.store.kind != BackendKind::Passthru {
+        eprintln!("slimio-server: --shards > 1 requires --backend passthru");
+        usage()
+    }
     args
 }
 
@@ -179,7 +198,11 @@ fn main() {
         "slimio-server listening on {} (backend {}{}, {} keys recovered, {} WAL records replayed{})",
         handle.addr(),
         args.store.kind.name(),
-        if args.store.fdp { "+fdp" } else { "" },
+        match (args.store.fdp, args.store.shards) {
+            (true, s) if s > 1 => format!("+fdp x{s} shards"),
+            (true, _) => "+fdp".to_string(),
+            (false, _) => String::new(),
+        },
         handle.recovered_keys(),
         handle.wal_records_replayed(),
         match &args.replica_of {

@@ -75,16 +75,29 @@ impl Default for GovernorOpts {
     }
 }
 
-/// Shared resource accounting: admission gate plus the overload counters
-/// `INFO # Resources` reports.
+/// One shard's admission gate: a counting semaphore slice of the global
+/// writer queue, with its own refusal accounting so `INFO # Shards` can
+/// attribute `-BUSY` pressure to the shard that caused it.
+pub(crate) struct ShardGate {
+    /// Client commands currently reserved into this shard's queue.
+    depth: Mutex<usize>,
+    /// Signaled whenever this shard's writer releases queue slots.
+    freed: Condvar,
+    /// Slots this shard may hold (its slice of `queue_cap`).
+    cap: usize,
+    /// High-water mark of this shard's queue depth.
+    hwm: AtomicU64,
+    /// Commands refused with `-BUSY` at this shard's gate.
+    busy: AtomicU64,
+}
+
+/// Shared resource accounting: per-shard admission gates plus the
+/// overload counters `INFO # Resources` reports.
 pub(crate) struct Governor {
     opts: GovernorOpts,
-    /// Client commands currently reserved into the writer queue.
-    depth: Mutex<usize>,
-    /// Signaled whenever the writer releases queue slots.
-    freed: Condvar,
-    /// High-water mark of the admission queue depth.
-    queue_hwm: AtomicU64,
+    /// One admission gate per writer shard; a single-shard server has one
+    /// gate holding the whole `queue_cap`.
+    gates: Vec<ShardGate>,
     /// Connection threads currently parked (admission or WAIT).
     blocked_clients: AtomicU64,
     /// Commands refused with `-BUSY` (admission deadline lapsed).
@@ -103,12 +116,21 @@ pub(crate) struct Governor {
 }
 
 impl Governor {
-    pub(crate) fn new(opts: GovernorOpts) -> Self {
+    pub(crate) fn new(opts: GovernorOpts, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let cap = (opts.queue_cap / shards).max(1);
+        let gates = (0..shards)
+            .map(|_| ShardGate {
+                depth: Mutex::new(0),
+                freed: Condvar::new(),
+                cap,
+                hwm: AtomicU64::new(0),
+                busy: AtomicU64::new(0),
+            })
+            .collect();
         Governor {
             opts,
-            depth: Mutex::new(0),
-            freed: Condvar::new(),
-            queue_hwm: AtomicU64::new(0),
+            gates,
             blocked_clients: AtomicU64::new(0),
             busy_refused: AtomicU64::new(0),
             oom_refused: AtomicU64::new(0),
@@ -123,24 +145,26 @@ impl Governor {
         &self.opts
     }
 
-    /// Reserves one writer-queue slot, parking up to the admission
-    /// deadline when the queue is full. Returns false — and counts a
-    /// `-BUSY` refusal — when no slot freed in time or the server began
-    /// stopping; the caller must answer the command locally without
-    /// enqueueing it.
-    pub(crate) fn admit(&self, stopping: &AtomicBool) -> bool {
-        let mut depth = lock_ok(&self.depth);
-        if *depth >= self.opts.queue_cap {
+    /// Reserves one writer-queue slot at shard `shard`'s gate, parking up
+    /// to the admission deadline when that gate is full. Returns false —
+    /// and counts a `-BUSY` refusal against the shard — when no slot
+    /// freed in time or the server began stopping; the caller must answer
+    /// the command locally without enqueueing it.
+    pub(crate) fn admit(&self, shard: usize, stopping: &AtomicBool) -> bool {
+        let gate = &self.gates[shard];
+        let mut depth = lock_ok(&gate.depth);
+        if *depth >= gate.cap {
             let deadline = Instant::now() + self.opts.admit_park;
             self.blocked_clients.fetch_add(1, Ordering::SeqCst);
-            while *depth >= self.opts.queue_cap {
+            while *depth >= gate.cap {
                 let now = Instant::now();
                 if now >= deadline || stopping.load(Ordering::SeqCst) {
                     self.blocked_clients.fetch_sub(1, Ordering::SeqCst);
                     self.busy_refused.fetch_add(1, Ordering::Relaxed);
+                    gate.busy.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
-                let (guard, _) = self
+                let (guard, _) = gate
                     .freed
                     .wait_timeout(depth, deadline - now)
                     .unwrap_or_else(|p| p.into_inner());
@@ -149,25 +173,60 @@ impl Governor {
             self.blocked_clients.fetch_sub(1, Ordering::SeqCst);
         }
         *depth += 1;
-        self.queue_hwm.fetch_max(*depth as u64, Ordering::Relaxed);
+        gate.hwm.fetch_max(*depth as u64, Ordering::Relaxed);
         true
     }
 
-    /// Returns `n` queue slots (the writer, as it drains requests into a
-    /// batch) and wakes parked connection threads.
-    pub(crate) fn release(&self, n: usize) {
+    /// Reserves one slot at every gate in `shards` (ascending, so two
+    /// split commands can never deadlock on each other); on the first
+    /// refusal the slots already taken are rolled back and the whole
+    /// admission fails. Used for multi-key commands that span shards —
+    /// either every involved shard accepts its piece or none does.
+    pub(crate) fn admit_all(&self, shards: &[usize], stopping: &AtomicBool) -> bool {
+        debug_assert!(shards.windows(2).all(|w| w[0] < w[1]));
+        for (i, &s) in shards.iter().enumerate() {
+            if !self.admit(s, stopping) {
+                for &taken in &shards[..i] {
+                    self.release(taken, 1);
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `n` queue slots to shard `shard`'s gate (the shard's
+    /// writer, as it drains requests into a batch) and wakes parked
+    /// connection threads.
+    pub(crate) fn release(&self, shard: usize, n: usize) {
         if n == 0 {
             return;
         }
-        let mut depth = lock_ok(&self.depth);
+        let gate = &self.gates[shard];
+        let mut depth = lock_ok(&gate.depth);
         *depth = depth.saturating_sub(n);
         drop(depth);
-        self.freed.notify_all();
+        gate.freed.notify_all();
     }
 
-    /// Current admission queue depth.
+    /// Current admission queue depth across all gates.
     pub(crate) fn queue_depth(&self) -> usize {
-        *lock_ok(&self.depth)
+        self.gates.iter().map(|g| *lock_ok(&g.depth)).sum()
+    }
+
+    /// Current depth of one shard's gate.
+    pub(crate) fn shard_depth(&self, shard: usize) -> usize {
+        *lock_ok(&self.gates[shard].depth)
+    }
+
+    /// One shard's gate cap / depth high-water mark / `-BUSY` count.
+    pub(crate) fn shard_gate_stats(&self, shard: usize) -> (usize, u64, u64) {
+        let g = &self.gates[shard];
+        (
+            g.cap,
+            g.hwm.load(Ordering::Relaxed),
+            g.busy.load(Ordering::Relaxed),
+        )
     }
 
     /// True when a write of `incoming` more engine bytes must be refused
@@ -229,8 +288,11 @@ impl Governor {
             self.engine_bytes.load(Ordering::Relaxed),
             self.engine_hwm.load(Ordering::Relaxed),
             self.queue_depth(),
-            self.opts.queue_cap,
-            self.queue_hwm.load(Ordering::Relaxed),
+            self.gates.iter().map(|g| g.cap).sum::<usize>(),
+            self.gates
+                .iter()
+                .map(|g| g.hwm.load(Ordering::Relaxed))
+                .sum::<u64>(),
             self.blocked_clients.load(Ordering::SeqCst),
             self.busy_refused.load(Ordering::Relaxed),
             self.oom_refused.load(Ordering::Relaxed),
@@ -248,41 +310,44 @@ mod tests {
     use std::sync::Arc;
 
     fn gov(cap: usize, park_ms: u64) -> Governor {
-        Governor::new(GovernorOpts {
-            queue_cap: cap,
-            admit_park: Duration::from_millis(park_ms),
-            ..GovernorOpts::default()
-        })
+        Governor::new(
+            GovernorOpts {
+                queue_cap: cap,
+                admit_park: Duration::from_millis(park_ms),
+                ..GovernorOpts::default()
+            },
+            1,
+        )
     }
 
     #[test]
     fn admission_bounds_depth_and_counts_refusals() {
         let g = gov(2, 10);
         let stop = AtomicBool::new(false);
-        assert!(g.admit(&stop));
-        assert!(g.admit(&stop));
+        assert!(g.admit(0, &stop));
+        assert!(g.admit(0, &stop));
         let t0 = Instant::now();
-        assert!(!g.admit(&stop), "full queue must refuse after the park");
+        assert!(!g.admit(0, &stop), "full queue must refuse after the park");
         assert!(t0.elapsed() >= Duration::from_millis(10));
         assert_eq!(g.queue_depth(), 2);
         assert_eq!(g.busy_refused.load(Ordering::Relaxed), 1);
-        assert_eq!(g.queue_hwm.load(Ordering::Relaxed), 2);
-        g.release(1);
-        assert!(g.admit(&stop), "released slot must re-admit");
+        assert_eq!(g.shard_gate_stats(0).1, 2);
+        g.release(0, 1);
+        assert!(g.admit(0, &stop), "released slot must re-admit");
     }
 
     #[test]
     fn parked_admission_wakes_on_release() {
         let g = Arc::new(gov(1, 5_000));
         let stop = Arc::new(AtomicBool::new(false));
-        assert!(g.admit(&stop));
+        assert!(g.admit(0, &stop));
         let (g2, stop2) = (Arc::clone(&g), Arc::clone(&stop));
         let waiter = std::thread::spawn(move || {
             let t0 = Instant::now();
-            (g2.admit(&stop2), t0.elapsed())
+            (g2.admit(0, &stop2), t0.elapsed())
         });
         std::thread::sleep(Duration::from_millis(50));
-        g.release(1);
+        g.release(0, 1);
         let (admitted, waited) = waiter.join().unwrap();
         assert!(admitted, "waiter must get the freed slot");
         assert!(
@@ -295,26 +360,32 @@ mod tests {
     fn stop_aborts_a_parked_admission() {
         let g = Arc::new(gov(1, 60_000));
         let stop = Arc::new(AtomicBool::new(false));
-        assert!(g.admit(&stop));
+        assert!(g.admit(0, &stop));
         let (g2, stop2) = (Arc::clone(&g), Arc::clone(&stop));
-        let waiter = std::thread::spawn(move || g2.admit(&stop2));
+        let waiter = std::thread::spawn(move || g2.admit(0, &stop2));
         std::thread::sleep(Duration::from_millis(20));
         stop.store(true, Ordering::SeqCst);
-        g.release(0); // no slots — the waiter must notice `stop` on its own
+        g.release(0, 0); // no slots — the waiter must notice `stop` on its own
         assert!(!waiter.join().unwrap(), "stop must refuse, not hang");
     }
 
     #[test]
     fn oom_gate_respects_zero_and_counts() {
-        let g = Governor::new(GovernorOpts {
-            maxmemory: 0,
-            ..GovernorOpts::default()
-        });
+        let g = Governor::new(
+            GovernorOpts {
+                maxmemory: 0,
+                ..GovernorOpts::default()
+            },
+            1,
+        );
         assert!(!g.refuse_oom(u64::MAX - 1, 1), "0 disables the bound");
-        let g = Governor::new(GovernorOpts {
-            maxmemory: 100,
-            ..GovernorOpts::default()
-        });
+        let g = Governor::new(
+            GovernorOpts {
+                maxmemory: 100,
+                ..GovernorOpts::default()
+            },
+            1,
+        );
         assert!(!g.refuse_oom(60, 40), "exactly at the bound is allowed");
         assert!(g.refuse_oom(60, 41));
         assert_eq!(g.oom_refused.load(Ordering::Relaxed), 1);

@@ -1,11 +1,21 @@
 //! Replication: WAL-shipping primary/replica with full sync, read
 //! scaling, and `WAIT` durability.
 //!
-//! The replication stream *is* the WAL stream. The writer thread taps
-//! every byte it flushes to its backend (after the group commit's sync
-//! under `Always`, so only durable records ship) and publishes each
-//! tapped segment into a bounded in-memory backlog plus the feed channel
-//! of every attached replica. Offsets are byte counts into that stream.
+//! The replication stream *is* the WAL stream, carried in frames. Each
+//! writer (shard) thread taps every byte it flushes to its backend
+//! (after the group commit's sync under `Always`, so only durable
+//! records ship) and publishes the tapped segment as one frame:
+//!
+//! ```text
+//! [u32 payload_len][u16 shard][u64 gseq][payload: raw WAL records]
+//! ```
+//!
+//! The global batch sequence `gseq` is stamped under the replication
+//! lock at publish time, so the backlog's byte order *is* gseq order —
+//! the single total order that linearizes cross-shard effects for
+//! replicas and `WAIT`. Frames land in a bounded in-memory backlog plus
+//! the feed channel of every attached replica. Offsets are byte counts
+//! into the framed stream.
 //!
 //! Attach protocol (one TCP connection, replica → primary):
 //!
@@ -16,11 +26,13 @@
 //!    the replid matches and the offset is still retained (partial
 //!    resync), or `+FULLRESYNC <replid> <offset>\r\n` followed by one
 //!    RESP bulk holding a point-in-time RDB stream of the keyspace.
-//!    After the header + payload, the socket carries raw WAL records.
-//! 3. The replica applies shipped records through its normal engine —
-//!    its own WAL, group commit, snapshots, and published read view —
-//!    then reports `REPLCONF ACK <offset>` on the same socket. The
-//!    feed thread reads acks opportunistically; `WAIT` polls them.
+//!    After the header + payload, the socket carries stream frames.
+//! 3. The replica applies shipped frames in gseq (= arrival) order,
+//!    re-sharding each frame's records by its *own* shard function and
+//!    applying them through its normal engine — its own WAL, group
+//!    commit, snapshots, and published read view — then reports
+//!    `REPLCONF ACK <offset>` on the same socket. The feed thread reads
+//!    acks opportunistically; `WAIT` polls them.
 //!
 //! Promotion is `REPLICAOF NO ONE`: the link epoch bumps (stale link
 //! threads and their in-flight applies are refused), the role flips, and
@@ -35,11 +47,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-use slimio_imdb::wal::{self, WalDecodeError};
+use slimio_imdb::wal::{self, WalDecodeError, WalRecord};
 
 use crate::govern::{lock_ok, Governor};
 use crate::resp::{self, Parser, Value};
-use crate::server::{Request, Shared};
+use crate::server::{shard_of, Request, Shared};
 
 /// Error returned for writes sent to a replica.
 pub(crate) const READONLY_MSG: &str = "READONLY You can't write against a read only replica.";
@@ -47,6 +59,35 @@ pub(crate) const READONLY_MSG: &str = "READONLY You can't write against a read o
 /// Default replication backlog capacity (bytes of WAL stream retained
 /// for partial resync).
 pub(crate) const DEFAULT_BACKLOG_BYTES: usize = 1 << 20;
+
+/// Stream frame header: payload length (u32), origin shard (u16),
+/// global batch sequence (u64), all little-endian.
+pub(crate) const FRAME_HDR: usize = 4 + 2 + 8;
+
+/// Encodes one stream frame onto `out`.
+pub(crate) fn encode_frame(shard: u16, gseq: u64, payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.extend_from_slice(&gseq.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decodes one complete frame from the front of `buf`. Returns
+/// `(shard, gseq, payload, bytes_consumed)`, or `None` while the frame
+/// is still incomplete.
+pub(crate) fn decode_frame(buf: &[u8]) -> Option<(u16, u64, &[u8], usize)> {
+    if buf.len() < FRAME_HDR {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let shard = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+    let gseq = u64::from_le_bytes(buf[6..14].try_into().unwrap());
+    let total = FRAME_HDR + len;
+    if buf.len() < total {
+        return None;
+    }
+    Some((shard, gseq, &buf[FRAME_HDR..total], total))
+}
 
 /// Which side of replication this node is on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +189,10 @@ pub(crate) struct ReplInner {
     /// Bumped on every REPLICAOF transition; stale link threads (and
     /// their in-flight applies) carry an old epoch and are refused.
     pub(crate) link_epoch: u64,
+    /// Last global batch sequence stamped onto a published frame. The
+    /// stamp happens under this lock, so backlog byte order is gseq
+    /// order — the cross-shard linearization point.
+    pub(crate) next_gseq: u64,
     /// Link thread status for `INFO`: "down", "connecting", "streaming".
     pub(crate) link_status: &'static str,
 }
@@ -171,6 +216,7 @@ impl ReplState {
                 upstream_replid: None,
                 applied_offset: 0,
                 link_epoch: 1,
+                next_gseq: 0,
                 link_status: "down",
             }),
         }
@@ -216,15 +262,23 @@ impl ReplState {
             .count()
     }
 
-    /// Appends one tapped WAL segment to the backlog and fans it out to
-    /// every live feed, evicting replicas that have lagged past the
-    /// governor's feed limit. Called by the writer thread after each
-    /// flush — so eviction is part of publishing, and a stalled replica
-    /// can never make the writer queue segments for it without bound.
-    pub(crate) fn publish_segment(&self, bytes: Vec<u8>, gov: &Governor) {
-        let seg: Arc<[u8]> = bytes.into();
+    /// Frames one tapped WAL segment — stamping the next global batch
+    /// sequence under the lock, so concurrent shard writers serialize
+    /// here and the backlog's byte order is gseq order — then appends it
+    /// to the backlog and fans it out to every live feed, evicting
+    /// replicas that have lagged past the governor's feed limit. Called
+    /// by each shard's writer thread after its group commit — so
+    /// eviction is part of publishing, and a stalled replica can never
+    /// make a writer queue segments for it without bound. Returns the
+    /// stamped gseq.
+    pub(crate) fn publish_frame(&self, shard: u16, payload: Vec<u8>, gov: &Governor) -> u64 {
         let limit = gov.opts().repl_feed_limit;
         let mut inner = self.lock();
+        inner.next_gseq += 1;
+        let gseq = inner.next_gseq;
+        let mut framed = Vec::with_capacity(FRAME_HDR + payload.len());
+        encode_frame(shard, gseq, &payload, &mut framed);
+        let seg: Arc<[u8]> = framed.into();
         inner.backlog.push(&seg);
         let end = inner.backlog.end();
         inner.peers.retain(|p| {
@@ -244,6 +298,7 @@ impl ReplState {
             }
             p.feed.send(Arc::clone(&seg)).is_ok()
         });
+        gseq
     }
 
     /// Records locally committed upstream progress (writer thread, after
@@ -493,8 +548,10 @@ fn run_feed(
 
 /// Everything the replica's link thread needs.
 pub(crate) struct LinkCtx {
-    /// Request channel into this node's own writer thread.
-    pub(crate) tx: mpsc::Sender<Request>,
+    /// Request channels into this node's own shard writer threads. The
+    /// link re-shards the upstream stream by the local shard function,
+    /// so primary and replica shard counts are independent.
+    pub(crate) txs: Vec<mpsc::Sender<Request>>,
     pub(crate) repl: Arc<ReplState>,
     pub(crate) shared: Arc<Shared>,
     /// This node's serving port, announced via `REPLCONF listening-port`.
@@ -661,20 +718,38 @@ fn link_once(ctx: &LinkCtx) -> std::io::Result<()> {
             Value::Bulk(b) => b,
             other => return Err(io_err(format!("bad full-sync payload: {other:?}"))),
         };
-        // Replace the whole keyspace through our own writer: the reset
-        // runs the normal engine path, so it lands in our own WAL and
+        // Replace the whole keyspace through our own shard writers: the
+        // link parses the RDB payload once, splits the entries by the
+        // *local* shard function, and every shard (even one receiving no
+        // entries) clears and reloads its slice. The reset runs the
+        // normal engine path, so it lands in each shard's own WAL and
         // read view like any other batch.
-        let (atx, arx) = mpsc::channel();
-        ctx.tx
-            .send(Request::ReplSet {
-                snapshot,
-                offset,
-                replid,
-                epoch: ctx.epoch,
-                reply: atx,
-            })
-            .map_err(|_| io_err("writer gone"))?;
-        wait_writer_ack(&arx, ctx)?;
+        let entries = slimio_imdb::rdb::read_all(&snapshot)
+            .map_err(|e| io_err(format!("bad full-sync payload: {e}")))?;
+        let shards = ctx.txs.len();
+        let mut split: Vec<Vec<(Vec<u8>, Vec<u8>)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (k, v) in entries {
+            let s = shard_of(&k, shards);
+            split[s].push((k, v));
+        }
+        let mut acks = Vec::with_capacity(shards);
+        for (s, entries) in split.into_iter().enumerate() {
+            let (atx, arx) = mpsc::channel();
+            ctx.txs[s]
+                .send(Request::ReplSet {
+                    entries,
+                    epoch: ctx.epoch,
+                    reply: atx,
+                })
+                .map_err(|_| io_err("writer gone"))?;
+            acks.push(arx);
+        }
+        for arx in &acks {
+            wait_writer_ack(arx, ctx)?;
+        }
+        // Every shard committed its slice: the snapshot offset is now
+        // durable and readable here, in full.
+        ctx.repl.set_applied(ctx.epoch, offset, Some(replid));
         let off_str = offset.to_string();
         send_cmd(
             &mut stream,
@@ -688,42 +763,73 @@ fn link_once(ctx: &LinkCtx) -> std::io::Result<()> {
     }
     ctx.repl.set_link_status(ctx.epoch, "streaming");
 
-    // RESP ends here: everything further on this socket is raw WAL
-    // stream. Bytes that rode in behind the last parsed reply carry
+    // RESP ends here: everything further on this socket is the framed
+    // WAL stream. Bytes that rode in behind the last parsed reply carry
     // over into the raw buffer.
     let mut carry = parser.take_remaining();
+    let shards = ctx.txs.len();
     loop {
         if !ctx.current() {
             return Ok(());
         }
-        // Decode every complete record buffered so far.
+        // Decode every complete frame buffered so far. Frames arrive in
+        // gseq order (each is stamped under the primary's replication
+        // lock before entering the backlog), and every record of this
+        // round is applied — on all shards — before the round's ack, so
+        // the acked prefix is always a gseq-contiguous prefix of the
+        // primary's stream.
         let mut consumed = 0usize;
-        let mut records = Vec::new();
-        loop {
-            match wal::decode(&carry[consumed..]) {
-                Ok((rec, used)) => {
-                    records.push(rec);
-                    consumed += used;
+        let mut split: Vec<Vec<WalRecord>> = (0..shards).map(|_| Vec::new()).collect();
+        while let Some((_shard, _gseq, payload, used)) = decode_frame(&carry[consumed..]) {
+            let mut at = 0usize;
+            while at < payload.len() {
+                match wal::decode(&payload[at..]) {
+                    Ok((rec, n)) => {
+                        let key = match &rec {
+                            WalRecord::Set { key, .. } => key,
+                            WalRecord::Del { key, .. } => key,
+                        };
+                        // Re-shard by the *local* shard function: the
+                        // frame's origin shard is the primary's layout,
+                        // not ours.
+                        split[shard_of(key, shards)].push(rec);
+                        at += n;
+                    }
+                    // A frame carries whole records: truncation inside
+                    // one is corruption, not a short read.
+                    Err(WalDecodeError::Truncated) => {
+                        return Err(io_err("corrupt replication stream: torn record in frame"))
+                    }
+                    Err(e) => return Err(io_err(format!("corrupt replication stream: {e:?}"))),
                 }
-                Err(WalDecodeError::Truncated) => break,
-                Err(e) => return Err(io_err(format!("corrupt replication stream: {e:?}"))),
             }
+            consumed += used;
         }
         if consumed > 0 {
             carry.drain(..consumed);
             offset += consumed as u64;
-            let (atx, arx) = mpsc::channel();
-            ctx.tx
-                .send(Request::ReplApply {
-                    records,
-                    offset,
-                    epoch: ctx.epoch,
-                    reply: atx,
-                })
-                .map_err(|_| io_err("writer gone"))?;
-            // The writer acks after the batch's group commit and view
-            // publish: acking upstream means "durable and readable here".
-            wait_writer_ack(&arx, ctx)?;
+            let mut acks = Vec::new();
+            for (s, records) in split.into_iter().enumerate() {
+                if records.is_empty() {
+                    continue;
+                }
+                let (atx, arx) = mpsc::channel();
+                ctx.txs[s]
+                    .send(Request::ReplApply {
+                        records,
+                        epoch: ctx.epoch,
+                        reply: atx,
+                    })
+                    .map_err(|_| io_err("writer gone"))?;
+                acks.push(arx);
+            }
+            // Each shard acks after its batch's group commit and view
+            // publish: acking upstream means "durable and readable
+            // here" — on every shard the round touched.
+            for arx in &acks {
+                wait_writer_ack(arx, ctx)?;
+            }
+            ctx.repl.set_applied(ctx.epoch, offset, None);
             let off_str = offset.to_string();
             send_cmd(
                 &mut stream,
@@ -787,6 +893,23 @@ mod tests {
         assert_eq!(b.tail_from(9).as_deref(), Some(&b"j"[..]));
         assert_eq!(b.tail_from(10).as_deref(), Some(&b""[..]), "end is valid");
         assert_eq!(b.tail_from(11), None, "future offsets are not");
+    }
+
+    #[test]
+    fn frame_roundtrip_and_truncation() {
+        let mut buf = Vec::new();
+        encode_frame(3, 42, b"payload", &mut buf);
+        encode_frame(0, 43, b"", &mut buf);
+        let (shard, gseq, payload, used) = decode_frame(&buf).unwrap();
+        assert_eq!((shard, gseq, payload), (3, 42, &b"payload"[..]));
+        let (shard2, gseq2, payload2, used2) = decode_frame(&buf[used..]).unwrap();
+        assert_eq!((shard2, gseq2, payload2), (0, 43, &b""[..]));
+        assert_eq!(used + used2, buf.len());
+        // Every strict prefix of a single frame is "incomplete", never
+        // a bogus decode.
+        for cut in 0..used {
+            assert!(decode_frame(&buf[..cut]).is_none(), "cut at {cut}");
+        }
     }
 
     #[test]

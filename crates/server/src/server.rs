@@ -1,43 +1,57 @@
-//! The live server: a multi-threaded RESP2 front end over a
-//! single-writer engine thread, with a lock-free read fast path.
+//! The live server: a multi-threaded RESP2 front end over `N` sharded
+//! writer engine threads, with a lock-free read fast path.
 //!
-//! Architecture (mirrors Redis' single-threaded *write* semantics):
-//! per-connection reader threads parse RESP2 frames in place from a
-//! reusable read buffer. Write and admin commands are forwarded over an
-//! MPSC channel to one writer thread that owns the `Db<AnyBackend>`;
-//! read-only commands (GET, EXISTS, PING) are served directly on the
-//! connection thread against the engine's published [`ReadView`] — they
-//! never enqueue to the writer and never touch the storage stack. The
-//! writer drains the queue into bounded batches and group-commits each
-//! batch: commands execute against the engine with their WAL records
-//! queued, then one flush (and, under `Always`, one device sync) covers
-//! the whole batch, the batch's keyspace mutations are *published* into
-//! the read view, and only after that are the batch's replies released —
-//! an ack still implies durability, and because the publish precedes the
-//! ack, a connection that has seen an ack can already read its own write
-//! from the view (read-your-writes). Each reply carries the publish
-//! sequence; before serving a local read, a connection waits (trivially,
-//! per the ordering above) until the view has published its newest acked
-//! sequence, and first drains any writer replies it still owes the
-//! socket so the reply stream stays in request order. Replies accumulate
+//! Architecture (a sharded generalization of Redis' single-threaded
+//! *write* semantics): per-connection reader threads parse RESP2 frames
+//! in place from a reusable read buffer. The keyspace is split across
+//! `--shards N` writer threads by [`shard_of`] (FxHash of the key); each
+//! writer owns a full `Db<AnyBackend>` over its own disjoint LBA
+//! sub-layout, its own FDP placement IDs, its own slice of the
+//! admission governor, and its own group-commit batch. Write and admin
+//! commands are forwarded over the owning shard's MPSC channel
+//! (control-plane commands all route to shard 0); read-only commands
+//! (GET, EXISTS, PING) are served directly on the connection thread
+//! against the owning shard's published [`ReadView`] — they never
+//! enqueue to a writer and never touch the storage stack. Each writer
+//! drains its queue into bounded batches and group-commits each batch:
+//! commands execute against the engine with their WAL records queued,
+//! then one flush (and, under `Always`, one device sync) covers the
+//! whole batch, the batch's keyspace mutations are *published* into the
+//! shard's read view, and only after that are the batch's replies
+//! released — an ack still implies durability, and because the publish
+//! precedes the ack, a connection that has seen an ack can already read
+//! its own write from the view (read-your-writes). Each reply carries
+//! the shard's publish sequence; before serving a local read, a
+//! connection waits (trivially, per the ordering above) until the key's
+//! shard view has published that shard's newest acked sequence, and
+//! first drains any writer replies it still owes the socket so the
+//! reply stream stays in request order. Per-key ordering holds because
+//! a key always hashes to the same shard; multi-key DEL/EXISTS split
+//! per shard and their integer replies are summed. Replies accumulate
 //! in a per-connection scratch encoder and go out with one vectored
 //! write per drained burst; large values are spliced in as `Arc` slices
-//! without copying. The writer pumps background snapshots between
-//! batches and triggers WAL-threshold snapshots exactly like the
-//! simulated pipeline does.
+//! without copying. Each writer pumps background snapshots between
+//! batches, triggers WAL-threshold snapshots exactly like the simulated
+//! pipeline does, and runs its own periodic flush timer, so an idle
+//! shard can never delay another shard's `appendfsync everysec`
+//! deadline.
 //!
 //! Replication rides the same write path (see [`crate::repl`] for the
-//! protocol): after each group commit the writer drains the engine's WAL
-//! tap into the replication backlog and the attached replicas' feeds —
-//! *before* any reply is released, so a client holding a write's ack
-//! knows the backlog already covers it, which is what lets `WAIT` run
-//! entirely on the connection thread. `PSYNC` hands the raw socket from
-//! the connection thread to the writer, which freezes the keyspace
-//! between batches and spawns a feed thread per replica. A replica runs
-//! a link thread that applies the shipped stream through this same
-//! writer (so applied records land in the replica's own WAL and view)
-//! and rejects client writes with `-READONLY`.
+//! protocol): after each group commit a writer drains its engine's WAL
+//! tap into the replication backlog as one frame, stamped with a global
+//! batch sequence under the replication lock — the single total order
+//! that linearizes cross-shard effects — and fanned out to the attached
+//! replicas' feeds, *before* any reply is released, so a client holding
+//! a write's ack knows the backlog already covers it, which is what
+//! lets `WAIT` run entirely on the connection thread. `PSYNC` hands the
+//! raw socket from the connection thread to shard 0's writer, which
+//! registers the replica and gathers a keyspace snapshot across all
+//! shards. A replica runs a link thread that re-shards the shipped
+//! frames by its own shard function and applies them through these same
+//! writers (so applied records land in the replica's own per-shard WALs
+//! and views) and rejects client writes with `-READONLY`.
 
+use std::hash::Hasher;
 use std::io::{IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,9 +61,10 @@ use std::time::{Duration, Instant};
 
 use slimio_des::SimTime;
 use slimio_imdb::backend::{PersistBackend, SnapshotKind};
-use slimio_imdb::engine::DbError;
+use slimio_imdb::engine::{self, DbError};
+use slimio_imdb::fxhash::FxHasher;
 use slimio_imdb::wal::WalRecord;
-use slimio_imdb::{Db, DbConfig, LogPolicy, ReadHandle, ReadView};
+use slimio_imdb::{Db, DbConfig, Entry, LogPolicy, ReadHandle, ReadView};
 use slimio_metrics::Histogram;
 use slimio_uring::SharedClock;
 
@@ -82,6 +97,35 @@ const MAX_IOVECS: usize = 64;
 /// 100 ms read timeout, so one idle window this long means the queue is
 /// truly dry.
 const SHUTDOWN_DRAIN_IDLE: Duration = Duration::from_millis(150);
+/// Hard cap on writer shards: reply bookkeeping packs the shards a
+/// command touches into a `u16` bitmask.
+pub(crate) const MAX_SHARDS: usize = 16;
+
+/// The shard that owns `key`: avalanched FxHash modulo the shard
+/// count. Every layer — connection routing, replica link re-sharding,
+/// tests — must agree on this function, and a key's shard never changes
+/// while the shard count holds, which is what makes per-key ordering a
+/// per-shard property.
+///
+/// The avalanche step matters: FxHash's word loop ends in a multiply,
+/// so the low k bits of the raw hash depend only on the low k bits of
+/// the last input word. Keys that differ only in their middle bytes —
+/// the bench client's `key:000000001234` format, where the final
+/// 8-byte word always starts with '0' — would all reduce to the same
+/// shard. The xor-multiply finalizer (Murmur3's fmix64) spreads every
+/// input byte across the low bits before the modulo.
+pub(crate) fn shard_of(key: &[u8], shards: usize) -> usize {
+    if shards == 1 {
+        return 0;
+    }
+    let mut h = FxHasher::default();
+    h.write(key);
+    let mut x = h.finish();
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    (x as usize) % shards
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -134,6 +178,11 @@ pub enum ServerError {
     Backend(slimio_imdb::backend::BackendError),
     /// Engine recovery failed.
     Db(DbError),
+    /// Sharded recovery produced a gap in the merged global sequence:
+    /// some shard's WAL claims records another shard's tail should
+    /// bracket but doesn't hold. Starting would silently drop acked
+    /// writes, so the server refuses to.
+    Recovery(String),
 }
 
 impl std::fmt::Display for ServerError {
@@ -142,6 +191,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Io(e) => write!(f, "io: {e}"),
             ServerError::Backend(e) => write!(f, "backend: {e}"),
             ServerError::Db(e) => write!(f, "db: {e}"),
+            ServerError::Recovery(msg) => write!(f, "recovery: {msg}"),
         }
     }
 }
@@ -218,8 +268,55 @@ pub(crate) struct Shared {
     pub(crate) net_out: AtomicU64,
     /// Server start, for uptime and throughput.
     pub(crate) start: Instant,
-    /// Resource governance: bounded admission and overload accounting.
+    /// Resource governance: bounded admission and overload accounting,
+    /// one gate slice per shard.
     pub(crate) gov: Governor,
+    /// `SHUTDOWN NOSAVE` raises this so *every* shard writer skips its
+    /// final flush, not just the one that dispatched the command.
+    pub(crate) nosave: AtomicBool,
+    /// Per-shard observability, one slot per writer. Each writer
+    /// publishes its own slot once per batch; shard 0 reads all slots
+    /// to answer `INFO`, so no writer ever touches another's engine.
+    pub(crate) shard_stats: Vec<ShardStat>,
+}
+
+/// One shard writer's published statistics (see [`Shared::shard_stats`]).
+pub(crate) struct ShardStat {
+    /// Live keys in this shard's keyspace.
+    pub(crate) keys: AtomicU64,
+    /// This shard's resident engine memory.
+    pub(crate) mem_used: AtomicU64,
+    /// This shard's governed (maxmemory-relevant) bytes. Summed across
+    /// shards for the global OOM gate.
+    pub(crate) mem_governed: AtomicU64,
+    /// Bytes in this shard's WAL region.
+    pub(crate) wal_len: AtomicU64,
+    /// Completed WAL-threshold snapshots.
+    pub(crate) wal_snapshots: AtomicU64,
+    /// Completed on-demand snapshots.
+    pub(crate) od_snapshots: AtomicU64,
+    /// A snapshot is mid-flight on this shard.
+    pub(crate) snapshot_active: AtomicBool,
+    /// Newest global batch sequence this shard stamped onto a frame.
+    pub(crate) last_gseq: AtomicU64,
+    /// Group-commit batch sizes (requests per batch).
+    pub(crate) batch_hist: Mutex<Histogram>,
+}
+
+impl ShardStat {
+    fn new() -> Self {
+        ShardStat {
+            keys: AtomicU64::new(0),
+            mem_used: AtomicU64::new(0),
+            mem_governed: AtomicU64::new(0),
+            wal_len: AtomicU64::new(0),
+            wal_snapshots: AtomicU64::new(0),
+            od_snapshots: AtomicU64::new(0),
+            snapshot_active: AtomicBool::new(false),
+            last_gseq: AtomicU64::new(0),
+            batch_hist: Mutex::new(Histogram::new()),
+        }
+    }
 }
 
 /// One unit of work in flight to the writer thread. Command replies
@@ -233,29 +330,41 @@ pub(crate) enum Request {
         reply: mpsc::Sender<(Value, u64)>,
     },
     /// A `PSYNC` handoff: the connection thread surrenders the socket;
-    /// the writer freezes the keyspace between batches and spawns the
-    /// replica's feed thread.
+    /// shard 0's writer registers the replica between batches, gathers
+    /// the cross-shard keyspace, and spawns the replica's feed thread.
     Sync {
         args: Vec<Vec<u8>>,
         stream: TcpStream,
         addr: String,
     },
-    /// Replica link thread: replace the whole keyspace with a full-sync
-    /// snapshot. Acked only after the local group commit.
+    /// Replica link thread → one shard writer: replace this shard's
+    /// slice of the keyspace with its split of a full-sync snapshot
+    /// (already parsed and re-sharded by the link). Acked only after
+    /// the local group commit.
     ReplSet {
-        snapshot: Vec<u8>,
-        offset: u64,
-        replid: String,
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
         epoch: u64,
         reply: mpsc::Sender<(Value, u64)>,
     },
-    /// Replica link thread: apply a decoded slice of the primary's WAL
-    /// stream. Acked only after the local group commit.
+    /// Replica link thread → one shard writer: apply this shard's
+    /// records from decoded stream frames. Acked only after the local
+    /// group commit.
     ReplApply {
         records: Vec<WalRecord>,
-        offset: u64,
         epoch: u64,
         reply: mpsc::Sender<(Value, u64)>,
+    },
+    /// Shard 0 → another shard: hand back a point-in-time copy of your
+    /// keyspace (for `DEBUG DIGEST` and full-sync snapshots). Answered
+    /// between batches, after the commit + backlog pump, so the reply
+    /// covers every frame the shard has published.
+    Entries { reply: mpsc::Sender<Vec<Entry>> },
+    /// Shard 0 → another shard: start a background snapshot of the
+    /// given kind (the BGSAVE / BGREWRITEAOF broadcast). Replies
+    /// whether the snapshot was started.
+    Bg {
+        kind: SnapshotKind,
+        reply: mpsc::Sender<bool>,
     },
 }
 
@@ -267,8 +376,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    writer: Option<JoinHandle<AnyBackend>>,
-    tx: Option<mpsc::Sender<Request>>,
+    writers: Option<Vec<JoinHandle<AnyBackend>>>,
+    txs: Option<Vec<mpsc::Sender<Request>>>,
     store: Option<Store>,
     recovered_keys: u64,
     wal_records_replayed: u64,
@@ -312,39 +421,43 @@ impl ServerHandle {
     }
 
     /// Blocks until a client issues `SHUTDOWN`, then tears down cleanly.
+    /// (`SHUTDOWN` dispatches on shard 0, which raises `stop`; every
+    /// other shard writer notices within its idle-poll window.)
     pub fn join(mut self) -> Store {
-        let backend = self
-            .writer
+        let backends: Vec<AnyBackend> = self
+            .writers
             .take()
-            .expect("writer joined twice")
-            .join()
-            .expect("writer thread panicked");
+            .expect("writers joined twice")
+            .into_iter()
+            .map(|w| w.join().expect("writer thread panicked"))
+            .collect();
         self.shared.stop.store(true, Ordering::SeqCst);
         if let Some(a) = self.accept.take() {
             let _ = a.join();
         }
-        drop(self.tx.take());
+        drop(self.txs.take());
         let mut store = self.store.take().expect("store taken twice");
-        store.close(backend);
+        store.close_shards(backends);
         store
     }
 
     fn teardown(&mut self, crash: bool) -> Store {
-        drop(self.tx.take());
+        drop(self.txs.take());
         if let Some(a) = self.accept.take() {
             let _ = a.join();
         }
-        let backend = self
-            .writer
+        let backends: Vec<AnyBackend> = self
+            .writers
             .take()
-            .expect("writer joined twice")
-            .join()
-            .expect("writer thread panicked");
+            .expect("writers joined twice")
+            .into_iter()
+            .map(|w| w.join().expect("writer thread panicked"))
+            .collect();
         let mut store = self.store.take().expect("store taken twice");
         if crash {
-            store.crash(backend);
+            store.crash_shards(backends);
         } else {
-            store.close(backend);
+            store.close_shards(backends);
         }
         store
     }
@@ -354,27 +467,60 @@ impl ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Opens (or recovers) the store's backend, recovers the keyspace,
-    /// binds the listener, and spawns the accept + writer threads.
+    /// Opens (or recovers) the store's shard backends, recovers each
+    /// shard's keyspace (asserting the merged global sequence is
+    /// gap-free), binds the listener, and spawns the accept thread plus
+    /// one writer thread per shard.
     pub fn start(mut store: Store, opts: ServerOpts) -> Result<ServerHandle, ServerError> {
         let clock = store.clock();
-        let backend = store.open().map_err(ServerError::Backend)?;
+        let shards = store.shards();
+        assert!(
+            (1..=MAX_SHARDS).contains(&shards),
+            "shard count must be in 1..={MAX_SHARDS}, got {shards}"
+        );
+        let backends = store.open_shards().map_err(ServerError::Backend)?;
         let cfg = DbConfig {
             policy: opts.policy,
             wal_snapshot_threshold: opts.wal_snapshot_threshold,
             snapshot_chunk: opts.snapshot_chunk,
             ..DbConfig::default()
         };
-        let (mut db, replayed) =
-            Db::recover(backend, cfg, sim_now(&clock)).map_err(ServerError::Db)?;
-        let recovered_keys = db.len() as u64;
-        // Mirror every flushed WAL byte for the replication backlog; the
-        // writer drains the tap after each group commit.
-        db.enable_wal_tap();
-        // Install the concurrent read view over the recovered keyspace
+        let mut dbs = Vec::with_capacity(shards);
+        let mut seq_lists: Vec<Vec<u64>> = Vec::with_capacity(shards);
+        let mut recovered_keys = 0u64;
+        let mut replayed = 0u64;
+        for backend in backends {
+            let (mut db, shard_replayed, seqs) =
+                Db::recover_with_seqs(backend, cfg, sim_now(&clock)).map_err(ServerError::Db)?;
+            recovered_keys += db.len() as u64;
+            replayed += shard_replayed;
+            // Mirror every flushed WAL byte for the replication backlog;
+            // each writer drains its tap after each group commit.
+            db.enable_wal_tap();
+            seq_lists.push(seqs);
+            dbs.push(db);
+        }
+        if shards > 1 {
+            // Refuse to start on a gap in the merged global sequence —
+            // it means some shard's durable WAL is missing records that
+            // neighboring shards prove were acked.
+            check_merged_recovery(&seq_lists).map_err(ServerError::Recovery)?;
+            // One global monotonic record sequence across all shards:
+            // seed it past every shard's recovered high-water mark, then
+            // install it so each shard's WAL stream stays strictly
+            // increasing while cross-shard writes stay totally ordered.
+            let max_seq = dbs.iter().map(|d| d.seq()).max().unwrap_or(0);
+            let counter = Arc::new(AtomicU64::new(max_seq));
+            for db in &mut dbs {
+                db.set_shared_seq(Arc::clone(&counter));
+            }
+        }
+        // Install the concurrent read views over the recovered keyspace
         // before any connection is accepted, so readers never observe a
         // pre-recovery view.
-        let view: Option<Arc<ReadView>> = opts.read_path.then(|| db.install_view());
+        let views: Option<Vec<Arc<ReadView>>> = opts
+            .read_path
+            .then(|| dbs.iter_mut().map(|db| db.install_view()).collect());
 
         let listener = TcpListener::bind(&opts.addr).map_err(ServerError::Io)?;
         listener.set_nonblocking(true).map_err(ServerError::Io)?;
@@ -390,31 +536,35 @@ impl Server {
             net_in: AtomicU64::new(0),
             net_out: AtomicU64::new(0),
             start: Instant::now(),
-            gov: Governor::new(opts.govern),
+            gov: Governor::new(opts.govern, shards),
+            nosave: AtomicBool::new(false),
+            shard_stats: (0..shards).map(|_| ShardStat::new()).collect(),
         });
         let repl = Arc::new(ReplState::new(
             opts.replica_of.clone(),
             opts.repl_backlog_bytes,
         ));
 
-        let (tx, rx) = mpsc::channel::<Request>();
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards).map(|_| mpsc::channel::<Request>()).unzip();
 
-        let writer = {
+        let mut writers = Vec::with_capacity(shards);
+        for (shard, (db, rx)) in dbs.into_iter().zip(rxs).enumerate() {
             let shared = Arc::clone(&shared);
             let repl = Arc::clone(&repl);
-            let req_tx = tx.clone();
+            let txs = txs.clone();
             let backend_name = store.kind().name();
             let fdp = store.fdp();
             let clock = clock.clone();
             let snapshot_chunk = opts.snapshot_chunk;
             let port = addr.port();
-            std::thread::Builder::new()
-                .name("slimio-writer".to_string())
+            let w = std::thread::Builder::new()
+                .name(format!("slimio-writer-{shard}"))
                 .spawn(move || {
                     Writer {
+                        shard,
                         db,
                         rx,
-                        req_tx,
+                        txs,
                         shared,
                         repl,
                         port,
@@ -426,29 +576,29 @@ impl Server {
                         wal_records_replayed: replayed,
                         snap_started: None,
                         last_snapshot_ms: None,
-                        nosave: false,
                         cmds_since_step: 0,
                         pending_syncs: Vec::new(),
-                        applied_updates: Vec::new(),
+                        pending_gathers: Vec::new(),
                     }
                     .run()
                 })
-                .map_err(ServerError::Io)?
-        };
+                .map_err(ServerError::Io)?;
+            writers.push(w);
+        }
 
         let accept = {
             let shared = Arc::clone(&shared);
             let repl = Arc::clone(&repl);
-            let tx = tx.clone();
+            let txs = txs.clone();
             std::thread::Builder::new()
                 .name("slimio-accept".to_string())
-                .spawn(move || accept_loop(listener, tx, shared, view, repl))
+                .spawn(move || accept_loop(listener, txs, shared, views, repl))
                 .map_err(ServerError::Io)?
         };
 
         if opts.replica_of.is_some() {
             repl::spawn_link(LinkCtx {
-                tx: tx.clone(),
+                txs: txs.clone(),
                 repl: Arc::clone(&repl),
                 shared: Arc::clone(&shared),
                 my_port: addr.port(),
@@ -460,13 +610,57 @@ impl Server {
             addr,
             shared,
             accept: Some(accept),
-            writer: Some(writer),
-            tx: Some(tx),
+            writers: Some(writers),
+            txs: Some(txs),
             store: Some(store),
             recovered_keys,
             wal_records_replayed: replayed,
         })
     }
+}
+
+/// Sharded recovery merge check. Each shard replays its own WAL tail —
+/// a contiguous run of *its* records, whose seqs are a strictly
+/// increasing subsequence of the global sequence. Inside the window
+/// every shard's tail spans (`max` of first replayed seqs ..= `min` of
+/// last replayed seqs), every global seq belongs to exactly one shard
+/// and must therefore appear in the union; a hole means durable acked
+/// records went missing. Vacuously satisfied when any shard replayed
+/// nothing (its tail bounds no window).
+fn check_merged_recovery(seq_lists: &[Vec<u64>]) -> Result<(), String> {
+    if seq_lists.iter().any(|l| l.is_empty()) {
+        return Ok(());
+    }
+    let lo = seq_lists.iter().map(|l| l[0]).max().unwrap();
+    let hi = seq_lists.iter().map(|l| *l.last().unwrap()).min().unwrap();
+    if lo > hi {
+        return Ok(());
+    }
+    let mut merged: Vec<u64> = seq_lists
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|s| (lo..=hi).contains(s))
+        .collect();
+    merged.sort_unstable();
+    let expected = (hi - lo + 1) as usize;
+    merged.dedup();
+    if merged.len() != expected {
+        let mut missing = lo;
+        let mut prev = lo.wrapping_sub(1);
+        for &s in &merged {
+            if s != prev + 1 {
+                missing = prev + 1;
+                break;
+            }
+            prev = s;
+        }
+        return Err(format!(
+            "merged WAL replay has a gap at seq {missing}: window [{lo}, {hi}] holds {} of {expected} records",
+            merged.len()
+        ));
+    }
+    Ok(())
 }
 
 fn sim_now(clock: &SharedClock) -> SimTime {
@@ -475,9 +669,9 @@ fn sim_now(clock: &SharedClock) -> SimTime {
 
 fn accept_loop(
     listener: TcpListener,
-    tx: mpsc::Sender<Request>,
+    txs: Vec<mpsc::Sender<Request>>,
     shared: Arc<Shared>,
-    view: Option<Arc<ReadView>>,
+    views: Option<Vec<Arc<ReadView>>>,
     repl: Arc<ReplState>,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
@@ -486,13 +680,13 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 shared.connections.fetch_add(1, Ordering::SeqCst);
                 shared.total_connections.fetch_add(1, Ordering::SeqCst);
-                let tx = tx.clone();
+                let txs = txs.clone();
                 let shared = Arc::clone(&shared);
-                let view = view.clone();
+                let views = views.clone();
                 let repl = Arc::clone(&repl);
                 if let Ok(h) = std::thread::Builder::new()
                     .name("slimio-conn".to_string())
-                    .spawn(move || connection_loop(stream, tx, shared, view, repl))
+                    .spawn(move || connection_loop(stream, txs, shared, views, repl))
                 {
                     conns.push(h);
                 }
@@ -754,13 +948,17 @@ fn serve_wait(
     resp::encode_int(have as i64, &mut reply.scratch);
 }
 
-/// Executes one local (read-path) command against the view. GET/EXISTS
-/// are only routed here when a [`ReadHandle`] exists; their arity errors
-/// are produced locally too so the reply stream stays in order.
+/// Executes one local (read-path) command against the shard views.
+/// GET/EXISTS are only routed here when the [`ReadHandle`]s exist; their
+/// arity errors are produced locally too so the reply stream stays in
+/// order. Each key is read from *its own shard's* view after waiting
+/// (trivially) for that shard's newest acked sequence — waiting on one
+/// global sequence would couple a shard's reads to every other shard's
+/// publish cadence.
 fn serve_local(
     frame: &resp::CommandFrame<'_>,
-    reader: Option<&ReadHandle>,
-    last_ack_seq: u64,
+    readers: Option<&[ReadHandle]>,
+    last_acks: &[u64],
     reply: &mut ReplyBuf,
 ) {
     let cmd = frame.arg(0);
@@ -775,11 +973,8 @@ fn serve_local(
         }
         return;
     }
-    let reader = reader.expect("GET/EXISTS routed local without a read handle");
-    // Read-your-writes: the newest acked write of *this connection* must
-    // be visible. Publish-before-ack makes this a no-op in practice; it
-    // is the invariant, not a wait.
-    reader.wait_published(last_ack_seq);
+    let readers = readers.expect("GET/EXISTS routed local without read handles");
+    let shards = readers.len();
     if cmd.eq_ignore_ascii_case(b"GET") {
         if frame.arg_count() != 2 {
             resp::encode_error(
@@ -788,7 +983,12 @@ fn serve_local(
             );
             return;
         }
-        match reader.get(frame.arg(1)) {
+        let s = shard_of(frame.arg(1), shards);
+        // Read-your-writes: the newest acked write of *this connection*
+        // on this key's shard must be visible. Publish-before-ack makes
+        // this a no-op in practice; it is the invariant, not a wait.
+        readers[s].wait_published(last_acks[s]);
+        match readers[s].get(frame.arg(1)) {
             Some(v) => reply.push_bulk_value(v),
             None => resp::encode_null(&mut reply.scratch),
         }
@@ -803,7 +1003,9 @@ fn serve_local(
         }
         let mut found = 0i64;
         for i in 1..frame.arg_count() {
-            if reader.contains(frame.arg(i)) {
+            let s = shard_of(frame.arg(i), shards);
+            readers[s].wait_published(last_acks[s]);
+            if readers[s].contains(frame.arg(i)) {
                 found += 1;
             }
         }
@@ -841,13 +1043,77 @@ impl Drop for ConnGuard {
     }
 }
 
+/// One writer-bound command whose reply (or replies) the socket is
+/// still owed, in request order.
+struct Owed {
+    /// When the command was parsed, for the latency histogram.
+    t0: Instant,
+    /// The shards that each owe exactly one reply for this command.
+    mask: u16,
+    /// How the per-shard replies collapse into one client reply.
+    combine: Combine,
+}
+
+/// Reply-combining rule for one forwarded command.
+#[derive(Clone, Copy)]
+enum Combine {
+    /// Single-shard command: pass its one reply through.
+    Pass,
+    /// Multi-key command split across shards: sum the integer replies
+    /// (DEL's removed count, EXISTS's found count). Any error reply
+    /// wins over the sum.
+    SumInt,
+}
+
+/// One forwarded sub-command: the shard it goes to and its args.
+type ShardRequest = (usize, Vec<Vec<u8>>);
+
+/// Decides which shard writer(s) one forwarded command goes to.
+/// Multi-key DEL/EXISTS split into one sub-command per owning shard,
+/// their integer replies summed; single-key data commands go to the
+/// key's shard; everything else — the control plane — runs on shard 0.
+fn plan_requests(args: Vec<Vec<u8>>, shards: usize) -> (Vec<ShardRequest>, Combine) {
+    let Some(cmd) = args.first() else {
+        return (vec![(0, args)], Combine::Pass);
+    };
+    let multi_key = cmd.eq_ignore_ascii_case(b"DEL") || cmd.eq_ignore_ascii_case(b"EXISTS");
+    if shards > 1 && multi_key && args.len() > 2 {
+        let mut per: Vec<Vec<Vec<u8>>> = vec![Vec::new(); shards];
+        let mut it = args.into_iter();
+        let name = it.next().expect("first arg checked above");
+        for key in it {
+            per[shard_of(&key, shards)].push(key);
+        }
+        let plan: Vec<(usize, Vec<Vec<u8>>)> = per
+            .into_iter()
+            .enumerate()
+            .filter(|(_, keys)| !keys.is_empty())
+            .map(|(s, keys)| {
+                let mut sub = Vec::with_capacity(1 + keys.len());
+                sub.push(name.clone());
+                sub.extend(keys);
+                (s, sub)
+            })
+            .collect();
+        return (plan, Combine::SumInt);
+    }
+    let keyed = multi_key || cmd.eq_ignore_ascii_case(b"SET") || cmd.eq_ignore_ascii_case(b"GET");
+    let s = if keyed && args.len() >= 2 {
+        shard_of(&args[1], shards)
+    } else {
+        0
+    };
+    (vec![(s, args)], Combine::Pass)
+}
+
 fn connection_loop(
     mut stream: TcpStream,
-    tx: mpsc::Sender<Request>,
+    txs: Vec<mpsc::Sender<Request>>,
     shared: Arc<Shared>,
-    view: Option<Arc<ReadView>>,
+    views: Option<Vec<Arc<ReadView>>>,
     repl: Arc<ReplState>,
 ) {
+    let shards = txs.len();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     // A socket that won't take reply bytes for this long is a slow
@@ -861,18 +1127,27 @@ fn connection_loop(
         shared: Arc::clone(&shared),
         hist: Arc::clone(&hist),
     };
-    // A read handle makes GET/EXISTS local. `register` returns None once
-    // the registry is full; those connections keep the classic
-    // everything-through-the-writer routing.
-    let reader: Option<ReadHandle> = view.as_ref().and_then(|v| v.register());
-    // One reply channel for the whole connection: the writer sends every
-    // reply back over this pair, so a pipelined burst costs one channel
-    // allocation per connection instead of one per command.
-    let (rtx, rrx) = mpsc::channel::<(Value, u64)>();
-    // Start times of writer-bound commands whose replies are still owed.
-    let mut t0s: Vec<Instant> = Vec::new();
-    // Newest engine sequence this connection has seen acked.
-    let mut last_ack_seq = 0u64;
+    // Read handles make GET/EXISTS local — one per shard view, all or
+    // nothing. `register` returns None once a registry is full; those
+    // connections keep the classic everything-through-the-writer
+    // routing.
+    let readers: Option<Vec<ReadHandle>> = views.as_ref().and_then(|vs| {
+        let mut rs = Vec::with_capacity(vs.len());
+        for v in vs.iter() {
+            rs.push(v.register()?);
+        }
+        Some(rs)
+    });
+    // One reply channel per shard for the whole connection: each shard's
+    // writer sends replies back over that shard's pair (in that shard's
+    // request order), so a pipelined burst costs no per-command channel
+    // allocation and cross-shard replies are re-sequenced by `owed`.
+    let (rtxs, rrxs): (Vec<_>, Vec<_>) =
+        (0..shards).map(|_| mpsc::channel::<(Value, u64)>()).unzip();
+    // Writer-bound commands whose replies are still owed.
+    let mut owed: Vec<Owed> = Vec::new();
+    // Newest engine sequence this connection has seen acked, per shard.
+    let mut last_acks = vec![0u64; shards];
     // The port a replica announced via `REPLCONF listening-port`, kept
     // so its PSYNC handoff can be labeled with a useful address.
     let mut replconf_port: Option<u16> = None;
@@ -895,7 +1170,7 @@ fn connection_loop(
             Err(_) => break,
         }
         reply.clear();
-        t0s.clear();
+        owed.clear();
         let mut fatal: Option<String> = None;
         let mut lost_writer = false;
         let mut handed_off = false;
@@ -907,22 +1182,22 @@ fn connection_loop(
             match parser.next_command_frame() {
                 Ok(Some(frame)) => {
                     let t0 = Instant::now();
-                    match route_command(&frame, reader.is_some()) {
+                    match route_command(&frame, readers.is_some()) {
                         Route::Local => {
-                            if !t0s.is_empty()
+                            if !owed.is_empty()
                                 && !drain_writer_replies(
-                                    &rrx,
+                                    &rrxs,
                                     &shared,
                                     &hist,
-                                    &mut t0s,
-                                    &mut last_ack_seq,
+                                    &mut owed,
+                                    &mut last_acks,
                                     &mut reply,
                                 )
                             {
                                 lost_writer = true;
                                 break;
                             }
-                            serve_local(&frame, reader.as_ref(), last_ack_seq, &mut reply);
+                            serve_local(&frame, readers.as_deref(), &last_acks, &mut reply);
                             lock_ok(&hist)
                                 .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                             shared.ops.fetch_add(1, Ordering::Relaxed);
@@ -948,16 +1223,16 @@ fn connection_loop(
                                 replconf_port = String::from_utf8_lossy(&args[2]).parse().ok();
                             }
                             // Deep pipelines may not park unbounded
-                            // replies at the writer: past the in-flight
+                            // replies at the writers: past the in-flight
                             // cap, settle what is owed before forwarding
                             // more.
-                            if t0s.len() >= shared.gov.opts().conn_inflight_cap
+                            if owed.len() >= shared.gov.opts().conn_inflight_cap
                                 && !drain_writer_replies(
-                                    &rrx,
+                                    &rrxs,
                                     &shared,
                                     &hist,
-                                    &mut t0s,
-                                    &mut last_ack_seq,
+                                    &mut owed,
+                                    &mut last_acks,
                                     &mut reply,
                                 )
                             {
@@ -965,18 +1240,25 @@ fn connection_loop(
                                 break;
                             }
                             let governed = args.first().is_some_and(|c| governed_cmd(c));
-                            if governed && !shared.gov.admit(&shared.stop) {
-                                // Queue full past the admission park:
-                                // refuse here, on the connection thread,
-                                // after settling owed replies so the
-                                // error lands in request order.
-                                if !t0s.is_empty()
+                            let (plan, combine) = plan_requests(args, shards);
+                            // `plan` lists shards in ascending order (the
+                            // split walks 0..shards), which is the lock
+                            // order `admit_all` reserves slots in.
+                            let involved: Vec<usize> = plan.iter().map(|(s, _)| *s).collect();
+                            if governed && !shared.gov.admit_all(&involved, &shared.stop) {
+                                // Some shard's queue full past the
+                                // admission park: refuse here, on the
+                                // connection thread, after settling owed
+                                // replies so the error lands in request
+                                // order. (`admit_all` already rolled back
+                                // any slots it took.)
+                                if !owed.is_empty()
                                     && !drain_writer_replies(
-                                        &rrx,
+                                        &rrxs,
                                         &shared,
                                         &hist,
-                                        &mut t0s,
-                                        &mut last_ack_seq,
+                                        &mut owed,
+                                        &mut last_acks,
                                         &mut reply,
                                     )
                                 {
@@ -988,33 +1270,48 @@ fn connection_loop(
                                     &mut reply.scratch,
                                 );
                                 shared.ops.fetch_add(1, Ordering::Relaxed);
-                            } else if tx
-                                .send(Request::Cmd {
-                                    args,
-                                    reply: rtx.clone(),
-                                })
-                                .is_err()
-                            {
-                                if governed {
-                                    shared.gov.release(1);
-                                }
-                                fatal = Some("ERR server shutting down".to_string());
-                                break;
                             } else {
-                                t0s.push(t0);
+                                let mut mask = 0u16;
+                                let mut send_failed = false;
+                                for (s, sub) in plan {
+                                    if send_failed
+                                        || txs[s]
+                                            .send(Request::Cmd {
+                                                args: sub,
+                                                reply: rtxs[s].clone(),
+                                            })
+                                            .is_err()
+                                    {
+                                        // A dead writer channel means
+                                        // teardown: give this and every
+                                        // later slot back; shards already
+                                        // sent release theirs on drain.
+                                        if governed {
+                                            shared.gov.release(s, 1);
+                                        }
+                                        send_failed = true;
+                                    } else {
+                                        mask |= 1 << s;
+                                    }
+                                }
+                                if send_failed {
+                                    fatal = Some("ERR server shutting down".to_string());
+                                    break;
+                                }
+                                owed.push(Owed { t0, mask, combine });
                             }
                         }
                         Route::Wait => {
                             // Settle this connection's own acks first —
                             // both for reply order and because the WAIT
                             // target must cover them.
-                            if !t0s.is_empty()
+                            if !owed.is_empty()
                                 && !drain_writer_replies(
-                                    &rrx,
+                                    &rrxs,
                                     &shared,
                                     &hist,
-                                    &mut t0s,
-                                    &mut last_ack_seq,
+                                    &mut owed,
+                                    &mut last_acks,
                                     &mut reply,
                                 )
                             {
@@ -1029,14 +1326,14 @@ fn connection_loop(
                         Route::Sync => {
                             // Flush everything owed so the sync preamble
                             // is the next thing on the wire, then hand
-                            // the socket to the writer and bow out.
-                            if !t0s.is_empty()
+                            // the socket to shard 0's writer and bow out.
+                            if !owed.is_empty()
                                 && !drain_writer_replies(
-                                    &rrx,
+                                    &rrxs,
                                     &shared,
                                     &hist,
-                                    &mut t0s,
-                                    &mut last_ack_seq,
+                                    &mut owed,
+                                    &mut last_acks,
                                     &mut reply,
                                 )
                             {
@@ -1058,7 +1355,7 @@ fn connection_loop(
                                 None => format!("{peer_ip}:?"),
                             };
                             if let Ok(dup) = stream.try_clone() {
-                                handed_off = tx
+                                handed_off = txs[0]
                                     .send(Request::Sync {
                                         args,
                                         stream: dup,
@@ -1092,17 +1389,10 @@ fn connection_loop(
             // read or write it again.
             break 'conn;
         }
-        // Collect whatever the writer still owes from this burst.
+        // Collect whatever the writers still owe from this burst.
         if !lost_writer
-            && !t0s.is_empty()
-            && !drain_writer_replies(
-                &rrx,
-                &shared,
-                &hist,
-                &mut t0s,
-                &mut last_ack_seq,
-                &mut reply,
-            )
+            && !owed.is_empty()
+            && !drain_writer_replies(&rrxs, &shared, &hist, &mut owed, &mut last_acks, &mut reply)
         {
             lost_writer = true;
         }
@@ -1129,31 +1419,52 @@ fn connection_loop(
     // the unwind path.
 }
 
-/// Collects one writer reply per outstanding start time, in order, into
-/// the reply buffer. Returns false when the writer is gone.
+/// Collects every owed command's per-shard replies, in request order,
+/// combining each command's replies into one client reply. Per shard,
+/// replies arrive in that shard's request order, so walking the owed
+/// list front to back and each mask in ascending shard order matches
+/// sends to replies exactly. Returns false when a writer is gone.
 fn drain_writer_replies(
-    rrx: &mpsc::Receiver<(Value, u64)>,
+    rrxs: &[mpsc::Receiver<(Value, u64)>],
     shared: &Shared,
     hist: &Arc<Mutex<Histogram>>,
-    t0s: &mut Vec<Instant>,
-    last_ack_seq: &mut u64,
+    owed: &mut Vec<Owed>,
+    last_acks: &mut [u64],
     reply: &mut ReplyBuf,
 ) -> bool {
-    for &t0 in t0s.iter() {
-        match wait_reply(rrx, shared) {
-            Some((value, seq)) => {
-                *last_ack_seq = (*last_ack_seq).max(seq);
-                lock_ok(hist).record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-                shared.ops.fetch_add(1, Ordering::Relaxed);
-                reply.push_value(&value);
+    for o in owed.iter() {
+        let mut sum = 0i64;
+        let mut first_err: Option<Value> = None;
+        let mut single: Option<Value> = None;
+        for (s, rrx) in rrxs.iter().enumerate() {
+            if o.mask & (1 << s) == 0 {
+                continue;
             }
-            None => {
-                t0s.clear();
-                return false;
+            match wait_reply(rrx, shared) {
+                Some((value, seq)) => {
+                    last_acks[s] = last_acks[s].max(seq);
+                    match &value {
+                        Value::Int(n) => sum += *n,
+                        Value::Error(_) if first_err.is_none() => first_err = Some(value.clone()),
+                        _ => {}
+                    }
+                    single = Some(value);
+                }
+                None => {
+                    owed.clear();
+                    return false;
+                }
             }
         }
+        let combined = match o.combine {
+            Combine::Pass => single.expect("owed entry with an empty shard mask"),
+            Combine::SumInt => first_err.unwrap_or(Value::Int(sum)),
+        };
+        lock_ok(hist).record(o.t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        shared.ops.fetch_add(1, Ordering::Relaxed);
+        reply.push_value(&combined);
     }
-    t0s.clear();
+    owed.clear();
     true
 }
 
@@ -1182,16 +1493,26 @@ fn wait_reply(rrx: &mpsc::Receiver<(Value, u64)>, shared: &Shared) -> Option<(Va
     }
 }
 
-/// The single writer thread: owns the engine, serializes all commands,
-/// pumps background snapshots, and performs the final flush on clean
-/// shutdown. Returns the backend so the store can be reassembled.
+/// One shard's writer thread: owns that shard's engine (its slice of
+/// the keyspace over its own WAL region and FDP placement IDs),
+/// serializes that shard's commands, group-commits each batch with one
+/// flush+sync, pumps background snapshots, and performs the final flush
+/// on clean shutdown. Shard 0 additionally carries the control plane:
+/// `INFO`/`DBSIZE`/`DEBUG DIGEST` totals, `BGSAVE` broadcast, `PSYNC`
+/// handoffs, and `SHUTDOWN`/`REPLICAOF`. Only shard 0 ever blocks on
+/// other shards (gathers, `Bg` broadcasts); other shards never block on
+/// shard 0, so there is no cross-writer deadlock. Returns the backend
+/// so the store can be reassembled.
 struct Writer {
+    shard: usize,
     db: Db<AnyBackend>,
     rx: mpsc::Receiver<Request>,
-    /// Own sender clone, handed to replica link threads spawned by a
-    /// runtime `REPLICAOF`. Its existence means channel disconnect can
-    /// no longer signal shutdown; the idle wait polls `stop` instead.
-    req_tx: mpsc::Sender<Request>,
+    /// Senders to every shard writer (our own included). Shard 0 uses
+    /// them for gathers and snapshot broadcasts; runtime `REPLICAOF`
+    /// hands a clone to the spawned link thread. Their existence means
+    /// channel disconnect can no longer signal shutdown; the idle wait
+    /// polls `stop` instead.
+    txs: Vec<mpsc::Sender<Request>>,
     shared: Arc<Shared>,
     repl: Arc<ReplState>,
     /// Our serving port, announced upstream by link threads.
@@ -1204,16 +1525,15 @@ struct Writer {
     wal_records_replayed: u64,
     snap_started: Option<Instant>,
     last_snapshot_ms: Option<u64>,
-    nosave: bool,
     cmds_since_step: u32,
     /// PSYNC handoffs parked during batch execution, served between
-    /// batches (after the commit + backlog pump, so the frozen keyspace
-    /// matches the backlog end exactly).
+    /// batches (after the commit + backlog pump, so the replica's
+    /// attach offset covers every frame this shard has published).
     pending_syncs: Vec<(Vec<Vec<u8>>, TcpStream, String)>,
-    /// Upstream progress recorded by this batch's ReplSet/ReplApply
-    /// requests: `(epoch, offset, upstream_replid)`. Applied to the
-    /// repl state only after the batch's group commit lands.
-    applied_updates: Vec<(u64, u64, Option<String>)>,
+    /// Keyspace-gather requests from shard 0 parked during batch
+    /// execution, answered between batches after the commit + backlog
+    /// pump so the reply reflects only published state.
+    pending_gathers: Vec<mpsc::Sender<Vec<Entry>>>,
 }
 
 impl Writer {
@@ -1297,14 +1617,13 @@ impl Writer {
                         if args.first().is_some_and(|c| governed_cmd(c)))
                 })
                 .count();
-            self.shared.gov.release(governed_drained);
+            self.shared.gov.release(self.shard, governed_drained);
 
             // Execute every command, queueing WAL records in the engine
             // while deferring the flush; every reply is parked until the
             // group commit lands so no ack precedes its batch's sync.
             pending.clear();
             write_acks.clear();
-            self.applied_updates.clear();
             let mut refused = false;
             for req in batch {
                 let (sender, value, wrote) = match req {
@@ -1336,9 +1655,7 @@ impl Writer {
                         }
                     }
                     Request::ReplSet {
-                        snapshot,
-                        offset,
-                        replid,
+                        entries,
                         epoch,
                         reply,
                     } => {
@@ -1349,14 +1666,12 @@ impl Writer {
                                 false,
                             )
                         } else {
-                            let (value, wrote) =
-                                self.apply_full_reset(&snapshot, offset, replid, epoch);
+                            let (value, wrote) = self.apply_full_reset(&entries, epoch);
                             (reply, value, wrote)
                         }
                     }
                     Request::ReplApply {
                         records,
-                        offset,
                         epoch,
                         reply,
                     } => {
@@ -1367,9 +1682,27 @@ impl Writer {
                                 false,
                             )
                         } else {
-                            let (value, wrote) = self.apply_repl_records(records, offset, epoch);
+                            let (value, wrote) = self.apply_repl_records(records, epoch);
                             (reply, value, wrote)
                         }
+                    }
+                    Request::Entries { reply } => {
+                        // Parked until after the commit/pump below so the
+                        // reply covers every published frame; a refused
+                        // (shutting-down) gather drops its sender, which
+                        // the waiting shard reads as failure.
+                        if !refused {
+                            self.pending_gathers.push(reply);
+                        }
+                        continue;
+                    }
+                    Request::Bg { kind, reply } => {
+                        // BGSAVE/BGREWRITEAOF broadcast from shard 0:
+                        // answered inline — whether the snapshot started
+                        // does not depend on this batch's commit.
+                        let ok = !refused && self.begin_snapshot(kind).is_ok();
+                        let _ = reply.send(ok);
+                        continue;
                     }
                 };
                 if wrote {
@@ -1391,19 +1724,15 @@ impl Writer {
                     for &i in &write_acks {
                         pending[i].1 = err.clone();
                     }
-                    // Un-committed applies must not advance the
-                    // replica's acked upstream offset.
-                    self.applied_updates.clear();
+                    // The errored acks also cover ReplSet/ReplApply: the
+                    // link thread reads an error ack as link failure and
+                    // never advances the acked upstream offset.
                 }
             }
-            // Ship this batch's committed records — backlog end now
-            // covers every write acked below, which is the invariant
-            // `WAIT` relies on — and record upstream progress for the
-            // applies that just committed.
+            // Ship this batch's committed records as one gseq-stamped
+            // frame — backlog end now covers every write acked below,
+            // which is the invariant `WAIT` relies on.
             self.pump_repl();
-            for (epoch, offset, replid) in std::mem::take(&mut self.applied_updates) {
-                self.repl.set_applied(epoch, offset, replid);
-            }
             // Publish the batch's keyspace mutations into the read view
             // *before* releasing any reply: a connection that sees an ack
             // must already be able to read its own write locally. (On
@@ -1411,9 +1740,13 @@ impl Writer {
             // engine's existing semantics, so the view publishes either
             // way — it mirrors the map, not the WAL.)
             let published_seq = self.db.publish_view();
-            // Mirror the engine's governed footprint for INFO and its
-            // high-water mark; once per batch is plenty of resolution.
-            self.shared.gov.record_engine_bytes(self.db.mem_governed());
+            // Publish this shard's observability slot and mirror the
+            // cross-shard governed footprint for INFO and its high-water
+            // mark; once per batch is plenty of resolution.
+            self.update_stats(batch_len);
+            self.shared
+                .gov
+                .record_engine_bytes(self.total_mem_governed());
             // Release replies in execution order; each connection's
             // replies land on its own channel in request order.
             for (reply, value) in pending.drain(..) {
@@ -1422,6 +1755,7 @@ impl Writer {
             if !write_acks.is_empty() {
                 self.after_write();
             }
+            self.answer_gathers();
             self.handle_pending_syncs();
 
             if self.db.snapshot_active() {
@@ -1453,7 +1787,7 @@ impl Writer {
                 // slots; give them back so parked admitters can fail
                 // fast instead of riding out their full deadline.
                 if args.first().is_some_and(|c| governed_cmd(c)) {
-                    self.shared.gov.release(1);
+                    self.shared.gov.release(self.shard, 1);
                 }
             }
             match req {
@@ -1465,14 +1799,19 @@ impl Writer {
                         final_seq,
                     ));
                 }
-                // A sync that raced shutdown just loses its socket.
-                Request::Sync { .. } => {}
+                // A sync that raced shutdown just loses its socket; a
+                // gather that raced it loses its sender (the waiting
+                // shard reads the disconnect as failure).
+                Request::Sync { .. } | Request::Entries { .. } => {}
+                Request::Bg { reply, .. } => {
+                    let _ = reply.send(false);
+                }
             }
         }
 
         // Clean exit: finish any in-flight snapshot, then make the WAL
         // durable — unless the client asked for SHUTDOWN NOSAVE.
-        if !self.nosave {
+        if !self.shared.nosave.load(Ordering::SeqCst) {
             while self.db.snapshot_active() {
                 let now = self.now();
                 if self.db.snapshot_step(IDLE_STEP_ENTRIES, now).is_err() {
@@ -1566,8 +1905,14 @@ impl Writer {
                 // the keyspace and must always go through (they are the
                 // way out of an OOM condition), replica applies must
                 // track the primary, and reads never touch the writer.
+                // The gate is global: own live footprint plus every
+                // other shard's last published one.
                 let incoming = (args[1].len() + args[2].len()) as u64;
-                if self.shared.gov.refuse_oom(self.db.mem_governed(), incoming) {
+                if self
+                    .shared
+                    .gov
+                    .refuse_oom(self.total_mem_governed(), incoming)
+                {
                     return (
                         Value::Error(
                             "OOM command not allowed when used memory > 'maxmemory'".to_string(),
@@ -1625,15 +1970,11 @@ impl Writer {
                 }
                 Value::Int(found)
             }
-            b"DBSIZE" => Value::Int(self.db.len() as i64),
-            b"BGSAVE" => match self.begin_snapshot(SnapshotKind::OnDemand) {
-                Ok(()) => Value::Simple("Background saving started".to_string()),
-                Err(_) => Value::err("Background save already in progress"),
-            },
-            b"BGREWRITEAOF" => match self.begin_snapshot(SnapshotKind::WalSnapshot) {
-                Ok(()) => Value::Simple("Background WAL snapshot started".to_string()),
-                Err(_) => Value::err("Background save already in progress"),
-            },
+            b"DBSIZE" => Value::Int(self.total_keys() as i64),
+            b"BGSAVE" => self.bg_cmd(SnapshotKind::OnDemand, "Background saving started"),
+            b"BGREWRITEAOF" => {
+                self.bg_cmd(SnapshotKind::WalSnapshot, "Background WAL snapshot started")
+            }
             b"INFO" => Value::Bulk(self.info_text().into_bytes()),
             b"DEBUG" => self.debug_cmd(args),
             b"CONFIG" => self.config_cmd(args),
@@ -1647,7 +1988,9 @@ impl Writer {
                     .get(1)
                     .map(|a| a.eq_ignore_ascii_case(b"NOSAVE"))
                     .unwrap_or(false);
-                self.nosave = nosave;
+                // Raised on the shared state so *every* shard writer
+                // (not just this dispatching one) honors it.
+                self.shared.nosave.store(nosave, Ordering::SeqCst);
                 self.shared.stop.store(true, Ordering::SeqCst);
                 Value::ok()
             }
@@ -1664,9 +2007,20 @@ impl Writer {
     /// `DEBUG FAULT` reports the armed plan and the write-command count.
     fn debug_cmd(&mut self, args: &[Vec<u8>]) -> Value {
         // `DEBUG DIGEST` answers a CRC-32 over the sorted keyspace, the
-        // primary/replica convergence check used by tests and CI.
+        // primary/replica convergence check used by tests and CI. On a
+        // sharded server the keyspace is gathered from every shard and
+        // merged, so the digest is identical to a single-shard server
+        // holding the same keys.
         if args.len() == 2 && args[1].eq_ignore_ascii_case(b"DIGEST") {
-            return Value::Bulk(format!("{:08x}", self.db.digest()).into_bytes());
+            if self.txs.len() == 1 {
+                return Value::Bulk(format!("{:08x}", self.db.digest()).into_bytes());
+            }
+            return match self.gather_entries() {
+                Some(entries) => {
+                    Value::Bulk(format!("{:08x}", engine::digest_of_sorted(&entries)).into_bytes())
+                }
+                None => Value::err("DIGEST unavailable: shard gather failed"),
+            };
         }
         if args.len() < 2 || !args[1].eq_ignore_ascii_case(b"FAULT") {
             return Value::err(
@@ -1714,13 +2068,155 @@ impl Writer {
         }
     }
 
-    /// Drains the engine's WAL tap into the replication backlog and the
-    /// attached replicas' feeds. Everything in the tap has been flushed
-    /// (and, under `Always`, synced) — only durable records ever ship.
+    /// Drains the engine's WAL tap into the replication backlog as one
+    /// `(shard, gseq)`-tagged frame, fanned out to the attached
+    /// replicas' feeds. Everything in the tap has been flushed (and,
+    /// under `Always`, synced) — only durable records ever ship. The
+    /// gseq is stamped under the repl lock, so backlog byte order *is*
+    /// global batch order and the replica's in-order apply linearizes
+    /// cross-shard effects.
     fn pump_repl(&mut self) {
         let bytes = self.db.take_tapped_wal();
         if !bytes.is_empty() {
-            self.repl.publish_segment(bytes, &self.shared.gov);
+            let gseq = self
+                .repl
+                .publish_frame(self.shard as u16, bytes, &self.shared.gov);
+            self.shared.shard_stats[self.shard]
+                .last_gseq
+                .store(gseq, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes this shard's observability slot: read by shard 0 to
+    /// answer `INFO`/`DBSIZE` and by the OOM gate on every shard, so no
+    /// writer ever touches another writer's engine.
+    fn update_stats(&self, batch_len: u32) {
+        let st = &self.shared.shard_stats[self.shard];
+        st.keys.store(self.db.len() as u64, Ordering::Relaxed);
+        st.mem_used.store(self.db.mem_used(), Ordering::Relaxed);
+        st.mem_governed
+            .store(self.db.mem_governed(), Ordering::Relaxed);
+        st.wal_len
+            .store(self.db.backend().wal_len(), Ordering::Relaxed);
+        let stats = self.db.stats();
+        st.wal_snapshots
+            .store(stats.wal_snapshots, Ordering::Relaxed);
+        st.od_snapshots.store(stats.od_snapshots, Ordering::Relaxed);
+        st.snapshot_active
+            .store(self.db.snapshot_active(), Ordering::Relaxed);
+        lock_ok(&st.batch_hist).record(batch_len as u64);
+    }
+
+    /// Cross-shard governed bytes: own engine live, other shards from
+    /// their last published slot (at most one batch stale — the gate is
+    /// a soft limit either way).
+    fn total_mem_governed(&self) -> u64 {
+        let mut total = self.db.mem_governed();
+        for (i, st) in self.shared.shard_stats.iter().enumerate() {
+            if i != self.shard {
+                total += st.mem_governed.load(Ordering::Relaxed);
+            }
+        }
+        total
+    }
+
+    /// Cross-shard key count, own shard live (exact at `--shards 1`).
+    fn total_keys(&self) -> u64 {
+        let mut total = self.db.len() as u64;
+        for (i, st) in self.shared.shard_stats.iter().enumerate() {
+            if i != self.shard {
+                total += st.keys.load(Ordering::Relaxed);
+            }
+        }
+        total
+    }
+
+    /// Gathers a point-in-time copy of the full keyspace: own shard's
+    /// entries plus every other shard's, merged and sorted. Only shard 0
+    /// calls this (for `DEBUG DIGEST` and full-sync snapshots); other
+    /// shards answer between batches, after their own commit + backlog
+    /// pump. Returns `None` on kill, shutdown teardown, or a wedged
+    /// shard (~5s cap).
+    fn gather_entries(&mut self) -> Option<Vec<Entry>> {
+        let mut entries = self.db.sorted_entries();
+        if self.txs.len() == 1 {
+            return Some(entries);
+        }
+        let mut pending = Vec::with_capacity(self.txs.len() - 1);
+        for (i, tx) in self.txs.iter().enumerate() {
+            if i == self.shard {
+                continue;
+            }
+            let (etx, erx) = mpsc::channel();
+            if tx.send(Request::Entries { reply: etx }).is_err() {
+                return None;
+            }
+            pending.push(erx);
+        }
+        for erx in pending {
+            let mut waited = Duration::ZERO;
+            loop {
+                match erx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(mut e) => {
+                        entries.append(&mut e);
+                        break;
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if self.shared.kill.load(Ordering::SeqCst) {
+                            return None;
+                        }
+                        waited += Duration::from_millis(100);
+                        if waited >= Duration::from_secs(5) {
+                            return None;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+                }
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Some(entries)
+    }
+
+    /// `BGSAVE`/`BGREWRITEAOF`: starts a snapshot on this shard, then
+    /// broadcasts the start to every other shard. Reports the classic
+    /// already-in-progress error if any shard refuses (shards that did
+    /// start still run their snapshots to completion).
+    fn bg_cmd(&mut self, kind: SnapshotKind, started: &str) -> Value {
+        if self.begin_snapshot(kind).is_err() {
+            return Value::err("Background save already in progress");
+        }
+        let mut ok = true;
+        for (i, tx) in self.txs.iter().enumerate() {
+            if i == self.shard {
+                continue;
+            }
+            let (btx, brx) = mpsc::channel();
+            if tx.send(Request::Bg { kind, reply: btx }).is_err() {
+                ok = false;
+                continue;
+            }
+            match brx.recv_timeout(Duration::from_secs(1)) {
+                Ok(b) => ok &= b,
+                Err(_) => ok = false,
+            }
+        }
+        if ok {
+            Value::Simple(started.to_string())
+        } else {
+            Value::err("Background save already in progress")
+        }
+    }
+
+    /// Answers keyspace gathers parked by this batch. Runs after the
+    /// commit + backlog pump + view publish, so the handed-back entries
+    /// reflect exactly the frames this shard has published.
+    fn answer_gathers(&mut self) {
+        if self.pending_gathers.is_empty() {
+            return;
+        }
+        for reply in std::mem::take(&mut self.pending_gathers) {
+            let _ = reply.send(self.db.sorted_entries());
         }
     }
 
@@ -1741,7 +2237,7 @@ impl Writer {
         };
         let epoch = self.repl.set_primary(format!("{host}:{port}"));
         repl::spawn_link(LinkCtx {
-            tx: self.req_tx.clone(),
+            txs: self.txs.clone(),
             repl: Arc::clone(&self.repl),
             shared: Arc::clone(&self.shared),
             my_port: self.port,
@@ -1750,43 +2246,30 @@ impl Writer {
         Value::ok()
     }
 
-    /// Full-sync landing on a replica: replace the entire keyspace with
-    /// the shipped snapshot *through the queued-write path*, so the
-    /// reset is logged in this node's own WAL and committed/published
-    /// like any other batch.
-    fn apply_full_reset(
-        &mut self,
-        snapshot: &[u8],
-        offset: u64,
-        replid: String,
-        epoch: u64,
-    ) -> (Value, bool) {
+    /// Full-sync landing on a replica: replace this shard's slice of
+    /// the keyspace with its split of the shipped snapshot (the link
+    /// thread already parsed and re-sharded it by this node's own
+    /// `shard_of`) *through the queued-write path*, so the reset is
+    /// logged in this shard's own WAL and committed/published like any
+    /// other batch. The link advances the acked upstream offset only
+    /// after every shard acks its slice.
+    fn apply_full_reset(&mut self, entries: &[(Vec<u8>, Vec<u8>)], epoch: u64) -> (Value, bool) {
         if !self.repl.link_current(epoch) {
             return (Value::err("stale replication link"), false);
         }
-        let entries = match slimio_imdb::rdb::read_all(snapshot) {
-            Ok(e) => e,
-            Err(e) => return (Value::err(format!("bad full-sync payload: {e}")), false),
-        };
         for key in self.db.keys() {
             let _ = self.db.del_queued(&key);
         }
-        for (k, v) in &entries {
+        for (k, v) in entries {
             self.db.set_queued(k, v);
         }
-        self.applied_updates.push((epoch, offset, Some(replid)));
         (Value::ok(), true)
     }
 
-    /// Applies a decoded slice of the upstream WAL stream. SET/DEL by
-    /// key are idempotent, so a partial-resync overlap re-applying a
-    /// record is harmless.
-    fn apply_repl_records(
-        &mut self,
-        records: Vec<WalRecord>,
-        offset: u64,
-        epoch: u64,
-    ) -> (Value, bool) {
+    /// Applies this shard's slice of decoded upstream stream records.
+    /// SET/DEL by key are idempotent, so a partial-resync overlap
+    /// re-applying a record is harmless.
+    fn apply_repl_records(&mut self, records: Vec<WalRecord>, epoch: u64) -> (Value, bool) {
         if !self.repl.link_current(epoch) {
             return (Value::err("stale replication link"), false);
         }
@@ -1803,15 +2286,22 @@ impl Writer {
                 }
             }
         }
-        self.applied_updates.push((epoch, offset, None));
-        (Value::Int(offset as i64), wrote)
+        (Value::ok(), wrote)
     }
 
-    /// Serves PSYNC handoffs parked by this batch. Runs after the
-    /// commit, so flushing any straggling buffered WAL bytes (a no-op
-    /// under `Always`) and pumping the tap makes the backlog end equal
-    /// the exact state the frozen snapshot carries — the offset in the
-    /// FULLRESYNC header is correct by construction.
+    /// Serves PSYNC handoffs parked by this batch (shard 0 only). Runs
+    /// after the commit, so flushing any straggling buffered WAL bytes
+    /// (a no-op under `Always`) and pumping the tap makes the backlog
+    /// end cover this shard's every published frame.
+    ///
+    /// On a sharded primary the full-sync snapshot spans every shard,
+    /// and other shards keep committing while it is gathered — so the
+    /// peer is registered (with its attach offset = backlog end) BEFORE
+    /// the gather, under the same repl lock that read the offset.
+    /// Frames published during the gather queue in the feed behind the
+    /// preamble; the snapshot may already contain some of their
+    /// effects, and the replica re-applies them harmlessly because
+    /// SET/DEL by key are idempotent and applied in gseq order.
     fn handle_pending_syncs(&mut self) {
         if self.pending_syncs.is_empty() {
             return;
@@ -1829,29 +2319,21 @@ impl Writer {
             let partial = repl::parse_psync(&args)
                 .filter(|(id, _)| *id == inner.replid)
                 .and_then(|(_, off)| inner.backlog.tail_from(off).map(|tail| (off, tail)));
-            let mut preamble = Vec::new();
-            let (init_acked, base) = match partial {
-                Some((off, tail)) => {
-                    preamble.extend_from_slice(b"+CONTINUE\r\n");
-                    preamble.extend_from_slice(&tail);
-                    (off, off)
-                }
+            // `acked` stays at the attach offset (0 for a full sync)
+            // until the replica reports applied progress (the WAIT
+            // contract); `base` carries the attach offset so feed-lag
+            // eviction doesn't judge a fresh replica on stream bytes
+            // that predate it.
+            let (init_acked, base, full_offset) = match &partial {
+                Some((off, _)) => (*off, *off, None),
                 None => {
                     let offset = inner.backlog.end();
-                    preamble.extend_from_slice(
-                        format!("+FULLRESYNC {} {offset}\r\n", inner.replid).as_bytes(),
-                    );
-                    let snapshot = self.db.serialize_keyspace(self.snapshot_chunk);
-                    resp::encode_bulk(&snapshot, &mut preamble);
-                    // `acked` stays 0 until the replica reports applied
-                    // progress (the WAIT contract); `base` carries the
-                    // attach offset so feed-lag eviction doesn't judge a
-                    // fresh replica on stream bytes that predate it.
-                    (0, offset)
+                    (0, offset, Some(offset))
                 }
             };
             let acked = Arc::new(AtomicU64::new(init_acked));
             let alive = Arc::new(AtomicBool::new(true));
+            let replid = inner.replid.clone();
             inner.peers.push(ReplicaPeer {
                 addr,
                 acked: Arc::clone(&acked),
@@ -1860,6 +2342,35 @@ impl Writer {
                 feed: feed_tx,
             });
             drop(inner);
+            let mut preamble = Vec::new();
+            match (partial, full_offset) {
+                (Some((_, tail)), _) => {
+                    preamble.extend_from_slice(b"+CONTINUE\r\n");
+                    preamble.extend_from_slice(&tail);
+                }
+                (None, Some(offset)) => {
+                    let snapshot = if self.txs.len() == 1 {
+                        Some(self.db.serialize_keyspace(self.snapshot_chunk))
+                    } else {
+                        self.gather_entries().map(|entries| {
+                            engine::serialize_entries(
+                                entries.iter().map(|(k, v)| (k, v)),
+                                self.snapshot_chunk,
+                            )
+                        })
+                    };
+                    let Some(snapshot) = snapshot else {
+                        // Gather failed (kill/teardown mid-gather): the
+                        // replica is dropped; it will retry its sync.
+                        alive.store(false, Ordering::SeqCst);
+                        continue;
+                    };
+                    preamble
+                        .extend_from_slice(format!("+FULLRESYNC {replid} {offset}\r\n").as_bytes());
+                    resp::encode_bulk(&snapshot, &mut preamble);
+                }
+                (None, None) => unreachable!(),
+            }
             repl::spawn_feed(
                 stream,
                 preamble,
@@ -1901,7 +2412,27 @@ impl Writer {
     }
 
     fn info_text(&self) -> String {
+        let shards = self.txs.len();
         let stats = self.db.stats();
+        // Totals: own shard's live values plus every other shard's last
+        // published slot (exact at `--shards 1`).
+        let mut keys = self.db.len() as u64;
+        let mut mem_used = self.db.mem_used();
+        let mut wal_len = self.db.backend().wal_len();
+        let mut wal_snapshots = stats.wal_snapshots;
+        let mut od_snapshots = stats.od_snapshots;
+        let mut snapshot_active = self.db.snapshot_active();
+        for (i, st) in self.shared.shard_stats.iter().enumerate() {
+            if i == self.shard {
+                continue;
+            }
+            keys += st.keys.load(Ordering::Relaxed);
+            mem_used += st.mem_used.load(Ordering::Relaxed);
+            wal_len += st.wal_len.load(Ordering::Relaxed);
+            wal_snapshots += st.wal_snapshots.load(Ordering::Relaxed);
+            od_snapshots += st.od_snapshots.load(Ordering::Relaxed);
+            snapshot_active |= st.snapshot_active.load(Ordering::Relaxed);
+        }
         let uptime = self.shared.start.elapsed();
         let ops = self.shared.ops.load(Ordering::Relaxed);
         let rps = ops as f64 / uptime.as_secs_f64().max(1e-9);
@@ -1943,14 +2474,14 @@ impl Writer {
         s.push_str(&format!("latency_p99_us:{:.1}\r\n", p99 as f64 / 1000.0));
         s.push_str(&format!("latency_p999_us:{:.1}\r\n", p999 as f64 / 1000.0));
         s.push_str("\r\n# Persistence\r\n");
-        s.push_str(&format!("keys:{}\r\n", self.db.len()));
-        s.push_str(&format!("mem_used_bytes:{}\r\n", self.db.mem_used()));
-        s.push_str(&format!("wal_len:{}\r\n", self.db.backend().wal_len()));
-        s.push_str(&format!("wal_snapshots:{}\r\n", stats.wal_snapshots));
-        s.push_str(&format!("od_snapshots:{}\r\n", stats.od_snapshots));
+        s.push_str(&format!("keys:{keys}\r\n"));
+        s.push_str(&format!("mem_used_bytes:{mem_used}\r\n"));
+        s.push_str(&format!("wal_len:{wal_len}\r\n"));
+        s.push_str(&format!("wal_snapshots:{wal_snapshots}\r\n"));
+        s.push_str(&format!("od_snapshots:{od_snapshots}\r\n"));
         s.push_str(&format!(
             "snapshot_in_progress:{}\r\n",
-            if self.db.snapshot_active() { 1 } else { 0 }
+            if snapshot_active { 1 } else { 0 }
         ));
         s.push_str(&format!(
             "last_snapshot_ms:{}\r\n",
@@ -1965,6 +2496,32 @@ impl Writer {
         ));
         s.push_str("\r\n# Resources\r\n");
         self.shared.gov.info_lines(&mut s);
+        s.push_str("\r\n# Shards\r\n");
+        s.push_str(&format!("shards:{shards}\r\n"));
+        for i in 0..shards {
+            let (cap, hwm, busy) = self.shared.gov.shard_gate_stats(i);
+            let depth = self.shared.gov.shard_depth(i);
+            let st = &self.shared.shard_stats[i];
+            let (skeys, swal, sgseq) = if i == self.shard {
+                (
+                    self.db.len() as u64,
+                    self.db.backend().wal_len(),
+                    st.last_gseq.load(Ordering::Relaxed),
+                )
+            } else {
+                (
+                    st.keys.load(Ordering::Relaxed),
+                    st.wal_len.load(Ordering::Relaxed),
+                    st.last_gseq.load(Ordering::Relaxed),
+                )
+            };
+            let batch_p50 = lock_ok(&st.batch_hist).p50();
+            s.push_str(&format!(
+                "shard{i}:queue_depth={depth},queue_cap={cap},queue_hwm={hwm},\
+                 busy_refused={busy},batch_p50={batch_p50},wal_len={swal},\
+                 keys={skeys},last_gseq={sgseq}\r\n"
+            ));
+        }
         s.push_str("\r\n# Replication\r\n");
         self.repl.info_lines(&mut s);
         s.push_str("\r\n# Device\r\n");

@@ -10,7 +10,8 @@
 
 use std::sync::{Arc, Mutex};
 
-use slimio::{PassthruBackend, PassthruConfig};
+use slimio::pids::PidSet;
+use slimio::{Layout, PassthruBackend, PassthruConfig};
 use slimio_des::SimTime;
 use slimio_imdb::backend::{BackendError, FileBackend, IoTiming, PersistBackend, SnapshotKind};
 use slimio_kpath::{FsProfile, KernelCosts, SimFs};
@@ -45,6 +46,10 @@ pub struct StoreConfig {
     pub fdp: bool,
     /// Device scale relative to the paper's 180 GiB FEMU geometry.
     pub ratio: f64,
+    /// Writer shards. 1 keeps the classic whole-device layout; N > 1
+    /// carves the LBA space into N self-similar sub-layouts, each with
+    /// its own placement-stream PIDs (passthru only).
+    pub shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -53,6 +58,7 @@ impl Default for StoreConfig {
             kind: BackendKind::Passthru,
             fdp: true,
             ratio: 1.0 / 16.0,
+            shards: 1,
         }
     }
 }
@@ -170,8 +176,15 @@ pub struct Store {
 impl Store {
     /// Builds a store over a fresh live-mode device and a wall clock.
     pub fn new(cfg: StoreConfig) -> Self {
-        let device = Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::live(
-            cfg.fdp, cfg.ratio,
+        assert!(cfg.shards >= 1, "at least one shard");
+        assert!(
+            cfg.shards == 1 || cfg.kind == BackendKind::Passthru,
+            "--shards > 1 requires the passthru backend"
+        );
+        let device = Arc::new(Mutex::new(NvmeDevice::new(DeviceConfig::live_with_pids(
+            cfg.fdp,
+            cfg.ratio,
+            PidSet::device_pids(cfg.shards),
         ))));
         Store {
             cfg,
@@ -180,6 +193,18 @@ impl Store {
             fs: None,
             opened: false,
         }
+    }
+
+    /// Configured writer-shard count.
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// The LBA sub-layout of shard `shard` (passthru, shards > 1).
+    fn shard_layout(&self, shard: usize) -> Layout {
+        let capacity = self.device.lock().unwrap().capacity_blocks();
+        let per = capacity / self.cfg.shards as u64;
+        Layout::partition_at(shard as u64 * per, per, PassthruConfig::default().wal_frac)
     }
 
     /// The store's wall clock (shared with rings and the server).
@@ -245,6 +270,42 @@ impl Store {
         Ok(backend)
     }
 
+    /// Opens one backend per configured shard: formats each shard's LBA
+    /// slice on first open, recovers every slice on later opens. With one
+    /// shard this is exactly [`Store::open`] (whole-device layout, classic
+    /// PIDs), so single-shard on-device state is unchanged.
+    pub fn open_shards(&mut self) -> Result<Vec<AnyBackend>, BackendError> {
+        if self.cfg.shards == 1 {
+            return Ok(vec![self.open()?]);
+        }
+        self.device.lock().unwrap().power_on();
+        let mut out = Vec::with_capacity(self.cfg.shards);
+        for shard in 0..self.cfg.shards {
+            let layout = self.shard_layout(shard);
+            let pids = PidSet::for_shard(shard);
+            let b = if self.opened {
+                PassthruBackend::recover_at(
+                    Arc::clone(&self.device),
+                    self.clock.clone(),
+                    PassthruConfig::default(),
+                    layout,
+                    pids,
+                )?
+            } else {
+                PassthruBackend::new_at(
+                    Arc::clone(&self.device),
+                    self.clock.clone(),
+                    PassthruConfig::default(),
+                    layout,
+                    pids,
+                )
+            };
+            out.push(AnyBackend::Passthru(Box::new(b)));
+        }
+        self.opened = true;
+        Ok(out)
+    }
+
     /// Returns a cleanly shut-down backend to the store.
     pub fn close(&mut self, backend: AnyBackend) {
         if let AnyBackend::Kernel(b) = backend {
@@ -267,6 +328,20 @@ impl Store {
             AnyBackend::Passthru(b) => drop(b),
         }
     }
+
+    /// [`Store::close`] for every shard backend.
+    pub fn close_shards(&mut self, backends: Vec<AnyBackend>) {
+        for b in backends {
+            self.close(b);
+        }
+    }
+
+    /// [`Store::crash`] for every shard backend.
+    pub fn crash_shards(&mut self, backends: Vec<AnyBackend>) {
+        for b in backends {
+            self.crash(b);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +354,7 @@ mod tests {
             kind,
             fdp: kind == BackendKind::Passthru,
             ratio: 1.0 / 128.0,
+            shards: 1,
         })
     }
 

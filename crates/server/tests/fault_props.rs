@@ -20,6 +20,7 @@ fn store_for(kind: BackendKind) -> Store {
         kind,
         fdp: kind == BackendKind::Passthru,
         ratio: RATIO,
+        shards: 1,
     })
 }
 

@@ -21,6 +21,7 @@ fn store() -> Store {
         kind: BackendKind::Kernel,
         fdp: false,
         ratio: RATIO,
+        shards: 1,
     })
 }
 

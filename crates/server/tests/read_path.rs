@@ -30,6 +30,7 @@ fn store_for(kind: BackendKind) -> Store {
         kind,
         fdp: kind == BackendKind::Passthru,
         ratio: 1.0 / 64.0,
+        shards: 1,
     })
 }
 

@@ -71,6 +71,7 @@ pub struct PassthruBackend {
     clock: SharedClock,
     cfg: PassthruConfig,
     layout: Layout,
+    pids: pids::PidSet,
     wal_ring: IoUring,
     snap_ring: IoUring,
     wal: WalLog,
@@ -91,13 +92,6 @@ fn role_of(kind: SnapshotKind) -> SlotRole {
     match kind {
         SnapshotKind::WalSnapshot => SlotRole::WalSnapshot,
         SnapshotKind::OnDemand => SlotRole::OnDemand,
-    }
-}
-
-fn pid_of(kind: SnapshotKind) -> Pid {
-    match kind {
-        SnapshotKind::WalSnapshot => pids::WAL_SNAPSHOT,
-        SnapshotKind::OnDemand => pids::ON_DEMAND,
     }
 }
 
@@ -152,6 +146,39 @@ impl PassthruBackend {
             .unwrap()
             .deallocate(0, capacity, SimTime::ZERO)
             .expect("format LBA space");
+        Self::build(device, clock, cfg, layout, pids::PidSet::for_shard(0))
+    }
+
+    /// Creates a backend over a caller-chosen LBA sub-range of a fresh
+    /// device, tagging its streams with `pids`. One sharded server runs N
+    /// of these over one device; each formats (deallocates) only its own
+    /// slice. The caller is responsible for handing out disjoint layouts.
+    pub fn new_at(
+        device: Arc<Mutex<NvmeDevice>>,
+        clock: SharedClock,
+        cfg: PassthruConfig,
+        layout: Layout,
+        pids: pids::PidSet,
+    ) -> Self {
+        device
+            .lock()
+            .unwrap()
+            .deallocate(
+                layout.meta_lba,
+                layout.end_lba() - layout.meta_lba,
+                SimTime::ZERO,
+            )
+            .expect("format shard LBA range");
+        Self::build(device, clock, cfg, layout, pids)
+    }
+
+    fn build(
+        device: Arc<Mutex<NvmeDevice>>,
+        clock: SharedClock,
+        cfg: PassthruConfig,
+        layout: Layout,
+        pids: pids::PidSet,
+    ) -> Self {
         let wal_ring = IoUring::new_enter(Arc::clone(&device), clock.clone(), cfg.ring_depth);
         let snap_ring = if cfg.sqpoll_snapshot {
             IoUring::new_sqpoll(Arc::clone(&device), clock.clone(), cfg.ring_depth)
@@ -164,6 +191,7 @@ impl PassthruBackend {
             clock,
             cfg,
             layout,
+            pids,
             wal_ring,
             snap_ring,
             slots: SlotTable::default(),
@@ -186,6 +214,19 @@ impl PassthruBackend {
     ) -> Result<Self, BackendError> {
         let capacity = device.lock().unwrap().capacity_blocks();
         let layout = Layout::partition(capacity, cfg.wal_frac);
+        Self::recover_at(device, clock, cfg, layout, pids::PidSet::for_shard(0))
+    }
+
+    /// [`PassthruBackend::recover`] over a caller-chosen LBA sub-range —
+    /// the shard-recovery entry point. `layout` must match the one the
+    /// shard was created with.
+    pub fn recover_at(
+        device: Arc<Mutex<NvmeDevice>>,
+        clock: SharedClock,
+        cfg: PassthruConfig,
+        layout: Layout,
+        pids: pids::PidSet,
+    ) -> Result<Self, BackendError> {
         // Step 1: metadata.
         let (_, page_a) = device
             .lock()
@@ -259,6 +300,7 @@ impl PassthruBackend {
             clock,
             cfg,
             layout,
+            pids,
             wal_ring,
             snap_ring,
             wal,
@@ -274,6 +316,18 @@ impl PassthruBackend {
     /// The LBA layout in use.
     pub fn layout(&self) -> &Layout {
         &self.layout
+    }
+
+    /// The placement-stream PIDs this backend writes with.
+    pub fn pids(&self) -> pids::PidSet {
+        self.pids
+    }
+
+    fn pid_of(&self, kind: SnapshotKind) -> Pid {
+        match kind {
+            SnapshotKind::WalSnapshot => self.pids.wal_snapshot,
+            SnapshotKind::OnDemand => self.pids.on_demand,
+        }
     }
 
     /// The device handle.
@@ -446,7 +500,7 @@ impl PassthruBackend {
                 lba: self.layout.meta_lba + record.target_lba(),
                 data: page.into_boxed_slice(),
             },
-            pids::META,
+            self.pids.meta,
             now,
         )?;
         let ud = self.ud();
@@ -503,7 +557,7 @@ impl PersistBackend for PassthruBackend {
                     self.track_faults,
                     ud,
                     pw,
-                    pids::WAL,
+                    self.pids.wal,
                     now,
                 )?;
             }
@@ -514,7 +568,7 @@ impl PersistBackend for PassthruBackend {
                 &mut self.inflight,
                 &mut self.next_ud,
                 pages,
-                pids::WAL,
+                self.pids.wal,
                 now,
             )?;
         }
@@ -546,7 +600,7 @@ impl PersistBackend for PassthruBackend {
                 self.track_faults,
                 ud,
                 pw,
-                pids::WAL,
+                self.pids.wal,
                 now,
             )?;
         }
@@ -607,6 +661,7 @@ impl PersistBackend for PassthruBackend {
                 .ok_or_else(|| BackendError::Snapshot("no snapshot in progress".into()))?;
             self.layout.slot_lba(st.slot)
         };
+        let pids = self.pids;
         let st = self.snap.as_mut().unwrap();
         st.stream_bytes += data.len() as u64;
         st.staged.extend_from_slice(data);
@@ -628,7 +683,10 @@ impl PersistBackend for PassthruBackend {
             st.written_pages += 1;
             submitted += 1;
         }
-        let pid = pid_of(st.kind);
+        let pid = match st.kind {
+            SnapshotKind::WalSnapshot => pids.wal_snapshot,
+            SnapshotKind::OnDemand => pids.on_demand,
+        };
         for pw in to_submit {
             let ud = self.ud();
             Self::submit_page(
@@ -671,7 +729,7 @@ impl PersistBackend for PassthruBackend {
             let mut page = std::mem::take(&mut st.staged);
             page.resize(LBA_BYTES, 0);
             let ud = self.ud();
-            let pid = pid_of(st.kind);
+            let pid = self.pid_of(st.kind);
             Self::submit_page(
                 &mut self.snap_ring,
                 &self.device,

@@ -23,7 +23,8 @@ pub const META_LBAS: u64 = 2;
 /// The static partition of the device's logical space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Layout {
-    /// First LBA of the metadata region (always 0).
+    /// First LBA of the metadata region (0 for a whole-device layout;
+    /// the sub-range base for a shard layout).
     pub meta_lba: u64,
     /// First LBA of the WAL region.
     pub wal_lba: u64,
@@ -43,6 +44,14 @@ impl Layout {
     /// Panics if the device is too small to hold a meaningful layout
     /// (< 32 LBAs) or `wal_frac` is not within (0, 1).
     pub fn partition(capacity_lbas: u64, wal_frac: f64) -> Layout {
+        Layout::partition_at(0, capacity_lbas, wal_frac)
+    }
+
+    /// Like [`Layout::partition`], but laid out inside the LBA range
+    /// `[base_lba, base_lba + capacity_lbas)`. A sharded write path gives
+    /// every shard its own self-similar sub-layout (metadata, WAL region,
+    /// three slots) carved from a disjoint slice of the device.
+    pub fn partition_at(base_lba: u64, capacity_lbas: u64, wal_frac: f64) -> Layout {
         assert!(
             capacity_lbas >= 32,
             "device too small: {capacity_lbas} LBAs"
@@ -56,10 +65,10 @@ impl Layout {
         let slot_lbas = (usable - wal_lbas) / 3;
         assert!(slot_lbas >= 2, "slots too small; shrink wal_frac");
         Layout {
-            meta_lba: 0,
-            wal_lba: META_LBAS,
+            meta_lba: base_lba,
+            wal_lba: base_lba + META_LBAS,
             wal_lbas,
-            slots_lba: META_LBAS + wal_lbas,
+            slots_lba: base_lba + META_LBAS + wal_lbas,
             slot_lbas,
         }
     }
@@ -134,6 +143,23 @@ mod tests {
     #[should_panic(expected = "wal_frac")]
     fn bad_fraction_rejected() {
         Layout::partition(1_000, 1.5);
+    }
+
+    #[test]
+    fn partition_at_offsets_every_region() {
+        let base = Layout::partition(10_000, 0.4);
+        let offset = Layout::partition_at(50_000, 10_000, 0.4);
+        assert_eq!(offset.meta_lba, 50_000);
+        assert_eq!(offset.wal_lba, base.wal_lba + 50_000);
+        assert_eq!(offset.slots_lba, base.slots_lba + 50_000);
+        assert_eq!(offset.wal_lbas, base.wal_lbas);
+        assert_eq!(offset.slot_lbas, base.slot_lbas);
+        assert_eq!(offset.end_lba(), base.end_lba() + 50_000);
+        // Adjacent shard sub-ranges never overlap.
+        let a = Layout::partition_at(0, 5_000, 0.4);
+        let b = Layout::partition_at(5_000, 5_000, 0.4);
+        assert!(a.end_lba() <= 5_000);
+        assert!(b.meta_lba >= 5_000);
     }
 
     #[test]

@@ -61,4 +61,69 @@ pub mod pids {
     pub const WAL_SNAPSHOT: Pid = 2;
     /// On-demand snapshots — long-lived backups.
     pub const ON_DEMAND: Pid = 3;
+
+    /// The placement streams one backend instance writes with.
+    ///
+    /// A sharded write path runs one [`crate::PassthruBackend`] per shard;
+    /// each shard's three data streams (WAL, WAL-snapshot, on-demand) get
+    /// their own PIDs so no two shards ever share a Reclaim Unit — the
+    /// paper's WAL-vs-snapshot isolation extended to WAL-vs-WAL. The
+    /// metadata stream stays shared: its pages fully invalidate on every
+    /// meta commit, so mixing shards there cannot create GC copy traffic.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct PidSet {
+        /// Metadata region writes.
+        pub meta: Pid,
+        /// WAL appends.
+        pub wal: Pid,
+        /// WAL-snapshot writes.
+        pub wal_snapshot: Pid,
+        /// On-demand snapshot writes.
+        pub on_demand: Pid,
+    }
+
+    impl PidSet {
+        /// The PIDs for writer shard `shard`. Shard 0 gets exactly the
+        /// classic [`META`]/[`WAL`]/[`WAL_SNAPSHOT`]/[`ON_DEMAND`]
+        /// assignment, so the single-shard device traffic is unchanged.
+        pub fn for_shard(shard: usize) -> PidSet {
+            let base = 3 * shard as Pid;
+            PidSet {
+                meta: META,
+                wal: WAL + base,
+                wal_snapshot: WAL_SNAPSHOT + base,
+                on_demand: ON_DEMAND + base,
+            }
+        }
+
+        /// PIDs a device must support for `shards` writer shards.
+        pub fn device_pids(shards: usize) -> u8 {
+            (1 + 3 * shards as u16).max(8).min(u8::MAX as u16) as u8
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn shard0_matches_classic_constants() {
+            let p = PidSet::for_shard(0);
+            assert_eq!((p.meta, p.wal, p.wal_snapshot, p.on_demand), (0, 1, 2, 3));
+        }
+
+        #[test]
+        fn shards_never_share_data_pids() {
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..8 {
+                let p = PidSet::for_shard(s);
+                for pid in [p.wal, p.wal_snapshot, p.on_demand] {
+                    assert!(seen.insert(pid), "pid {pid} reused by shard {s}");
+                    assert_ne!(pid, META);
+                }
+            }
+            assert!(PidSet::device_pids(4) >= 13);
+            assert_eq!(PidSet::device_pids(1), 8);
+        }
+    }
 }
