@@ -146,6 +146,26 @@ impl Ftl {
         &self.stats
     }
 
+    /// Per-placement-ID RU occupancy: `(pid, rus_held, valid_pages)` for
+    /// every PID currently owning at least one Open or Full RU, sorted by
+    /// PID. Telemetry export; a full RU-table scan, so not for hot paths.
+    pub fn pid_occupancy(&self) -> Vec<(u8, u64, u64)> {
+        let mut per_pid: Vec<(u64, u64)> = vec![(0, 0); self.active.len()];
+        for ru in &self.rus {
+            if ru.phase != RuPhase::Free {
+                let slot = &mut per_pid[ru.owner_pid as usize];
+                slot.0 += 1;
+                slot.1 += ru.valid;
+            }
+        }
+        per_pid
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (rus, _))| *rus > 0)
+            .map(|(pid, (rus, valid))| (pid as u8, rus, valid))
+            .collect()
+    }
+
     /// Effective stream index for a PID under the current mode.
     fn stream_of(&self, pid: Pid) -> Result<usize, FtlError> {
         match self.cfg.mode {

@@ -13,11 +13,14 @@
 /// Number of linear sub-buckets per power-of-two tier.
 ///
 /// Must be a power of two. 64 gives ≤ 1.6 % relative error.
-const SUB_BUCKETS: usize = 64;
+pub(crate) const SUB_BUCKETS: usize = 64;
 /// log2 of [`SUB_BUCKETS`].
 const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
 /// Values below `SUB_BUCKETS` are stored exactly in the first tier.
-const TIERS: usize = (64 - SUB_BITS as usize) + 1;
+pub(crate) const TIERS: usize = (64 - SUB_BITS as usize) + 1;
+/// Total bucket count — shared with the registry's atomic histogram so
+/// both variants agree on the bucket layout.
+pub(crate) const BUCKET_COUNT: usize = TIERS * SUB_BUCKETS;
 
 /// A log-linear latency histogram with bounded relative error.
 ///
@@ -58,8 +61,10 @@ impl Histogram {
         }
     }
 
-    /// Index of the bucket holding `value`.
-    fn index_of(value: u64) -> usize {
+    /// Index of the bucket holding `value`. Shared with the registry's
+    /// lock-free [`crate::registry::AtomicHistogram`], which uses the
+    /// same log-linear layout over atomic buckets.
+    pub(crate) fn index_of(value: u64) -> usize {
         if value < SUB_BUCKETS as u64 {
             return value as usize;
         }
@@ -74,7 +79,7 @@ impl Histogram {
     /// Smallest value that maps to bucket `idx` (used as the representative
     /// when reporting percentiles; we report the bucket's upper edge so that
     /// percentile estimates never under-report).
-    fn value_of(idx: usize) -> u64 {
+    pub(crate) fn value_of(idx: usize) -> u64 {
         let tier = idx / SUB_BUCKETS;
         let sub = (idx % SUB_BUCKETS) as u64;
         if tier == 0 {

@@ -11,6 +11,8 @@
 //! * [`Table`] — plain-text / markdown table rendering for the per-table
 //!   benchmark binaries.
 //! * [`summary`] — small statistics helpers (mean, stddev, throughput).
+//! * [`registry`] — lock-free named counters/gauges/histograms with
+//!   Prometheus text exposition, used by the live server's telemetry.
 //!
 //! The crate is deliberately free of dependencies so that every other crate
 //! in the workspace can use it, including the innermost device models.
@@ -18,12 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod registry;
 pub mod summary;
 pub mod table;
 pub mod timeline;
 pub mod waf;
 
 pub use histogram::Histogram;
+pub use registry::{AtomicHistogram, Counter, Gauge, Registry};
 pub use table::Table;
 pub use timeline::Timeline;
 pub use waf::WafTracker;

@@ -111,6 +111,45 @@ pub struct NvmeDevice {
     /// Write commands accepted since construction (fault-armed or not),
     /// so harnesses can enumerate crash points of a recorded workload.
     write_cmds: u64,
+    /// Wall-clock nanoseconds spent stalled in injected `slow@` faults.
+    /// The live server's telemetry reads the delta around a group commit
+    /// to attribute the stall to the device-sync stage.
+    stall_ns: u64,
+}
+
+/// A consistent snapshot of device/FTL/NAND state for telemetry export.
+/// Taken under the device lock so all fields describe the same instant.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceTelemetry {
+    /// Live write amplification factor (NAND pages / host pages).
+    pub waf: f64,
+    /// Host pages programmed.
+    pub host_pages: u64,
+    /// Pages relocated by garbage collection.
+    pub gc_copied_pages: u64,
+    /// GC passes (foreground + background) run so far.
+    pub gc_passes: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Pages invalidated via Dataset Management (TRIM).
+    pub trimmed_pages: u64,
+    /// Read commands served by the FTL.
+    pub reads: u64,
+    /// Total die-busy time across all dies, in simulated nanoseconds.
+    pub die_busy_ns: u64,
+    /// Wall-clock nanoseconds spent in injected `slow@` device stalls.
+    pub wall_stall_ns: u64,
+    /// Advertised capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Reclaim units on the free list.
+    pub free_rus: u64,
+    /// Logical pages currently mapped.
+    pub live_pages: u64,
+    /// Write commands accepted since construction.
+    pub write_commands: u64,
+    /// Per-placement-ID RU occupancy: `(pid, rus_held, valid_pages)` for
+    /// every PID owning at least one non-free RU.
+    pub ru_occupancy: Vec<(u8, u64, u64)>,
 }
 
 impl NvmeDevice {
@@ -124,6 +163,7 @@ impl NvmeDevice {
             last_write_done: SimTime::ZERO,
             fault: None,
             write_cmds: 0,
+            stall_ns: 0,
             cfg,
         }
     }
@@ -212,6 +252,32 @@ impl NvmeDevice {
         self.write_cmds
     }
 
+    /// Wall-clock nanoseconds spent stalled in injected `slow@` faults.
+    pub fn wall_stall_ns(&self) -> u64 {
+        self.stall_ns
+    }
+
+    /// Snapshots device, FTL, and NAND state for telemetry export.
+    pub fn telemetry(&self) -> DeviceTelemetry {
+        let stats = self.ftl.stats();
+        DeviceTelemetry {
+            waf: stats.waf_value(),
+            host_pages: stats.waf.host_pages(),
+            gc_copied_pages: stats.waf.gc_copied_pages(),
+            gc_passes: stats.gc_passes,
+            erases: stats.waf.erases(),
+            trimmed_pages: stats.trimmed_pages,
+            reads: stats.reads,
+            die_busy_ns: self.timer.total_die_busy().as_nanos(),
+            wall_stall_ns: self.stall_ns,
+            capacity_bytes: self.capacity_bytes(),
+            free_rus: self.ftl.free_rus() as u64,
+            live_pages: self.ftl.live_pages(),
+            write_commands: self.write_cmds,
+            ru_occupancy: self.ftl.pid_occupancy(),
+        }
+    }
+
     /// A torn write: program only the first `keep` payload bytes (boundary
     /// page zero-padded), then cut power. The host never sees a completion
     /// — from its side this is a power cut mid-transfer — so no NAND time
@@ -285,6 +351,7 @@ impl NvmeDevice {
                     // here — with the device lock held — models a device
                     // whose queue the writer thread is stuck behind.
                     std::thread::sleep(std::time::Duration::from_micros(per_write_us));
+                    self.stall_ns += per_write_us * 1_000;
                 }
             }
         }

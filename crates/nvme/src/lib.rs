@@ -25,7 +25,7 @@ pub mod device;
 pub mod fault;
 
 pub use command::{Command, Completion, DeviceError};
-pub use device::{DeviceConfig, NvmeDevice};
+pub use device::{DeviceConfig, DeviceTelemetry, NvmeDevice};
 pub use fault::{FaultKind, FaultPlan, FaultSpecError};
 
 /// Logical block size in bytes (equal to the NAND page size).

@@ -5,6 +5,8 @@
 //! slimio-cli [-h host] [-p port] bench [-c clients] [-n requests]
 //!            [-d value-bytes] [-r keyspace] [--seed s] [--zipf]
 //!            [-P pipeline] [-G get-percent]
+//! slimio-cli [-h host] [-p port] metrics [filter]
+//! slimio-cli [-h host] [-p port] slowlog [n]
 //! slimio-cli [-h host] [-p port] [--timeout-ms n] <COMMAND> [args...]
 //! ```
 //!
@@ -14,6 +16,12 @@
 //! covering connect, write, and every read, so scripted health checks
 //! can't hang on a SYN-dropped, wedged, or byte-trickling server: past
 //! the deadline the command fails with a clear message and exit 1.
+//!
+//! `metrics [filter]` asks the server (via `INFO`) for its metrics
+//! port, scrapes `GET /metrics` over plain HTTP, and prints the
+//! Prometheus text — optionally only lines containing `filter`.
+//! `slowlog [n]` pretty-prints `SLOWLOG GET n` (default 10) one entry
+//! per line with the per-stage breakdown.
 
 use slimio_server::bench::{self, BenchOpts};
 use slimio_server::resp::Value;
@@ -22,6 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: slimio-cli [-h host] [-p port] bench [-c n] [-n n] [-d bytes] [-r keys]\n\
          \x20                 [--seed s] [--zipf] [-P|--pipeline n] [-G|--get-ratio pct]\n\
+         \x20      slimio-cli [-h host] [-p port] metrics [filter]\n\
+         \x20      slimio-cli [-h host] [-p port] slowlog [n]\n\
          \x20      slimio-cli [-h host] [-p port] [--timeout-ms n] <command> [args...]"
     );
     std::process::exit(2);
@@ -67,6 +77,18 @@ fn main() {
         run_bench(host, port, &rest[1..]);
         return;
     }
+    if rest[0] == "metrics" {
+        run_metrics(&host, port, rest.get(1).map(String::as_str), timeout);
+        return;
+    }
+    if rest[0] == "slowlog" && rest.len() <= 2 {
+        let n = rest
+            .get(1)
+            .map(|s| s.parse::<i64>().unwrap_or_else(|_| usage()))
+            .unwrap_or(10);
+        run_slowlog(&host, port, n, timeout);
+        return;
+    }
 
     // One-shot command mode: everything after the connection flags is the
     // command and its arguments.
@@ -87,6 +109,108 @@ fn main() {
             }
             std::process::exit(1);
         }
+    }
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("slimio-cli: {msg}");
+    std::process::exit(1);
+}
+
+/// Asks the server for its metrics port over RESP (`INFO` →
+/// `metrics_port:`), then scrapes `/metrics` with a minimal HTTP/1.0
+/// GET and prints the body.
+fn run_metrics(host: &str, port: u16, filter: Option<&str>, timeout: Option<std::time::Duration>) {
+    use std::io::{Read, Write};
+    let info = match bench::oneshot_timeout(host, port, &[b"INFO".to_vec()], timeout) {
+        Ok(Value::Bulk(text)) => String::from_utf8_lossy(&text).into_owned(),
+        Ok(v) => die(format!(
+            "unexpected INFO reply: {}",
+            bench::format_value(&v)
+        )),
+        Err(e) => die(format!("INFO failed: {e}")),
+    };
+    let mport: u16 = info
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("metrics_port:"))
+        .and_then(|p| p.trim().parse().ok())
+        .unwrap_or(0);
+    if mport == 0 {
+        die("server has no metrics listener (start it with --metrics-port)".to_string());
+    }
+    let mut stream = std::net::TcpStream::connect((host, mport))
+        .unwrap_or_else(|e| die(format!("connect {host}:{mport} failed: {e}")));
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    stream
+        .write_all(format!("GET /metrics HTTP/1.0\r\nHost: {host}\r\n\r\n").as_bytes())
+        .unwrap_or_else(|e| die(format!("scrape write failed: {e}")));
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .unwrap_or_else(|e| die(format!("scrape read failed: {e}")));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or(&response);
+    for line in body.lines() {
+        if filter.is_none_or(|f| line.contains(f)) {
+            println!("{line}");
+        }
+    }
+}
+
+/// Pretty-prints `SLOWLOG GET n`: one line per entry with the argv and
+/// the per-stage breakdown the server attaches.
+fn run_slowlog(host: &str, port: u16, n: i64, timeout: Option<std::time::Duration>) {
+    let args = vec![
+        b"SLOWLOG".to_vec(),
+        b"GET".to_vec(),
+        n.to_string().into_bytes(),
+    ];
+    let entries = match bench::oneshot_timeout(host, port, &args, timeout) {
+        Ok(Value::Array(entries)) => entries,
+        Ok(v) => die(format!(
+            "unexpected SLOWLOG reply: {}",
+            bench::format_value(&v)
+        )),
+        Err(e) => die(format!("SLOWLOG GET failed: {e}")),
+    };
+    if entries.is_empty() {
+        println!("(empty slowlog)");
+        return;
+    }
+    for e in entries {
+        let Value::Array(fields) = e else {
+            die("malformed SLOWLOG entry".to_string())
+        };
+        let int = |v: Option<&Value>| match v {
+            Some(Value::Int(n)) => *n,
+            _ => -1,
+        };
+        let bulk = |v: Option<&Value>| match v {
+            Some(Value::Bulk(b)) => String::from_utf8_lossy(b).into_owned(),
+            _ => String::new(),
+        };
+        let argv = match fields.get(3) {
+            Some(Value::Array(parts)) => parts
+                .iter()
+                .map(|p| match p {
+                    Value::Bulk(b) => String::from_utf8_lossy(b).into_owned(),
+                    other => bench::format_value(other),
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+            _ => String::new(),
+        };
+        println!(
+            "#{} ts={} dur={}us [{}] {} ({})",
+            int(fields.first()),
+            int(fields.get(1)),
+            int(fields.get(2)),
+            argv,
+            bulk(fields.get(5)),
+            bulk(fields.get(4)),
+        );
     }
 }
 

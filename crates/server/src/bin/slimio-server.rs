@@ -8,7 +8,16 @@
 //!               [--fault-plan SPEC] [--replica-of HOST:PORT]
 //!               [--repl-backlog-mb N] [--maxmemory BYTES]
 //!               [--writer-queue N] [--repl-feed-limit-mb N]
+//!               [--metrics-port N] [--slowlog-log-slower-than US]
 //! ```
+//!
+//! `--metrics-port N` serves Prometheus text on `GET /metrics` at
+//! `HOST:N` (same host as `--addr`): per-stage write-path latency
+//! histograms, device/FTL counters (live WAF, GC, per-PID reclaim-unit
+//! occupancy), governor and replication series. Port 0 picks an
+//! ephemeral port (reported in `INFO`'s `metrics_port`).
+//! `--slowlog-log-slower-than` sets the `SLOWLOG` threshold in
+//! microseconds (default 10000; negative disables).
 //!
 //! `--shards N` splits the keyspace into N writer shards (passthru
 //! only): each shard runs its own writer thread, group-commit batch,
@@ -51,6 +60,8 @@ struct Args {
     replica_of: Option<String>,
     repl_backlog_mb: usize,
     govern: GovernorOpts,
+    metrics_port: Option<u16>,
+    slowlog_threshold_us: i64,
 }
 
 fn usage() -> ! {
@@ -60,7 +71,8 @@ fn usage() -> ! {
          \x20                    [--wal-snapshot-mb n] [--snapshot-chunk-kb n]\n\
          \x20                    [--fault-plan pc@N|torn@N:B|fail@N[xK]|slow@N:US] [--no-read-path]\n\
          \x20                    [--replica-of host:port] [--repl-backlog-mb n]\n\
-         \x20                    [--maxmemory bytes] [--writer-queue n] [--repl-feed-limit-mb n]"
+         \x20                    [--maxmemory bytes] [--writer-queue n] [--repl-feed-limit-mb n]\n\
+         \x20                    [--metrics-port n] [--slowlog-log-slower-than us]"
     );
     std::process::exit(2);
 }
@@ -78,6 +90,8 @@ fn parse_args() -> Args {
         replica_of: None,
         repl_backlog_mb: 1,
         govern: GovernorOpts::default(),
+        metrics_port: None,
+        slowlog_threshold_us: 10_000,
     };
     let mut fdp_flag = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -156,6 +170,12 @@ fn parse_args() -> Args {
                 args.govern.repl_feed_limit =
                     next(&mut i).parse::<u64>().unwrap_or_else(|_| usage()) << 20
             }
+            "--metrics-port" => {
+                args.metrics_port = Some(next(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--slowlog-log-slower-than" => {
+                args.slowlog_threshold_us = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -186,6 +206,8 @@ fn main() {
         replica_of: args.replica_of.clone(),
         repl_backlog_bytes: args.repl_backlog_mb << 20,
         govern: args.govern,
+        metrics_addr: args.metrics_port.map(|p| format!("{}:{}", args.addr, p)),
+        slowlog_threshold_us: args.slowlog_threshold_us,
     };
     let handle = match Server::start(store, opts) {
         Ok(h) => h,
@@ -210,6 +232,9 @@ fn main() {
             None => String::new(),
         },
     );
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("slimio-server: metrics on http://{maddr}/metrics");
+    }
     // Serve until a client sends SHUTDOWN.
     handle.join();
     println!("slimio-server: clean shutdown");

@@ -91,6 +91,19 @@ pub(crate) struct ShardGate {
     busy: AtomicU64,
 }
 
+/// A point-in-time copy of the governor's overload counters, read by the
+/// telemetry sampler at scrape time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct GovernorSample {
+    pub blocked_clients: u64,
+    pub busy_refused: u64,
+    pub oom_refused: u64,
+    pub evicted_clients: u64,
+    pub evicted_replicas: u64,
+    pub engine_bytes: u64,
+    pub engine_hwm: u64,
+}
+
 /// Shared resource accounting: per-shard admission gates plus the
 /// overload counters `INFO # Resources` reports.
 pub(crate) struct Governor {
@@ -264,6 +277,19 @@ impl Governor {
     /// Counts a replica disconnected for lagging past the feed limit.
     pub(crate) fn count_replica_eviction(&self) {
         self.evicted_replicas.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots the overload counters for telemetry export.
+    pub(crate) fn sample(&self) -> GovernorSample {
+        GovernorSample {
+            blocked_clients: self.blocked_clients.load(Ordering::SeqCst),
+            busy_refused: self.busy_refused.load(Ordering::Relaxed),
+            oom_refused: self.oom_refused.load(Ordering::Relaxed),
+            evicted_clients: self.evicted_clients.load(Ordering::Relaxed),
+            evicted_replicas: self.evicted_replicas.load(Ordering::Relaxed),
+            engine_bytes: self.engine_bytes.load(Ordering::Relaxed),
+            engine_hwm: self.engine_hwm.load(Ordering::Relaxed),
+        }
     }
 
     /// Appends the `INFO` `# Resources` section.

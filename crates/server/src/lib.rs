@@ -12,6 +12,8 @@
 //! - [`server`] — the accept/connection/writer thread architecture.
 //! - `govern` — backpressure: bounded admission, memory and lag limits.
 //! - `repl` — WAL-shipping primary/replica replication.
+//! - `telemetry` — per-stage latency series, Prometheus `/metrics`,
+//!   SLOWLOG and LATENCY.
 //! - [`bench`] — a redis-benchmark-style closed-loop load generator.
 
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ mod repl;
 pub mod resp;
 pub mod server;
 pub mod store;
+mod telemetry;
 
 pub use bench::{oneshot, oneshot_timeout, BenchOpts, BenchReport};
 pub use govern::GovernorOpts;

@@ -170,6 +170,17 @@ pub(crate) struct ReplState {
     inner: Mutex<ReplInner>,
 }
 
+/// A point-in-time copy of replication state for the telemetry sampler.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ReplSample {
+    pub is_primary: bool,
+    pub backlog_end: u64,
+    pub backlog_len: u64,
+    pub connected_replicas: u64,
+    pub max_lag: u64,
+    pub applied_offset: u64,
+}
+
 /// The lock-guarded interior of [`ReplState`].
 pub(crate) struct ReplInner {
     /// Current role.
@@ -345,6 +356,29 @@ impl ReplState {
         inner.primary_addr = Some(addr);
         inner.link_status = "connecting";
         inner.link_epoch
+    }
+
+    /// Snapshots replication state for telemetry export: role (true when
+    /// primary), backlog end offset, backlog bytes retained, connected
+    /// replica count, worst replica lag in bytes, and (replica role) the
+    /// applied upstream offset.
+    pub(crate) fn sample(&self) -> ReplSample {
+        let mut inner = self.lock();
+        inner.peers.retain(|p| p.alive.load(Ordering::SeqCst));
+        let end = inner.backlog.end();
+        ReplSample {
+            is_primary: matches!(inner.role, Role::Primary),
+            backlog_end: end,
+            backlog_len: inner.backlog.len() as u64,
+            connected_replicas: inner.peers.len() as u64,
+            max_lag: inner
+                .peers
+                .iter()
+                .map(|p| end.saturating_sub(p.acked.load(Ordering::SeqCst).max(p.base)))
+                .max()
+                .unwrap_or(0),
+            applied_offset: inner.applied_offset,
+        }
     }
 
     /// Appends the `INFO` `# Replication` section.

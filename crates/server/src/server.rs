@@ -72,6 +72,7 @@ use crate::govern::{lock_ok, Governor, GovernorOpts};
 use crate::repl::{self, LinkCtx, ReplState, ReplicaPeer, READONLY_MSG};
 use crate::resp::{self, Value};
 use crate::store::{AnyBackend, Store};
+use crate::telemetry::{self, dur_ns, MetricsCtx, Telemetry, LATENCY_EVENT_THRESHOLD_NS};
 
 /// Most requests one group-committed batch drains from the queue. Bounds
 /// reply latency for the batch's first command and the size of the
@@ -152,6 +153,12 @@ pub struct ServerOpts {
     /// Resource-governance limits: writer queue bound, `maxmemory`,
     /// slow-consumer eviction thresholds.
     pub govern: GovernorOpts,
+    /// Bind address for the Prometheus `/metrics` listener; `None`
+    /// disables it. Stage histograms and SLOWLOG still record either way.
+    pub metrics_addr: Option<String>,
+    /// `SLOWLOG` threshold in microseconds; negative disables the log
+    /// (Redis' `slowlog-log-slower-than`).
+    pub slowlog_threshold_us: i64,
 }
 
 impl Default for ServerOpts {
@@ -165,6 +172,8 @@ impl Default for ServerOpts {
             replica_of: None,
             repl_backlog_bytes: repl::DEFAULT_BACKLOG_BYTES,
             govern: GovernorOpts::default(),
+            metrics_addr: None,
+            slowlog_threshold_us: 10_000,
         }
     }
 }
@@ -278,6 +287,10 @@ pub(crate) struct Shared {
     /// publishes its own slot once per batch; shard 0 reads all slots
     /// to answer `INFO`, so no writer ever touches another's engine.
     pub(crate) shard_stats: Vec<ShardStat>,
+    /// Telemetry root: stage histograms, sampled Prometheus series,
+    /// SLOWLOG and LATENCY state. `Arc` so writers can hold their own
+    /// handle without borrowing through `Shared` mid-dispatch.
+    pub(crate) tel: Arc<Telemetry>,
 }
 
 /// One shard writer's published statistics (see [`Shared::shard_stats`]).
@@ -299,6 +312,8 @@ pub(crate) struct ShardStat {
     pub(crate) snapshot_active: AtomicBool,
     /// Newest global batch sequence this shard stamped onto a frame.
     pub(crate) last_gseq: AtomicU64,
+    /// Newest engine sequence published to this shard's read view.
+    pub(crate) published_seq: AtomicU64,
     /// Group-commit batch sizes (requests per batch).
     pub(crate) batch_hist: Mutex<Histogram>,
 }
@@ -314,6 +329,7 @@ impl ShardStat {
             od_snapshots: AtomicU64::new(0),
             snapshot_active: AtomicBool::new(false),
             last_gseq: AtomicU64::new(0),
+            published_seq: AtomicU64::new(0),
             batch_hist: Mutex::new(Histogram::new()),
         }
     }
@@ -327,6 +343,9 @@ pub(crate) enum Request {
     /// A client command forwarded by a connection thread.
     Cmd {
         args: Vec<Vec<u8>>,
+        /// When the connection thread enqueued this command (after
+        /// admission) — the start of the `queue` telemetry stage.
+        queued_at: Instant,
         reply: mpsc::Sender<(Value, u64)>,
     },
     /// A `PSYNC` handoff: the connection thread surrenders the socket;
@@ -381,6 +400,8 @@ pub struct ServerHandle {
     store: Option<Store>,
     recovered_keys: u64,
     wal_records_replayed: u64,
+    metrics: Option<JoinHandle<()>>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl ServerHandle {
@@ -402,6 +423,12 @@ impl ServerHandle {
     /// WAL records replayed during start-up recovery.
     pub fn wal_records_replayed(&self) -> u64 {
         self.wal_records_replayed
+    }
+
+    /// Bound address of the Prometheus `/metrics` listener, when one
+    /// was requested via [`ServerOpts::metrics_addr`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Stops cleanly: finishes any active snapshot, flushes and syncs the
@@ -435,6 +462,9 @@ impl ServerHandle {
         if let Some(a) = self.accept.take() {
             let _ = a.join();
         }
+        if let Some(m) = self.metrics.take() {
+            let _ = m.join();
+        }
         drop(self.txs.take());
         let mut store = self.store.take().expect("store taken twice");
         store.close_shards(backends);
@@ -445,6 +475,9 @@ impl ServerHandle {
         drop(self.txs.take());
         if let Some(a) = self.accept.take() {
             let _ = a.join();
+        }
+        if let Some(m) = self.metrics.take() {
+            let _ = m.join();
         }
         let backends: Vec<AnyBackend> = self
             .writers
@@ -526,6 +559,7 @@ impl Server {
         listener.set_nonblocking(true).map_err(ServerError::Io)?;
         let addr = listener.local_addr().map_err(ServerError::Io)?;
 
+        let tel = Arc::new(Telemetry::new(shards, opts.slowlog_threshold_us));
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             kill: AtomicBool::new(false),
@@ -539,6 +573,7 @@ impl Server {
             gov: Governor::new(opts.govern, shards),
             nosave: AtomicBool::new(false),
             shard_stats: (0..shards).map(|_| ShardStat::new()).collect(),
+            tel: Arc::clone(&tel),
         });
         let repl = Arc::new(ReplState::new(
             opts.replica_of.clone(),
@@ -551,6 +586,7 @@ impl Server {
         for (shard, (db, rx)) in dbs.into_iter().zip(rxs).enumerate() {
             let shared = Arc::clone(&shared);
             let repl = Arc::clone(&repl);
+            let tel = Arc::clone(&tel);
             let txs = txs.clone();
             let backend_name = store.kind().name();
             let fdp = store.fdp();
@@ -565,6 +601,7 @@ impl Server {
                         db,
                         rx,
                         txs,
+                        tel,
                         shared,
                         repl,
                         port,
@@ -579,6 +616,7 @@ impl Server {
                         cmds_since_step: 0,
                         pending_syncs: Vec::new(),
                         pending_gathers: Vec::new(),
+                        prev_gc_passes: 0,
                     }
                     .run()
                 })
@@ -606,6 +644,22 @@ impl Server {
             });
         }
 
+        let (metrics, metrics_addr) = match opts.metrics_addr.as_deref() {
+            Some(maddr) => {
+                let ctx = MetricsCtx {
+                    shared: Arc::clone(&shared),
+                    repl: Arc::clone(&repl),
+                    device: Arc::clone(store.device()),
+                };
+                let (bound, handle) =
+                    telemetry::spawn_metrics_listener(maddr, ctx).map_err(ServerError::Io)?;
+                tel.metrics_port
+                    .store(bound.port() as u64, Ordering::SeqCst);
+                (Some(handle), Some(bound))
+            }
+            None => (None, None),
+        };
+
         Ok(ServerHandle {
             addr,
             shared,
@@ -615,6 +669,8 @@ impl Server {
             store: Some(store),
             recovered_keys,
             wal_records_replayed: replayed,
+            metrics,
+            metrics_addr,
         })
     }
 }
@@ -1198,8 +1254,11 @@ fn connection_loop(
                                 break;
                             }
                             serve_local(&frame, readers.as_deref(), &last_acks, &mut reply);
-                            lock_ok(&hist)
-                                .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                            let ns = dur_ns(t0.elapsed());
+                            if !frame.arg(0).eq_ignore_ascii_case(b"PING") {
+                                shared.tel.reads.record(ns);
+                            }
+                            lock_ok(&hist).record(ns);
                             shared.ops.fetch_add(1, Ordering::Relaxed);
                         }
                         Route::Writer => {
@@ -1245,7 +1304,23 @@ fn connection_loop(
                             // split walks 0..shards), which is the lock
                             // order `admit_all` reserves slots in.
                             let involved: Vec<usize> = plan.iter().map(|(s, _)| *s).collect();
-                            if governed && !shared.gov.admit_all(&involved, &shared.stop) {
+                            let admitted = if governed {
+                                let t_adm = Instant::now();
+                                let ok = shared.gov.admit_all(&involved, &shared.stop);
+                                // Admission wait lands on the first shard
+                                // the command touches (recorded even for
+                                // refusals — the park before -BUSY is real
+                                // client-visible latency).
+                                if let Some(&s) = involved.first() {
+                                    shared.tel.shards[s]
+                                        .admission
+                                        .record(dur_ns(t_adm.elapsed()));
+                                }
+                                ok
+                            } else {
+                                true
+                            };
+                            if !admitted {
                                 // Some shard's queue full past the
                                 // admission park: refuse here, on the
                                 // connection thread, after settling owed
@@ -1273,11 +1348,13 @@ fn connection_loop(
                             } else {
                                 let mut mask = 0u16;
                                 let mut send_failed = false;
+                                let queued_at = Instant::now();
                                 for (s, sub) in plan {
                                     if send_failed
                                         || txs[s]
                                             .send(Request::Cmd {
                                                 args: sub,
+                                                queued_at,
                                                 reply: rtxs[s].clone(),
                                             })
                                             .is_err()
@@ -1460,7 +1537,9 @@ fn drain_writer_replies(
             Combine::Pass => single.expect("owed entry with an empty shard mask"),
             Combine::SumInt => first_err.unwrap_or(Value::Int(sum)),
         };
-        lock_ok(hist).record(o.t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        let ns = dur_ns(o.t0.elapsed());
+        shared.tel.e2e.record(ns);
+        lock_ok(hist).record(ns);
         shared.ops.fetch_add(1, Ordering::Relaxed);
         reply.push_value(&combined);
     }
@@ -1513,6 +1592,10 @@ struct Writer {
     /// channel disconnect can no longer signal shutdown; the idle wait
     /// polls `stop` instead.
     txs: Vec<mpsc::Sender<Request>>,
+    /// Telemetry root (same object as `shared.tel`; an owned handle so
+    /// the batch loop can record stages while `self` is mutably
+    /// borrowed by dispatch).
+    tel: Arc<Telemetry>,
     shared: Arc<Shared>,
     repl: Arc<ReplState>,
     /// Our serving port, announced upstream by link threads.
@@ -1534,6 +1617,23 @@ struct Writer {
     /// execution, answered between batches after the commit + backlog
     /// pump so the reply reflects only published state.
     pending_gathers: Vec<mpsc::Sender<Vec<Entry>>>,
+    /// FTL GC pass count at the last batch boundary (for the `gc`
+    /// LATENCY event).
+    prev_gc_passes: u64,
+}
+
+/// Wall-clock cost of one group commit, split at the flush/sync
+/// boundary for the `wal_append` and `device_sync` telemetry stages.
+/// `flush_stall_ns` is the injected device stall (`slow@` faults)
+/// observed during the flush phase; the writer re-attributes it to
+/// `device_sync`, so `wal_append` stays a pure software cost. Stall
+/// during the sync phase needs no correction — it is already inside
+/// `sync_ns`.
+#[derive(Clone, Copy, Default)]
+struct CommitTiming {
+    flush_ns: u64,
+    sync_ns: u64,
+    flush_stall_ns: u64,
 }
 
 impl Writer {
@@ -1544,6 +1644,13 @@ impl Writer {
     fn run(mut self) -> AnyBackend {
         let mut pending: Vec<(mpsc::Sender<(Value, u64)>, Value)> = Vec::with_capacity(MAX_BATCH);
         let mut write_acks: Vec<usize> = Vec::with_capacity(MAX_BATCH);
+        // Slowlog bookkeeping per batch: (enqueue time, queue-stage ns,
+        // argv) for each executed client command.
+        let mut cmd_meta: Vec<(Instant, u64, Vec<Vec<u8>>)> = Vec::new();
+        let tel = Arc::clone(&self.tel);
+        // Baseline the GC delta: a restarted server shares the
+        // in-process device, whose counters carry prior history.
+        self.prev_gc_passes = lock_ok(self.db.backend().device()).ftl_stats().gc_passes;
         loop {
             if self.shared.kill.load(Ordering::SeqCst) {
                 return self.db.into_backend();
@@ -1619,6 +1726,13 @@ impl Writer {
                 .count();
             self.shared.gov.release(self.shard, governed_drained);
 
+            let rec = &tel.shards[self.shard];
+            let slowlog_on = tel.slowlog.enabled();
+            let t_exec = Instant::now();
+            let mut max_queue_ns = 0u64;
+            let mut n_cmds = 0u64;
+            cmd_meta.clear();
+
             // Execute every command, queueing WAL records in the engine
             // while deferring the flush; every reply is parked until the
             // group commit lands so no ack precedes its batch's sync.
@@ -1637,7 +1751,15 @@ impl Writer {
                         }
                         continue;
                     }
-                    Request::Cmd { args, reply } => {
+                    Request::Cmd {
+                        args,
+                        queued_at,
+                        reply,
+                    } => {
+                        let q_ns = dur_ns(t_exec.saturating_duration_since(queued_at));
+                        rec.queue.record(q_ns);
+                        max_queue_ns = max_queue_ns.max(q_ns);
+                        n_cmds += 1;
                         if refused {
                             // SHUTDOWN landed earlier in this batch:
                             // everything pipelined behind it is refused,
@@ -1651,6 +1773,9 @@ impl Writer {
                             // (the publish below still stamps these)
                         } else {
                             let (value, wrote) = self.dispatch(&args);
+                            if slowlog_on {
+                                cmd_meta.push((queued_at, q_ns, args));
+                            }
                             (reply, value, wrote)
                         }
                     }
@@ -1714,21 +1839,45 @@ impl Writer {
                 }
             }
             let shutting_down = refused || self.shared.stop.load(Ordering::SeqCst);
+            let t_commit = Instant::now();
+            let exec_ns = dur_ns(t_commit.duration_since(t_exec));
+            rec.execute.record(exec_ns);
 
             // Group commit: one WAL flush and (under Always) one device
             // sync cover the whole batch. If it fails, retract every ack
             // that was contingent on this commit.
+            let mut commit = CommitTiming::default();
             if !write_acks.is_empty() {
-                if let Err(e) = self.group_commit() {
-                    let err = Value::err(format!("write failed: {e}"));
-                    for &i in &write_acks {
-                        pending[i].1 = err.clone();
+                match self.group_commit() {
+                    Ok(t) => commit = t,
+                    Err(e) => {
+                        let err = Value::err(format!("write failed: {e}"));
+                        for &i in &write_acks {
+                            pending[i].1 = err.clone();
+                        }
+                        // The errored acks also cover ReplSet/ReplApply:
+                        // the link thread reads an error ack as link
+                        // failure and never advances the acked upstream
+                        // offset.
                     }
-                    // The errored acks also cover ReplSet/ReplApply: the
-                    // link thread reads an error ack as link failure and
-                    // never advances the acked upstream offset.
                 }
             }
+            // Split the commit's wall cost into WAL append vs device
+            // sync. An injected `slow@` stall that slept during the flush
+            // phase is re-attributed to `device_sync`, where it belongs
+            // causally; sync-phase stall is already inside `sync_ns`.
+            let (mut wal_ns, mut sync_ns) = (0u64, 0u64);
+            let mut gc_delta = 0u64;
+            if !write_acks.is_empty() {
+                let gc_total = lock_ok(self.db.backend().device()).ftl_stats().gc_passes;
+                gc_delta = gc_total.saturating_sub(self.prev_gc_passes);
+                self.prev_gc_passes = gc_total;
+                wal_ns = commit.flush_ns.saturating_sub(commit.flush_stall_ns);
+                sync_ns = commit.sync_ns.saturating_add(commit.flush_stall_ns);
+                rec.wal_append.record(wal_ns);
+                rec.device_sync.record(sync_ns);
+            }
+            let t_post = Instant::now();
             // Ship this batch's committed records as one gseq-stamped
             // frame — backlog end now covers every write acked below,
             // which is the invariant `WAIT` relies on.
@@ -1740,6 +1889,9 @@ impl Writer {
             // engine's existing semantics, so the view publishes either
             // way — it mirrors the map, not the WAL.)
             let published_seq = self.db.publish_view();
+            self.shared.shard_stats[self.shard]
+                .published_seq
+                .store(published_seq, Ordering::Relaxed);
             // Publish this shard's observability slot and mirror the
             // cross-shard governed footprint for INFO and its high-water
             // mark; once per batch is plenty of resolution.
@@ -1751,6 +1903,53 @@ impl Writer {
             // replies land on its own channel in request order.
             for (reply, value) in pending.drain(..) {
                 let _ = reply.send((value, published_seq));
+            }
+            let t_done = Instant::now();
+            let reply_ns = dur_ns(t_done.duration_since(t_post));
+            rec.reply.record(reply_ns);
+            rec.batches.inc();
+            rec.batch_commands.add(n_cmds);
+            // LATENCY spike events: anything that held this batch (and
+            // thus every connection parked behind it) at least the
+            // threshold.
+            if sync_ns >= LATENCY_EVENT_THRESHOLD_NS {
+                tel.latency.record("device-sync", sync_ns / 1_000_000);
+            }
+            if wal_ns >= LATENCY_EVENT_THRESHOLD_NS {
+                tel.latency.record("wal-append", wal_ns / 1_000_000);
+            }
+            if max_queue_ns >= LATENCY_EVENT_THRESHOLD_NS {
+                tel.latency.record("writer-stall", max_queue_ns / 1_000_000);
+            }
+            if gc_delta > 0 {
+                let commit_ns = dur_ns(t_post.duration_since(t_commit));
+                if commit_ns >= LATENCY_EVENT_THRESHOLD_NS {
+                    tel.latency.record("gc", commit_ns / 1_000_000);
+                }
+            }
+            // Slowlog: a command's duration spans its enqueue to this
+            // batch's reply release; the attached stage breakdown is the
+            // batch's, with the command's own queue wait.
+            if slowlog_on && !cmd_meta.is_empty() {
+                let thr_us = tel.slowlog.threshold_us().max(0) as u64;
+                for (queued_at, q_ns, args) in cmd_meta.drain(..) {
+                    let dur = t_done.saturating_duration_since(queued_at);
+                    if dur_ns(dur) / 1_000 < thr_us {
+                        continue;
+                    }
+                    tel.slowlog.maybe_record(
+                        dur,
+                        args,
+                        self.shard,
+                        vec![
+                            ("queue", q_ns / 1_000),
+                            ("execute", exec_ns / 1_000),
+                            ("wal_append", wal_ns / 1_000),
+                            ("device_sync", sync_ns / 1_000),
+                            ("reply", reply_ns / 1_000),
+                        ],
+                    );
+                }
             }
             if !write_acks.is_empty() {
                 self.after_write();
@@ -1861,17 +2060,33 @@ impl Writer {
     /// flushes the buffer as a side effect of forking, and those records
     /// still need this sync before their acks may be released. Under
     /// `Periodical` the flush stays interval-gated, as in the paper.
-    fn group_commit(&mut self) -> Result<(), DbError> {
+    fn group_commit(&mut self) -> Result<CommitTiming, DbError> {
         let now = self.now();
+        let stall = |db: &Db<AnyBackend>| lock_ok(db.backend().device()).wall_stall_ns();
         match self.db.config().policy {
             LogPolicy::Always => {
+                let stall0 = stall(&self.db);
+                let t_flush = Instant::now();
                 let t = self.db.flush_wal(now)?;
+                let flush_ns = dur_ns(t_flush.elapsed());
+                let flush_stall_ns = stall(&self.db).saturating_sub(stall0);
+                let t_sync = Instant::now();
                 self.db.sync_wal(t.done_at)?;
-                Ok(())
+                Ok(CommitTiming {
+                    flush_ns,
+                    sync_ns: dur_ns(t_sync.elapsed()),
+                    flush_stall_ns,
+                })
             }
             LogPolicy::Periodical { .. } => {
+                let stall0 = stall(&self.db);
+                let t_flush = Instant::now();
                 self.db.batch_commit(now)?;
-                Ok(())
+                Ok(CommitTiming {
+                    flush_ns: dur_ns(t_flush.elapsed()),
+                    sync_ns: 0,
+                    flush_stall_ns: stall(&self.db).saturating_sub(stall0),
+                })
             }
         }
     }
@@ -1976,6 +2191,8 @@ impl Writer {
                 self.bg_cmd(SnapshotKind::WalSnapshot, "Background WAL snapshot started")
             }
             b"INFO" => Value::Bulk(self.info_text().into_bytes()),
+            b"SLOWLOG" => self.slowlog_cmd(args),
+            b"LATENCY" => self.latency_cmd(args),
             b"DEBUG" => self.debug_cmd(args),
             b"CONFIG" => self.config_cmd(args),
             b"COMMAND" => Value::Array(Vec::new()),
@@ -2000,6 +2217,95 @@ impl Writer {
             )),
         };
         (reply, false)
+    }
+
+    /// `SLOWLOG GET [count] | LEN | RESET` over the shared slowlog.
+    /// Entries mirror Redis' shape — `[id, unix_ts, duration_us, argv,
+    /// "shard:<n>", "<stage breakdown>"]` — with the last two slots
+    /// (Redis' client addr/name) repurposed for the owning shard and the
+    /// batch's per-stage timings.
+    fn slowlog_cmd(&self, args: &[Vec<u8>]) -> Value {
+        let slowlog = &self.tel.slowlog;
+        let Some(sub) = args.get(1) else {
+            return Value::err("wrong number of arguments for 'slowlog' command");
+        };
+        if sub.eq_ignore_ascii_case(b"LEN") {
+            return Value::Int(slowlog.len() as i64);
+        }
+        if sub.eq_ignore_ascii_case(b"RESET") {
+            slowlog.reset();
+            return Value::ok();
+        }
+        if sub.eq_ignore_ascii_case(b"GET") {
+            let count = match args.get(2) {
+                None => Some(10),
+                Some(raw) => match String::from_utf8_lossy(raw).parse::<i64>() {
+                    Ok(n) if n < 0 => None, // -1 = everything
+                    Ok(n) => Some(n as usize),
+                    Err(_) => return Value::err("value is not an integer or out of range"),
+                },
+            };
+            let entries = slowlog
+                .get(count)
+                .into_iter()
+                .map(|e| {
+                    Value::Array(vec![
+                        Value::Int(e.id as i64),
+                        Value::Int(e.unix_ts as i64),
+                        Value::Int(e.dur_us.min(i64::MAX as u64) as i64),
+                        Value::Array(e.args.iter().map(|a| Value::Bulk(a.clone())).collect()),
+                        Value::Bulk(format!("shard:{}", e.shard).into_bytes()),
+                        Value::Bulk(e.stage_summary().into_bytes()),
+                    ])
+                })
+                .collect();
+            return Value::Array(entries);
+        }
+        Value::err("unknown SLOWLOG subcommand; try GET [count]|LEN|RESET")
+    }
+
+    /// `LATENCY HISTORY <event> | LATEST | RESET`, Redis-shaped, over
+    /// the spike events the writer records (`device-sync`, `wal-append`,
+    /// `writer-stall`, `gc`).
+    fn latency_cmd(&self, args: &[Vec<u8>]) -> Value {
+        let latency = &self.tel.latency;
+        let Some(sub) = args.get(1) else {
+            return Value::err("wrong number of arguments for 'latency' command");
+        };
+        if sub.eq_ignore_ascii_case(b"HISTORY") {
+            let Some(event) = args.get(2) else {
+                return Value::err("wrong number of arguments for 'latency history' command");
+            };
+            return Value::Array(
+                latency
+                    .history(event)
+                    .into_iter()
+                    .map(|(ts, ms)| {
+                        Value::Array(vec![Value::Int(ts as i64), Value::Int(ms as i64)])
+                    })
+                    .collect(),
+            );
+        }
+        if sub.eq_ignore_ascii_case(b"LATEST") {
+            return Value::Array(
+                latency
+                    .latest()
+                    .into_iter()
+                    .map(|(name, ts, last, max)| {
+                        Value::Array(vec![
+                            Value::Bulk(name.as_bytes().to_vec()),
+                            Value::Int(ts as i64),
+                            Value::Int(last as i64),
+                            Value::Int(max as i64),
+                        ])
+                    })
+                    .collect(),
+            );
+        }
+        if sub.eq_ignore_ascii_case(b"RESET") {
+            return Value::Int(latency.reset() as i64);
+        }
+        Value::err("unknown LATENCY subcommand; try HISTORY <event>|LATEST|RESET")
     }
 
     /// `DEBUG FAULT <spec>` arms a deterministic fault plan on the device
@@ -2524,6 +2830,27 @@ impl Writer {
         }
         s.push_str("\r\n# Replication\r\n");
         self.repl.info_lines(&mut s);
+        s.push_str("\r\n# Telemetry\r\n");
+        s.push_str(&format!(
+            "metrics_port:{}\r\n",
+            self.tel.metrics_port.load(Ordering::SeqCst)
+        ));
+        s.push_str(&format!("slowlog_len:{}\r\n", self.tel.slowlog.len()));
+        s.push_str(&format!(
+            "slowlog_threshold_us:{}\r\n",
+            self.tel.slowlog.threshold_us()
+        ));
+        s.push_str(&format!(
+            "latency_events:{}\r\n",
+            self.tel.latency.event_count()
+        ));
+        let last = self
+            .tel
+            .latency
+            .last_event()
+            .map(|(name, _)| name)
+            .unwrap_or("-");
+        s.push_str(&format!("latency_last_event:{last}\r\n"));
         s.push_str("\r\n# Device\r\n");
         s.push_str(&format!("waf:{waf:.2}\r\n"));
         s.push_str(&format!("device_capacity_bytes:{capacity}\r\n"));

@@ -85,6 +85,11 @@ impl AnyBackend {
             AnyBackend::Passthru(b) => b.device(),
         }
     }
+
+    /// Snapshots device/FTL/NAND telemetry (one lock acquisition).
+    pub fn device_telemetry(&self) -> slimio_nvme::DeviceTelemetry {
+        self.device().lock().unwrap().telemetry()
+    }
 }
 
 impl PersistBackend for AnyBackend {

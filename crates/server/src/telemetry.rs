@@ -1,0 +1,767 @@
+//! Live-server telemetry: per-stage write-path histograms, sampled
+//! device/governor/replication series, the Prometheus `/metrics`
+//! listener, and the Redis-compatible `SLOWLOG` / `LATENCY` state.
+//!
+//! Everything here is live-path only. The DES experiment pipeline never
+//! constructs a [`Telemetry`]; the hot-path hooks are `Arc`'d handles
+//! into the lock-free [`Registry`], so recording is a few relaxed
+//! atomic adds and the whole subsystem costs nothing when a series is
+//! never scraped. Sampled series (governor counters, shard slots,
+//! replication offsets, device/FTL state) are copied into the registry
+//! only at scrape time — the sources of truth stay where they are.
+//!
+//! Stage taxonomy for one write, matching the writer's batch loop:
+//!
+//! * `admission` — connection thread parked at the shard gate;
+//! * `queue`     — channel send until the owning writer starts the batch;
+//! * `execute`   — engine mutation + WAL-record queueing (whole batch);
+//! * `wal_append`— the group commit's WAL flush (whole batch);
+//! * `device_sync` — the commit's device sync barrier, plus any injected
+//!   wall-clock device stall (`slow@` faults) attributed here;
+//! * `reply`     — backlog pump, view publish, and reply release.
+//!
+//! Batch-scoped stages record once per group-commit batch; `admission`
+//! and `queue` record once per command.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use slimio_metrics::{AtomicHistogram, Counter, Registry};
+use slimio_nvme::NvmeDevice;
+
+use crate::govern::lock_ok;
+use crate::repl::ReplState;
+use crate::server::Shared;
+
+/// A stage (or spike source) at least this long is recorded as a
+/// `LATENCY` event, mirroring Redis' default `latency-monitor-threshold`.
+pub(crate) const LATENCY_EVENT_THRESHOLD_NS: u64 = 50 * 1_000_000;
+
+/// Most entries the slowlog ring retains (Redis' `slowlog-max-len`).
+const SLOWLOG_MAX_LEN: usize = 128;
+/// Most argv entries one slowlog entry keeps.
+const SLOWLOG_MAX_ARGS: usize = 32;
+/// Longest argv payload one slowlog entry keeps per argument.
+const SLOWLOG_MAX_ARG_BYTES: usize = 128;
+/// Most samples `LATENCY HISTORY` retains per event (Redis keeps 160).
+const LATENCY_MAX_SAMPLES: usize = 160;
+
+#[inline]
+pub(crate) fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+fn unix_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Pre-resolved recorder handles for one shard's write-path stages —
+/// what the writer thread touches per batch, no registry lookups.
+pub(crate) struct ShardStageRecorders {
+    pub(crate) admission: Arc<AtomicHistogram>,
+    pub(crate) queue: Arc<AtomicHistogram>,
+    pub(crate) execute: Arc<AtomicHistogram>,
+    pub(crate) wal_append: Arc<AtomicHistogram>,
+    pub(crate) device_sync: Arc<AtomicHistogram>,
+    pub(crate) reply: Arc<AtomicHistogram>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) batch_commands: Arc<Counter>,
+}
+
+/// One retained slow command.
+#[derive(Clone)]
+pub(crate) struct SlowEntry {
+    pub(crate) id: u64,
+    pub(crate) unix_ts: u64,
+    pub(crate) dur_us: u64,
+    pub(crate) args: Vec<Vec<u8>>,
+    pub(crate) shard: usize,
+    /// The command's batch's per-stage breakdown, microseconds.
+    pub(crate) stages: Vec<(&'static str, u64)>,
+}
+
+impl SlowEntry {
+    /// `queue=12us execute=3us …` — the breakdown line attached to each
+    /// `SLOWLOG GET` entry.
+    pub(crate) fn stage_summary(&self) -> String {
+        let mut s = String::new();
+        for (name, us) in &self.stages {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(&format!("{name}={us}us"));
+        }
+        s
+    }
+}
+
+/// Redis-compatible slowlog: a bounded ring of commands that exceeded
+/// the configured threshold, with per-stage timings attached.
+pub(crate) struct SlowLog {
+    entries: Mutex<VecDeque<SlowEntry>>,
+    next_id: AtomicU64,
+    /// Microseconds; negative disables logging entirely.
+    threshold_us: i64,
+}
+
+impl SlowLog {
+    fn new(threshold_us: i64) -> Self {
+        SlowLog {
+            entries: Mutex::new(VecDeque::new()),
+            next_id: AtomicU64::new(0),
+            threshold_us,
+        }
+    }
+
+    /// False when `--slowlog-log-slower-than -1` disabled the log — the
+    /// writer then skips all slowlog bookkeeping for the batch.
+    pub(crate) fn enabled(&self) -> bool {
+        self.threshold_us >= 0
+    }
+
+    pub(crate) fn threshold_us(&self) -> i64 {
+        self.threshold_us
+    }
+
+    /// Records one command if its duration reaches the threshold.
+    pub(crate) fn maybe_record(
+        &self,
+        dur: Duration,
+        mut args: Vec<Vec<u8>>,
+        shard: usize,
+        stages: Vec<(&'static str, u64)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let dur_us = (dur_ns(dur) / 1_000).min(i64::MAX as u64);
+        if dur_us < self.threshold_us as u64 {
+            return;
+        }
+        args.truncate(SLOWLOG_MAX_ARGS);
+        for a in &mut args {
+            if a.len() > SLOWLOG_MAX_ARG_BYTES {
+                let dropped = a.len() - SLOWLOG_MAX_ARG_BYTES;
+                a.truncate(SLOWLOG_MAX_ARG_BYTES);
+                a.extend_from_slice(format!("... ({dropped} more bytes)").as_bytes());
+            }
+        }
+        let entry = SlowEntry {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            unix_ts: unix_secs(),
+            dur_us,
+            args,
+            shard,
+            stages,
+        };
+        let mut entries = lock_ok(&self.entries);
+        if entries.len() == SLOWLOG_MAX_LEN {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// Newest-first, up to `count` entries (`None` = all).
+    pub(crate) fn get(&self, count: Option<usize>) -> Vec<SlowEntry> {
+        let entries = lock_ok(&self.entries);
+        let take = count.unwrap_or(entries.len()).min(entries.len());
+        entries.iter().rev().take(take).cloned().collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        lock_ok(&self.entries).len()
+    }
+
+    pub(crate) fn reset(&self) {
+        lock_ok(&self.entries).clear();
+    }
+}
+
+/// History of one latency event source.
+struct EventHistory {
+    samples: VecDeque<(u64, u64)>, // (unix seconds, milliseconds)
+    max_ms: u64,
+}
+
+/// Redis-compatible `LATENCY` event tracking: named spike sources
+/// (writer stalls, sync spikes, GC pauses), each with a bounded sample
+/// history and an all-time max.
+pub(crate) struct LatencyTracker {
+    events: Mutex<Vec<(&'static str, EventHistory)>>,
+}
+
+impl LatencyTracker {
+    fn new() -> Self {
+        LatencyTracker {
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn record(&self, event: &'static str, ms: u64) {
+        let mut events = lock_ok(&self.events);
+        let hist = match events.iter_mut().find(|(n, _)| *n == event) {
+            Some((_, h)) => h,
+            None => {
+                events.push((
+                    event,
+                    EventHistory {
+                        samples: VecDeque::new(),
+                        max_ms: 0,
+                    },
+                ));
+                &mut events.last_mut().expect("just pushed").1
+            }
+        };
+        if hist.samples.len() == LATENCY_MAX_SAMPLES {
+            hist.samples.pop_front();
+        }
+        hist.samples.push_back((unix_secs(), ms));
+        hist.max_ms = hist.max_ms.max(ms);
+    }
+
+    /// `LATENCY HISTORY <event>`: the retained `(ts, ms)` samples.
+    pub(crate) fn history(&self, event: &[u8]) -> Vec<(u64, u64)> {
+        lock_ok(&self.events)
+            .iter()
+            .find(|(n, _)| n.as_bytes() == event)
+            .map(|(_, h)| h.samples.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// `LATENCY LATEST`: per event, `(name, last_ts, last_ms, max_ms)`.
+    pub(crate) fn latest(&self) -> Vec<(&'static str, u64, u64, u64)> {
+        lock_ok(&self.events)
+            .iter()
+            .filter_map(|(n, h)| {
+                let &(ts, ms) = h.samples.back()?;
+                Some((*n, ts, ms, h.max_ms))
+            })
+            .collect()
+    }
+
+    /// `LATENCY RESET`: drops every event, returning how many were
+    /// tracked.
+    pub(crate) fn reset(&self) -> usize {
+        let mut events = lock_ok(&self.events);
+        let n = events.len();
+        events.clear();
+        n
+    }
+
+    /// Distinct events currently tracked (INFO).
+    pub(crate) fn event_count(&self) -> usize {
+        lock_ok(&self.events).len()
+    }
+
+    /// The most recently recorded event, if any (INFO).
+    pub(crate) fn last_event(&self) -> Option<(&'static str, u64)> {
+        lock_ok(&self.events)
+            .iter()
+            .filter_map(|(n, h)| h.samples.back().map(|&(ts, _)| (*n, ts)))
+            .max_by_key(|&(_, ts)| ts)
+    }
+}
+
+/// The server's telemetry root, shared by every thread via [`Shared`].
+pub(crate) struct Telemetry {
+    /// All registered series; the `/metrics` listener renders it.
+    pub(crate) registry: Registry,
+    /// Per-shard write-path stage recorders.
+    pub(crate) shards: Vec<ShardStageRecorders>,
+    /// End-to-end writer-path command latency (parse → reply drained).
+    pub(crate) e2e: Arc<AtomicHistogram>,
+    /// Read-path (connection-thread GET/EXISTS) latency.
+    pub(crate) reads: Arc<AtomicHistogram>,
+    pub(crate) slowlog: SlowLog,
+    pub(crate) latency: LatencyTracker,
+    /// Bound metrics port, 0 when no listener is running (INFO).
+    pub(crate) metrics_port: AtomicU64,
+}
+
+impl Telemetry {
+    pub(crate) fn new(shards: usize, slowlog_threshold_us: i64) -> Self {
+        let registry = Registry::new();
+        let stage_help = "Write-path stage latency per group-commit batch";
+        let recorders = (0..shards)
+            .map(|i| {
+                let shard = i.to_string();
+                let stage = |name: &'static str| {
+                    registry.histogram(
+                        "slimio_write_stage_seconds",
+                        &[("stage", name), ("shard", &shard)],
+                        stage_help,
+                    )
+                };
+                ShardStageRecorders {
+                    admission: stage("admission"),
+                    queue: stage("queue"),
+                    execute: stage("execute"),
+                    wal_append: stage("wal_append"),
+                    device_sync: stage("device_sync"),
+                    reply: stage("reply"),
+                    batches: registry.counter(
+                        "slimio_write_batches_total",
+                        &[("shard", &shard)],
+                        "Group-commit batches committed",
+                    ),
+                    batch_commands: registry.counter(
+                        "slimio_write_batch_commands_total",
+                        &[("shard", &shard)],
+                        "Commands executed through the write path",
+                    ),
+                }
+            })
+            .collect();
+        let e2e = registry.histogram(
+            "slimio_write_e2e_seconds",
+            &[],
+            "End-to-end writer-path command latency (parse to reply)",
+        );
+        let reads = registry.histogram(
+            "slimio_read_seconds",
+            &[],
+            "Read-path latency served on connection threads",
+        );
+        Telemetry {
+            registry,
+            shards: recorders,
+            e2e,
+            reads,
+            slowlog: SlowLog::new(slowlog_threshold_us),
+            latency: LatencyTracker::new(),
+            metrics_port: AtomicU64::new(0),
+        }
+    }
+
+    /// Copies every sampled source into the registry, then renders the
+    /// whole thing as Prometheus text. Called per scrape; never on a
+    /// hot path.
+    pub(crate) fn render(
+        &self,
+        shared: &Shared,
+        repl: &ReplState,
+        device: &Arc<Mutex<NvmeDevice>>,
+    ) -> String {
+        self.sample(shared, repl, device);
+        self.registry.render_prometheus()
+    }
+
+    fn sample(&self, shared: &Shared, repl: &ReplState, device: &Arc<Mutex<NvmeDevice>>) {
+        let r = &self.registry;
+        // Server totals.
+        r.counter("slimio_ops_total", &[], "Commands processed")
+            .set(shared.ops.load(Ordering::Relaxed));
+        r.gauge("slimio_connections", &[], "Connected clients")
+            .set(shared.connections.load(Ordering::SeqCst) as f64);
+        r.counter(
+            "slimio_connections_total",
+            &[],
+            "Connections accepted since start",
+        )
+        .set(shared.total_connections.load(Ordering::SeqCst));
+        r.counter("slimio_net_in_bytes_total", &[], "Bytes read from sockets")
+            .set(shared.net_in.load(Ordering::Relaxed));
+        r.counter(
+            "slimio_net_out_bytes_total",
+            &[],
+            "Bytes written to sockets",
+        )
+        .set(shared.net_out.load(Ordering::Relaxed));
+        r.gauge("slimio_uptime_seconds", &[], "Seconds since server start")
+            .set(shared.start.elapsed().as_secs_f64());
+        // Governor.
+        let gov = shared.gov.sample();
+        r.gauge(
+            "slimio_blocked_clients",
+            &[],
+            "Connection threads parked (admission or WAIT)",
+        )
+        .set(gov.blocked_clients as f64);
+        r.counter(
+            "slimio_busy_refused_total",
+            &[],
+            "Commands refused with -BUSY",
+        )
+        .set(gov.busy_refused);
+        r.counter("slimio_oom_refused_total", &[], "Writes refused with -OOM")
+            .set(gov.oom_refused);
+        r.counter(
+            "slimio_evicted_clients_total",
+            &[],
+            "Slow clients disconnected",
+        )
+        .set(gov.evicted_clients);
+        r.counter(
+            "slimio_evicted_replicas_total",
+            &[],
+            "Replicas disconnected for lag",
+        )
+        .set(gov.evicted_replicas);
+        r.gauge("slimio_engine_bytes", &[], "Governed engine bytes")
+            .set(gov.engine_bytes as f64);
+        r.gauge(
+            "slimio_engine_peak_bytes",
+            &[],
+            "High-water mark of governed engine bytes",
+        )
+        .set(gov.engine_hwm as f64);
+        // Per-shard gates and writer slots.
+        for (i, st) in shared.shard_stats.iter().enumerate() {
+            let shard = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard)];
+            let (cap, hwm, busy) = shared.gov.shard_gate_stats(i);
+            r.gauge(
+                "slimio_shard_queue_depth",
+                labels,
+                "Admission-gate depth per shard",
+            )
+            .set(shared.gov.shard_depth(i) as f64);
+            r.gauge("slimio_shard_queue_cap", labels, "Admission-gate capacity")
+                .set(cap as f64);
+            r.gauge(
+                "slimio_shard_queue_hwm",
+                labels,
+                "Admission-gate depth high-water mark",
+            )
+            .set(hwm as f64);
+            r.counter(
+                "slimio_shard_busy_refused_total",
+                labels,
+                "-BUSY refusals at this shard's gate",
+            )
+            .set(busy);
+            r.gauge("slimio_keys", labels, "Live keys per shard")
+                .set(st.keys.load(Ordering::Relaxed) as f64);
+            r.gauge("slimio_mem_used_bytes", labels, "Engine bytes per shard")
+                .set(st.mem_used.load(Ordering::Relaxed) as f64);
+            r.gauge("slimio_wal_len_bytes", labels, "WAL bytes per shard")
+                .set(st.wal_len.load(Ordering::Relaxed) as f64);
+            r.counter(
+                "slimio_wal_snapshots_total",
+                labels,
+                "WAL-threshold snapshots completed",
+            )
+            .set(st.wal_snapshots.load(Ordering::Relaxed));
+            r.counter(
+                "slimio_od_snapshots_total",
+                labels,
+                "On-demand snapshots completed",
+            )
+            .set(st.od_snapshots.load(Ordering::Relaxed));
+            r.counter(
+                "slimio_view_published_seq",
+                labels,
+                "Newest engine sequence published to the read view",
+            )
+            .set(st.published_seq.load(Ordering::Relaxed));
+        }
+        // Replication.
+        let rs = repl.sample();
+        r.gauge(
+            "slimio_repl_is_primary",
+            &[],
+            "1 when this node is a primary",
+        )
+        .set(if rs.is_primary { 1.0 } else { 0.0 });
+        r.counter(
+            "slimio_repl_backlog_end_bytes",
+            &[],
+            "Replication stream offset (backlog end)",
+        )
+        .set(rs.backlog_end);
+        r.gauge(
+            "slimio_repl_backlog_bytes",
+            &[],
+            "Replication backlog bytes retained",
+        )
+        .set(rs.backlog_len as f64);
+        r.gauge("slimio_repl_connected_replicas", &[], "Attached replicas")
+            .set(rs.connected_replicas as f64);
+        r.gauge(
+            "slimio_repl_max_lag_bytes",
+            &[],
+            "Worst replica feed lag in stream bytes",
+        )
+        .set(rs.max_lag as f64);
+        r.counter(
+            "slimio_repl_applied_offset_bytes",
+            &[],
+            "Upstream stream bytes applied (replica role)",
+        )
+        .set(rs.applied_offset);
+        // Device / FTL / NAND, one lock acquisition for a consistent
+        // snapshot.
+        let dt = device.lock().unwrap_or_else(|p| p.into_inner()).telemetry();
+        r.gauge_with_decimals(
+            "slimio_device_waf",
+            &[],
+            "Live write amplification factor",
+            2,
+        )
+        .set(dt.waf);
+        r.counter(
+            "slimio_device_host_pages_total",
+            &[],
+            "Host pages programmed",
+        )
+        .set(dt.host_pages);
+        r.counter(
+            "slimio_device_gc_copied_pages_total",
+            &[],
+            "Pages relocated by GC",
+        )
+        .set(dt.gc_copied_pages);
+        r.counter("slimio_device_gc_passes_total", &[], "GC passes run")
+            .set(dt.gc_passes);
+        r.counter("slimio_device_erases_total", &[], "Blocks erased")
+            .set(dt.erases);
+        r.counter(
+            "slimio_device_trimmed_pages_total",
+            &[],
+            "Pages invalidated by TRIM",
+        )
+        .set(dt.trimmed_pages);
+        r.counter("slimio_device_reads_total", &[], "FTL read operations")
+            .set(dt.reads);
+        r.counter(
+            "slimio_device_write_commands_total",
+            &[],
+            "Write commands accepted",
+        )
+        .set(dt.write_commands);
+        r.gauge(
+            "slimio_device_die_busy_seconds",
+            &[],
+            "Total simulated die-busy time across all dies",
+        )
+        .set(dt.die_busy_ns as f64 / 1e9);
+        r.gauge(
+            "slimio_device_wall_stall_seconds",
+            &[],
+            "Wall-clock time lost to injected device stalls",
+        )
+        .set(dt.wall_stall_ns as f64 / 1e9);
+        r.gauge("slimio_device_capacity_bytes", &[], "Advertised capacity")
+            .set(dt.capacity_bytes as f64);
+        r.gauge(
+            "slimio_device_free_rus",
+            &[],
+            "Reclaim units on the free list",
+        )
+        .set(dt.free_rus as f64);
+        r.gauge("slimio_device_live_pages", &[], "Mapped logical pages")
+            .set(dt.live_pages as f64);
+        for (pid, rus, valid) in dt.ru_occupancy {
+            let pid = pid.to_string();
+            let labels: &[(&str, &str)] = &[("pid", &pid)];
+            r.gauge(
+                "slimio_device_ru_occupancy",
+                labels,
+                "Reclaim units held per placement ID",
+            )
+            .set(rus as f64);
+            r.gauge(
+                "slimio_device_ru_live_pages",
+                labels,
+                "Valid pages held per placement ID",
+            )
+            .set(valid as f64);
+        }
+    }
+}
+
+/// Everything the metrics listener thread needs to answer a scrape.
+pub(crate) struct MetricsCtx {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) repl: Arc<ReplState>,
+    pub(crate) device: Arc<Mutex<NvmeDevice>>,
+}
+
+/// Binds `addr` and serves Prometheus text on `GET /metrics` over
+/// hand-rolled HTTP/1.0 (std-only, one request per connection). The
+/// thread polls the server's stop flags and exits with them.
+pub(crate) fn spawn_metrics_listener(
+    addr: &str,
+    ctx: MetricsCtx,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let handle = std::thread::Builder::new()
+        .name("slimio-metrics".to_string())
+        .spawn(move || metrics_loop(listener, ctx))?;
+    Ok((bound, handle))
+}
+
+fn metrics_loop(listener: TcpListener, ctx: MetricsCtx) {
+    while !ctx.shared.stop.load(Ordering::SeqCst) && !ctx.shared.kill.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are rare and the render is cheap; serve inline.
+                let _ = serve_scrape(stream, &ctx);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_scrape(mut stream: TcpStream, ctx: &MetricsCtx) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read the request head (we only care about the request line).
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) =
+        if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+            let tel = &ctx.shared.tel;
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                tel.render(&ctx.shared, &ctx.repl, &ctx.device),
+            )
+        } else {
+            ("404 Not Found", "text/plain", "not found\n".to_string())
+        };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowlog_threshold_and_ring() {
+        let log = SlowLog::new(1_000); // 1ms
+        log.maybe_record(
+            Duration::from_micros(500),
+            vec![b"SET".to_vec()],
+            0,
+            Vec::new(),
+        );
+        assert_eq!(log.len(), 0, "sub-threshold command must not land");
+        for i in 0..(SLOWLOG_MAX_LEN + 10) {
+            log.maybe_record(
+                Duration::from_millis(2),
+                vec![format!("cmd{i}").into_bytes()],
+                0,
+                vec![("device_sync", 2_000)],
+            );
+        }
+        assert_eq!(log.len(), SLOWLOG_MAX_LEN, "ring must stay bounded");
+        let newest = log.get(Some(1));
+        assert_eq!(newest.len(), 1);
+        assert_eq!(
+            newest[0].args[0],
+            format!("cmd{}", SLOWLOG_MAX_LEN + 9).into_bytes(),
+            "GET must return newest first"
+        );
+        assert_eq!(newest[0].stage_summary(), "device_sync=2000us");
+        log.reset();
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn slowlog_disabled_records_nothing() {
+        let log = SlowLog::new(-1);
+        assert!(!log.enabled());
+        log.maybe_record(
+            Duration::from_secs(10),
+            vec![b"SET".to_vec()],
+            0,
+            Vec::new(),
+        );
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn slowlog_truncates_long_args() {
+        let log = SlowLog::new(0);
+        log.maybe_record(
+            Duration::from_millis(1),
+            vec![b"SET".to_vec(), vec![b'x'; 1000]],
+            0,
+            Vec::new(),
+        );
+        let e = log.get(None).remove(0);
+        assert!(e.args[1].len() < 200, "arg must be truncated");
+        assert!(e.args[1].ends_with(b"more bytes)"));
+    }
+
+    #[test]
+    fn latency_tracker_history_latest_reset() {
+        let t = LatencyTracker::new();
+        t.record("device-sync", 80);
+        t.record("device-sync", 120);
+        t.record("gc", 60);
+        let hist = t.history(b"device-sync");
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[1].1, 120);
+        let latest = t.latest();
+        assert_eq!(latest.len(), 2);
+        let ds = latest.iter().find(|(n, ..)| *n == "device-sync").unwrap();
+        assert_eq!((ds.2, ds.3), (120, 120));
+        assert_eq!(t.reset(), 2);
+        assert!(t.history(b"device-sync").is_empty());
+        assert_eq!(t.event_count(), 0);
+    }
+
+    #[test]
+    fn latency_history_is_bounded() {
+        let t = LatencyTracker::new();
+        for i in 0..(LATENCY_MAX_SAMPLES as u64 + 40) {
+            t.record("writer-stall", i);
+        }
+        let hist = t.history(b"writer-stall");
+        assert_eq!(hist.len(), LATENCY_MAX_SAMPLES);
+        let latest = t.latest();
+        assert_eq!(latest[0].3, LATENCY_MAX_SAMPLES as u64 + 39, "max survives");
+    }
+
+    #[test]
+    fn telemetry_renders_stage_series_per_shard() {
+        let tel = Telemetry::new(2, 10_000);
+        tel.shards[0].queue.record(1_000);
+        tel.shards[1].device_sync.record(2_000_000);
+        tel.shards[0].batches.inc();
+        let text = tel.registry.render_prometheus();
+        assert!(text.contains("slimio_write_stage_seconds_count{stage=\"queue\",shard=\"0\"} 1"));
+        assert!(
+            text.contains("slimio_write_stage_seconds_count{stage=\"device_sync\",shard=\"1\"} 1")
+        );
+        assert!(text.contains("slimio_write_batches_total{shard=\"0\"} 1"));
+        assert!(text.contains("slimio_write_batches_total{shard=\"1\"} 0"));
+    }
+}

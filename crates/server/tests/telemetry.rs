@@ -1,0 +1,309 @@
+//! Telemetry integration: the Prometheus `/metrics` listener under real
+//! mixed load, per-stage histogram coherence against the end-to-end
+//! series, and the SLOWLOG/LATENCY path under an injected device stall.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use slimio_imdb::LogPolicy;
+use slimio_server::bench::{self, BenchOpts};
+use slimio_server::resp::Value;
+use slimio_server::{BackendKind, Server, ServerOpts, Store, StoreConfig};
+
+const RATIO: f64 = 1.0 / 128.0;
+
+fn store_for(shards: usize) -> Store {
+    Store::new(StoreConfig {
+        kind: BackendKind::Passthru,
+        fdp: true,
+        ratio: RATIO,
+        shards,
+    })
+}
+
+fn opts_with_metrics() -> ServerOpts {
+    ServerOpts {
+        policy: LogPolicy::Always,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerOpts::default()
+    }
+}
+
+/// One HTTP/1.0 GET against the metrics listener; returns (status line,
+/// body).
+fn http_get(port: u16, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect metrics");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+fn scrape(port: u16) -> String {
+    let (status, body) = http_get(port, "/metrics");
+    assert!(status.contains("200"), "scrape failed: {status}");
+    body
+}
+
+/// The value of the sample whose name (with labels, if any) is exactly
+/// `series` — e.g. `slimio_ops_total` or
+/// `slimio_write_stage_seconds_sum{stage="queue",shard="0"}`.
+fn sample(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|l| {
+        l.strip_prefix(series)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+fn bench_load(port: u16, requests: u64, pipeline: usize, get_ratio: u8, clients: usize) {
+    let report = bench::run(&BenchOpts {
+        host: "127.0.0.1".to_string(),
+        port,
+        clients,
+        requests,
+        pipeline,
+        get_ratio,
+        value_len: 64,
+        keyspace: 512,
+        ..BenchOpts::default()
+    })
+    .expect("bench run");
+    assert_eq!(report.errors, 0, "bench saw errors");
+}
+
+/// Mixed pipelined load at 4 shards: every advertised series family is
+/// present, counters are monotonic across scrapes, and each shard shows
+/// up with its own label.
+#[test]
+fn metrics_scrape_under_mixed_load() {
+    let handle = Server::start(store_for(4), opts_with_metrics()).expect("start");
+    let mport = handle.metrics_addr().expect("metrics bound").port();
+    bench_load(handle.port(), 4000, 8, 50, 4);
+
+    let text = scrape(mport);
+    // Series presence, one probe per family.
+    for series in [
+        "slimio_write_stage_seconds_bucket",
+        "slimio_write_e2e_seconds_count",
+        "slimio_read_seconds_count",
+        "slimio_write_batches_total",
+        "slimio_ops_total",
+        "slimio_connections",
+        "slimio_blocked_clients",
+        "slimio_engine_bytes",
+        "slimio_repl_is_primary",
+        "slimio_device_waf",
+        "slimio_device_host_pages_total",
+        "slimio_device_ru_occupancy",
+        "slimio_keys",
+        "slimio_shard_queue_depth",
+        "slimio_view_published_seq",
+    ] {
+        assert!(text.contains(series), "missing series {series}\n{text}");
+    }
+    // HELP/TYPE metadata renders once per family.
+    assert!(text.contains("# TYPE slimio_write_stage_seconds histogram"));
+    assert!(text.contains("# TYPE slimio_device_waf gauge"));
+    // Every shard records batches under its own label, and every stage
+    // shows up.
+    for s in 0..4 {
+        let batches = sample(
+            &text,
+            &format!("slimio_write_batches_total{{shard=\"{s}\"}}"),
+        )
+        .unwrap_or_else(|| panic!("no batches sample for shard {s}"));
+        assert!(batches > 0.0, "shard {s} committed no batches");
+    }
+    for stage in [
+        "admission",
+        "queue",
+        "execute",
+        "wal_append",
+        "device_sync",
+        "reply",
+    ] {
+        assert!(
+            text.contains(&format!("stage=\"{stage}\"")),
+            "stage {stage} missing"
+        );
+    }
+    // The paper's FDP claim, live: append-only WAL streams at WAF 1.00.
+    assert_eq!(sample(&text, "slimio_device_waf"), Some(1.0));
+    let ops1 = sample(&text, "slimio_ops_total").expect("ops sample");
+    let e2e1 = sample(&text, "slimio_write_e2e_seconds_count").expect("e2e count");
+    assert!(ops1 > 0.0 && e2e1 > 0.0);
+
+    // More load → counters only go up.
+    bench_load(handle.port(), 2000, 4, 30, 2);
+    let text2 = scrape(mport);
+    let ops2 = sample(&text2, "slimio_ops_total").expect("ops sample");
+    let e2e2 = sample(&text2, "slimio_write_e2e_seconds_count").expect("e2e count");
+    assert!(
+        ops2 > ops1,
+        "ops_total must be monotonic ({ops1} -> {ops2})"
+    );
+    assert!(
+        e2e2 > e2e1,
+        "e2e count must be monotonic ({e2e1} -> {e2e2})"
+    );
+
+    // Unknown paths get a 404, not a scrape.
+    let (status, _) = http_get(mport, "/nope");
+    assert!(status.contains("404"), "expected 404, got {status}");
+
+    handle.shutdown();
+}
+
+/// With one shard, one client, no pipelining, every batch holds exactly
+/// one SET — so each batch's stage windows are sub-intervals of that
+/// command's end-to-end window, and the per-stage sums can exceed the
+/// e2e sum only by timer noise. The lower bound is a loose sanity floor:
+/// under CPU contention (parallel test servers) most of e2e is
+/// cross-thread handoff, which no stage claims.
+#[test]
+fn stage_sums_bracket_e2e() {
+    let handle = Server::start(store_for(1), opts_with_metrics()).expect("start");
+    let mport = handle.metrics_addr().expect("metrics bound").port();
+    bench_load(handle.port(), 2000, 1, 0, 1);
+
+    let text = scrape(mport);
+    let e2e = sample(&text, "slimio_write_e2e_seconds_sum").expect("e2e sum");
+    let stage_sum: f64 = ["queue", "execute", "wal_append", "device_sync", "reply"]
+        .iter()
+        .map(|st| {
+            sample(
+                &text,
+                &format!("slimio_write_stage_seconds_sum{{stage=\"{st}\",shard=\"0\"}}"),
+            )
+            .unwrap_or_else(|| panic!("no sum for stage {st}"))
+        })
+        .sum();
+    assert!(e2e > 0.0, "no e2e time recorded");
+    assert!(
+        stage_sum <= e2e * 1.10,
+        "stages exceed end-to-end: stages={stage_sum:.6}s e2e={e2e:.6}s"
+    );
+    assert!(
+        stage_sum >= e2e * 0.01,
+        "stages account for almost none of end-to-end: stages={stage_sum:.6}s e2e={e2e:.6}s"
+    );
+    handle.shutdown();
+}
+
+fn cmd(parts: &[&str]) -> Vec<Vec<u8>> {
+    parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+}
+
+/// An injected `slow@` device stall must surface everywhere the operator
+/// would look: a SLOWLOG entry whose breakdown is dominated by the
+/// `device_sync` stage, and a `LATENCY` event for `device-sync`.
+/// RESETs clear both.
+#[test]
+fn slow_fault_surfaces_in_slowlog_and_latency() {
+    let handle = Server::start(store_for(1), opts_with_metrics()).expect("start");
+    let port = handle.port();
+    let one = |args: &[&str]| bench::oneshot("127.0.0.1", port, &cmd(args)).expect("oneshot");
+
+    // 80 ms per device write from the next write on: far past both the
+    // 10 ms slowlog default and the 50 ms latency-event threshold.
+    let armed = one(&["DEBUG", "FAULT", "slow@1:80000"]);
+    assert!(
+        !matches!(armed, Value::Error(_)),
+        "arming failed: {armed:?}"
+    );
+    let set = one(&["SET", "stalled-key", "v"]);
+    assert!(matches!(set, Value::Simple(_)), "SET failed: {set:?}");
+    one(&["DEBUG", "FAULT", "OFF"]);
+
+    // SLOWLOG: the stalled SET is there, device_sync dominates.
+    let Value::Array(entries) = one(&["SLOWLOG", "GET"]) else {
+        panic!("SLOWLOG GET did not return an array")
+    };
+    assert!(!entries.is_empty(), "stalled SET missing from slowlog");
+    let Value::Array(fields) = &entries[0] else {
+        panic!("malformed slowlog entry")
+    };
+    let Value::Int(dur_us) = fields[2] else {
+        panic!("slowlog entry has no duration")
+    };
+    assert!(
+        dur_us >= 80_000,
+        "stall not reflected in duration: {dur_us}us"
+    );
+    let Value::Array(argv) = &fields[3] else {
+        panic!("slowlog entry has no argv")
+    };
+    assert_eq!(argv.first(), Some(&Value::Bulk(b"SET".to_vec())));
+    let Value::Bulk(stages_raw) = &fields[5] else {
+        panic!("slowlog entry has no stage breakdown")
+    };
+    let stages = String::from_utf8_lossy(stages_raw).into_owned();
+    let stage_us = |name: &str| -> u64 {
+        stages
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.strip_suffix("us"))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("stage {name} missing from '{stages}'"))
+    };
+    let sync_us = stage_us("device_sync");
+    assert!(
+        sync_us >= 80_000,
+        "stall not attributed to device_sync: {stages}"
+    );
+    for other in ["queue", "execute", "wal_append", "reply"] {
+        assert!(
+            sync_us > stage_us(other),
+            "device_sync not dominant: {stages}"
+        );
+    }
+
+    // LATENCY: the stall registered as a device-sync spike >= 80 ms.
+    let Value::Array(history) = one(&["LATENCY", "HISTORY", "device-sync"]) else {
+        panic!("LATENCY HISTORY did not return an array")
+    };
+    assert!(!history.is_empty(), "no device-sync latency event");
+    let Value::Array(pair) = &history[0] else {
+        panic!("malformed latency sample")
+    };
+    let Value::Int(ms) = pair[1] else {
+        panic!("latency sample has no duration")
+    };
+    assert!(ms >= 80, "device-sync event too small: {ms}ms");
+
+    // INFO surfaces the same state.
+    let Value::Bulk(info_raw) = one(&["INFO"]) else {
+        panic!("INFO did not return bulk")
+    };
+    let info = String::from_utf8_lossy(&info_raw).into_owned();
+    assert!(
+        info.contains("# Telemetry"),
+        "INFO missing Telemetry section"
+    );
+    assert!(info.contains("latency_last_event:device-sync"), "{info}");
+
+    // RESETs clear both sides.
+    assert!(matches!(one(&["SLOWLOG", "RESET"]), Value::Simple(_)));
+    assert_eq!(one(&["SLOWLOG", "LEN"]), Value::Int(0));
+    let Value::Int(cleared) = one(&["LATENCY", "RESET"]) else {
+        panic!("LATENCY RESET did not return an integer")
+    };
+    assert!(cleared >= 1);
+    let Value::Array(after) = one(&["LATENCY", "HISTORY", "device-sync"]) else {
+        panic!("LATENCY HISTORY did not return an array")
+    };
+    assert!(after.is_empty(), "history survived RESET");
+
+    handle.shutdown();
+}
